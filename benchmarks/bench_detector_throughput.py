@@ -1,0 +1,103 @@
+"""Detector throughput microbenchmarks.
+
+Not a paper claim — engineering due diligence: the vector-strobe
+detector's race analysis is the hot path of every experiment, and its
+concurrency matrix is O(m²·n) per finalize.  These benches pin the
+constant factors so regressions are visible, and the m-scaling bench
+documents where offline replay stops being practical (the online
+watermark detector amortizes the same work incrementally).
+"""
+
+import numpy as np
+import pytest
+
+from repro.clocks.strobe import StrobeVectorClock
+from repro.core.records import SensedEventRecord
+from repro.detect.physical import PhysicalClockDetector
+from repro.detect.strobe_scalar import ScalarStrobeDetector
+from repro.detect.strobe_vector import VectorStrobeDetector
+from repro.predicates.relational import SumThresholdPredicate
+from repro.clocks.scalar import ScalarTimestamp
+
+
+def synth_records(m: int, n: int = 4, seed: int = 0, race_frac: float = 0.3):
+    """Synthesize m records from n processes with a controlled fraction
+    of racing (concurrent) events: strobes delivered with probability
+    (1 - race_frac) before the next event."""
+    rng = np.random.default_rng(seed)
+    clocks = [StrobeVectorClock(i, n) for i in range(n)]
+    records = []
+    seqs = [0] * n
+    scalar = 0
+    for k in range(m):
+        i = int(rng.integers(n))
+        ts = clocks[i].on_relevant_event()
+        seqs[i] += 1
+        scalar += 1
+        records.append(SensedEventRecord(
+            pid=i, seq=seqs[i], var=f"v{i}", value=int(rng.integers(0, 10)),
+            strobe_vector=ts,
+            strobe_scalar=ScalarTimestamp(scalar, i),
+            physical=float(k) + float(rng.normal(0, 0.01)),
+            true_time=float(k),
+        ))
+        if rng.random() > race_frac:
+            for j in range(n):
+                if j != i:
+                    clocks[j].on_strobe(ts)
+    return records
+
+
+def predicate(n=4):
+    return SumThresholdPredicate([(f"v{i}", i, 1.0) for i in range(n)], 18)
+
+
+@pytest.mark.parametrize("m", [200, 1000])
+def test_vector_strobe_finalize_throughput(benchmark, m):
+    records = synth_records(m)
+    phi = predicate()
+    initials = {f"v{i}": 0 for i in range(4)}
+
+    def run():
+        det = VectorStrobeDetector(phi, initials)
+        det.feed_many(records)
+        return det.finalize()
+
+    out = benchmark(run)
+    assert isinstance(out, list)
+
+
+@pytest.mark.parametrize("m", [1000])
+def test_scalar_strobe_finalize_throughput(benchmark, m):
+    records = synth_records(m)
+    phi = predicate()
+    initials = {f"v{i}": 0 for i in range(4)}
+
+    def run():
+        det = ScalarStrobeDetector(phi, initials)
+        det.feed_many(records)
+        return det.finalize()
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("m", [1000])
+def test_physical_finalize_throughput(benchmark, m):
+    records = synth_records(m)
+    phi = predicate()
+    initials = {f"v{i}": 0 for i in range(4)}
+
+    def run():
+        det = PhysicalClockDetector(phi, initials)
+        det.feed_many(records)
+        return det.finalize()
+
+    benchmark(run)
+
+
+def test_concurrency_matrix_scaling(benchmark):
+    """The O(m²·n) kernel in isolation at m=2000 (vectorized NumPy)."""
+    records = synth_records(2000)
+    det = VectorStrobeDetector(predicate(), {f"v{i}": 0 for i in range(4)})
+    ordered = sorted(records, key=det._sort_key)
+    benchmark(det._concurrency_matrix, ordered)

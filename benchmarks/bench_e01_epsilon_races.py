@@ -1,0 +1,95 @@
+"""E1 — Physical ε-clocks miss predicate intervals shorter than ~2ε.
+
+Paper claim (§3.3 item 2, citing Mayo–Kearns [28]): with clocks
+synchronized to within skew ε, predicate detection suffers false
+negatives "when the overlap period of the local intervals, during
+which the global predicate is true, is less than 2ε".
+
+Construction: two processes observe x and y; φ = (x=1 ∧ y=1).  Each
+trial schedules the truth intervals so their true overlap is exactly
+``o``; per-process clock offsets are drawn uniformly from [−ε, ε].
+The recall of :class:`PhysicalClockDetector` is measured as a function
+of o/ε.  Expected shape: recall well below 1 for o < 2ε, ≈ 1 beyond.
+"""
+
+import numpy as np
+
+from repro.analysis.sweep import format_table
+from repro.clocks.physical import DriftModel, PhysicalClock
+from repro.core.records import SensedEventRecord
+from repro.detect.physical import PhysicalClockDetector
+from repro.predicates.relational import RelationalPredicate
+from repro.sim.rng import substream_seed
+
+EPSILON = 0.01
+RATIOS = [0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 5.0]
+TRIALS = 400
+WIDTH = 0.5          # each local truth interval's length (≫ ε)
+
+
+def phi():
+    return RelationalPredicate(
+        {"x": 0, "y": 1}, lambda e: e["x"] == 1 and e["y"] == 1, "x=1 ∧ y=1"
+    )
+
+
+def one_trial(overlap: float, rng: np.random.Generator) -> bool:
+    """Returns True iff the detector catches the single occurrence."""
+    clocks = [
+        PhysicalClock(DriftModel(offset=float(rng.uniform(-EPSILON, EPSILON)))),
+        PhysicalClock(DriftModel(offset=float(rng.uniform(-EPSILON, EPSILON)))),
+    ]
+    # x true on [1.0, 1.0+W); y true on [1.0+W-o, 1.0+W-o+W).
+    # Overlap = [1.0+W-o, 1.0+W), duration o.
+    t_x_rise, t_x_fall = 1.0, 1.0 + WIDTH
+    t_y_rise, t_y_fall = 1.0 + WIDTH - overlap, 1.0 + 2 * WIDTH - overlap
+    events = [
+        (0, "x", 1, t_x_rise), (0, "x", 0, t_x_fall),
+        (1, "y", 1, t_y_rise), (1, "y", 0, t_y_fall),
+    ]
+    det = PhysicalClockDetector(phi(), {"x": 0, "y": 0})
+    seqs = {0: 0, 1: 0}
+    for pid, var, value, t in sorted(events, key=lambda e: e[3]):
+        seqs[pid] += 1
+        det.feed(SensedEventRecord(
+            pid=pid, seq=seqs[pid], var=var, value=value,
+            physical=clocks[pid].read(t), true_time=t,
+        ))
+    return len(det.finalize()) >= 1
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for ratio in RATIOS:
+        overlap = ratio * EPSILON
+        hits = 0
+        for trial in range(TRIALS):
+            rng = np.random.default_rng(substream_seed(1, "e01", ratio, trial))
+            hits += one_trial(overlap, rng)
+        rows.append({
+            "overlap/eps": ratio,
+            "overlap_s": overlap,
+            "recall": hits / TRIALS,
+        })
+    return rows
+
+
+def test_e01_epsilon_races(benchmark, save_table):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_table("e01_epsilon_races", format_table(
+        rows,
+        title=(f"E1: PhysicalClockDetector recall vs (true overlap)/ε "
+               f"(ε={EPSILON}s, {TRIALS} trials/point)"),
+    ))
+    by_ratio = {r["overlap/eps"]: r["recall"] for r in rows}
+    # Shape assertions.  Theory: detection occurs iff the offset
+    # difference D = δ1 − δ0 (triangular on [−2ε, 2ε]) is < o, so
+    # recall(o) = 1 − (2ε − o)²/(8ε²) for o < 2ε and exactly 1 beyond —
+    # i.e. false negatives occur precisely when overlap < 2ε [28].
+    assert by_ratio[0.25] < 0.70          # theory: ≈ 0.617
+    assert by_ratio[1.0] < 0.92           # theory: ≈ 0.875
+    assert by_ratio[3.0] == 1.0           # beyond 2ε: no misses possible
+    assert by_ratio[5.0] == 1.0
+    # Monotone non-decreasing trend (tolerate sampling noise).
+    recalls = [r["recall"] for r in rows]
+    assert all(b >= a - 0.05 for a, b in zip(recalls, recalls[1:]))

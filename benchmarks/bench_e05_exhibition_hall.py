@@ -1,0 +1,135 @@
+"""E5 — The §5 exhibition hall: borderline-bin behaviour per door count.
+
+Paper claims (§5): detecting φ = Σ(xᵢ−yᵢ) > capacity with vector
+strobes yields false negatives/positives only under races from
+"concurrent traffic through multiple doors … within acceptable limits
+of tolerance", and "the consensus based algorithm using vector strobes
+will be able to place false positives and most false negatives in a
+'borderline bin'".
+
+Harness: sweep the door count d (more doors = more concurrent
+traffic); fixed Δ.  Reported per d:
+
+* errors with the bin treated as positive (the safe policy);
+* firm-only false positives (expected ≈ 0);
+* the fraction of false positives carrying the borderline label;
+* the fraction of would-be false negatives recovered by the bin
+  (recall(as-positive) − recall(as-negative)).
+"""
+
+from repro.analysis.metrics import BorderlinePolicy, match_detections
+from repro.analysis.sweep import format_table
+from repro.core.process import ClockConfig
+from repro.detect.strobe_vector import VectorStrobeDetector
+from repro.net.delay import DeltaBoundedDelay
+from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+
+DOORS = [2, 4, 8]
+DELTA = 0.3
+SEEDS = [0, 1, 2, 3]
+DURATION = 150.0
+
+
+def run_point(doors: int, seed: int) -> dict:
+    cfg = ExhibitionHallConfig(
+        doors=doors, capacity=10, arrival_rate=3.0, mean_dwell=3.0,
+        seed=seed, delay=DeltaBoundedDelay(DELTA),
+        clocks=ClockConfig(strobe_vector=True),
+    )
+    hall = ExhibitionHall(cfg)
+    det = VectorStrobeDetector(hall.predicate, hall.initials)
+    hall.attach_detector(det)
+    hall.run(DURATION)
+    truth = hall.oracle().true_intervals(hall.system.world.ground_truth, t_end=DURATION)
+    out = det.finalize()
+    r_pos = match_detections(truth, out, policy=BorderlinePolicy.AS_POSITIVE)
+    r_neg = match_detections(truth, out, policy=BorderlinePolicy.AS_NEGATIVE)
+    return {
+        "n_true": r_pos.n_true,
+        "fp": r_pos.fp,
+        "fn": r_pos.fn,
+        "recall_pos": r_pos.recall,
+        "recall_firm": r_neg.recall,
+        "firm_fp": r_neg.fp,
+        "fp_in_bin": r_pos.fp_absorbed_by_bin,
+    }
+
+
+def run_point_per_door_rate(doors: int, seed: int) -> dict:
+    """E5b: per-door arrival rate fixed, so total event rate grows with
+    d — the §3.3 viability condition (a), 'the number of processes is
+    low', isolated."""
+    cfg = ExhibitionHallConfig(
+        doors=doors, capacity=int(2.5 * doors), arrival_rate=0.75 * doors,
+        mean_dwell=4.0, seed=seed, delay=DeltaBoundedDelay(DELTA),
+        clocks=ClockConfig(strobe_vector=True),
+    )
+    hall = ExhibitionHall(cfg)
+    det = VectorStrobeDetector(hall.predicate, hall.initials)
+    hall.attach_detector(det)
+    hall.run(DURATION)
+    truth = hall.oracle().true_intervals(hall.system.world.ground_truth, t_end=DURATION)
+    r = match_detections(truth, det.finalize(), policy=BorderlinePolicy.AS_POSITIVE)
+    return {"n_true": r.n_true, "f1": r.f1, "recall": r.recall}
+
+
+def run_experiment() -> tuple[list[dict], list[dict]]:
+    rows = []
+    for doors in DOORS:
+        acc: dict[str, float] = {}
+        for seed in SEEDS:
+            for k, v in run_point(doors, seed).items():
+                acc[k] = acc.get(k, 0.0) + v
+        row = {"doors": doors}
+        row.update({k: v / len(SEEDS) for k, v in acc.items()})
+        row["bin_recovered"] = row["recall_pos"] - row["recall_firm"]
+        rows.append(row)
+
+    rows_b = []
+    for doors in DOORS:
+        acc = {}
+        for seed in SEEDS:
+            for k, v in run_point_per_door_rate(doors, seed).items():
+                acc[k] = acc.get(k, 0.0) + v
+        row = {"doors": doors}
+        row.update({k: v / len(SEEDS) for k, v in acc.items()})
+        rows_b.append(row)
+    return rows, rows_b
+
+
+def test_e05_exhibition_hall(benchmark, save_table):
+    rows, rows_b = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    text_a = format_table(
+        rows,
+        columns=["doors", "n_true", "fp", "fn", "recall_pos", "recall_firm",
+                 "firm_fp", "fp_in_bin", "bin_recovered"],
+        title=(f"E5a: exhibition hall, vector strobes + borderline bin "
+               f"(Δ={DELTA}s, capacity 10, fixed TOTAL traffic, "
+               f"mean over {len(SEEDS)} seeds)"),
+    )
+    text_b = format_table(
+        rows_b,
+        title=(f"E5b: accuracy vs process count at fixed PER-door rate "
+               f"(the §3.3 condition (a): total event rate grows with d)"),
+    )
+    save_table("e05_exhibition_hall", text_a + "\n\n" + text_b)
+    for row in rows:
+        # "Within acceptable limits of tolerance": safe-policy recall high.
+        assert row["recall_pos"] > 0.75
+        # Firm claims are sound (≤ 1 stray per multi-seed mean tolerated
+        # for multi-way races beyond the pairwise analysis).
+        assert row["firm_fp"] <= 1.0
+        # "Places false positives in the borderline bin": almost all FPs
+        # carry the label.
+        assert row["fp_in_bin"] > 0.9
+        # "...and most false negatives": the bin recovers occurrences the
+        # firm-only reading would miss.
+        assert row["bin_recovered"] >= 0.0
+    # More doors → more concurrent traffic → more borderline work; the
+    # bin keeps the safe-policy recall from collapsing.
+    assert rows[-1]["recall_pos"] > 0.75
+    # E5b: with per-door rate fixed, growing the process count grows the
+    # total event rate into the Δ window: accuracy degrades with d —
+    # the quantitative form of "the number of processes is low".
+    f1s = [r["f1"] for r in rows_b]
+    assert f1s[0] > f1s[-1]

@@ -1,0 +1,91 @@
+"""E6 — At Δ=0, strobe scalars ≡ strobe vectors; causality clocks differ.
+
+Paper claim (§4.2.3 item 5): "When synchronous communication is used,
+i.e., when Δ = 0, and the protocol strobes at each relevant event,
+strobe vectors can be replaced by strobe scalars without sacrificing
+correctness or accuracy.  This is not so for the causality-based
+clocks even if Δ = 0; Mattern/Fidge clocks are still more powerful
+than Lamport clocks when reasoning about the partial order."
+
+Harness: exhibition-hall traffic at Δ=0.  (a) the scalar- and
+vector-strobe detectors must produce identical detection sequences;
+(b) on the same records, the Mattern vector order distinguishes
+concurrent event pairs that Lamport scalar order cannot (scalars
+impose an arbitrary total order), measured as the count of
+cross-process record pairs that are vector-concurrent.
+"""
+
+import itertools
+
+from repro.analysis.sweep import format_table
+from repro.core.process import ClockConfig
+from repro.detect.strobe_scalar import ScalarStrobeDetector
+from repro.detect.strobe_vector import VectorStrobeDetector
+from repro.net.delay import SynchronousDelay
+from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+
+SEEDS = [0, 1, 2]
+DURATION = 90.0
+
+
+def run_seed(seed: int) -> dict:
+    cfg = ExhibitionHallConfig(
+        doors=4, capacity=10, arrival_rate=3.0, mean_dwell=3.0,
+        seed=seed, delay=SynchronousDelay(0.0),
+        clocks=ClockConfig.everything(),
+    )
+    hall = ExhibitionHall(cfg)
+    vec = VectorStrobeDetector(hall.predicate, hall.initials)
+    sca = ScalarStrobeDetector(hall.predicate, hall.initials)
+    hall.attach_detector(vec)
+    hall.attach_detector(sca)
+    hall.run(DURATION)
+    v_out, s_out = vec.finalize(), sca.finalize()
+
+    records = vec.store.all()
+    # Mattern concurrency among cross-process pairs (sample cap for runtime).
+    sample = records[:200]
+    mattern_concurrent = sum(
+        1
+        for a, b in itertools.combinations(sample, 2)
+        if a.pid != b.pid and a.vector.concurrent_with(b.vector)
+    )
+    cross_pairs = sum(
+        1 for a, b in itertools.combinations(sample, 2) if a.pid != b.pid
+    )
+    return {
+        "seed": seed,
+        "n_records": len(records),
+        "vec_detections": len(v_out),
+        "sca_detections": len(s_out),
+        "identical_triggers": [d.trigger.key() for d in v_out]
+        == [d.trigger.key() for d in s_out],
+        "all_firm": all(d.firm for d in v_out),
+        "mattern_concurrent_pairs": mattern_concurrent,
+        "cross_pairs": cross_pairs,
+    }
+
+
+def run_experiment() -> list[dict]:
+    return [run_seed(s) for s in SEEDS]
+
+
+def test_e06_delta_zero_equivalence(benchmark, save_table):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_table("e06_delta_zero_equivalence", format_table(
+        rows,
+        columns=["seed", "n_records", "vec_detections", "sca_detections",
+                 "identical_triggers", "all_firm",
+                 "mattern_concurrent_pairs", "cross_pairs"],
+        title="E6: Δ=0 — strobe scalar vs strobe vector vs causality clocks",
+    ))
+    for row in rows:
+        # (a) scalar ≡ vector at Δ=0: same detections, all firm.
+        assert row["identical_triggers"]
+        assert row["vec_detections"] == row["sca_detections"]
+        assert row["all_firm"]
+        # (b) causality clocks are NOT collapsed by Δ=0: sensing events
+        # at different processes remain concurrent under Mattern order
+        # (scalars could never express this).
+        assert row["mattern_concurrent_pairs"] == row["cross_pairs"]
+        assert row["cross_pairs"] > 0

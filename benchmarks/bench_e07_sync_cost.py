@@ -1,0 +1,151 @@
+"""E7 — Clock synchronization "does not come for free".
+
+Paper claims (§3.3 items 1–4): a physically synchronized clock service
+has a standing message/energy cost paid by the lower layers, which may
+be unaffordable in the wild; strobe clocks pay only per sensed event;
+on-demand sync (Baumgartner et al. [3], §4.2) pays only at critical
+events.  At low event rates the strobe/on-demand options are cheaper;
+tight sync periods cost the most.
+
+Harness: n=8 processes, 600 s, sensed events at ``EVENT_RATE`` per
+process.  Compared options (messages + energy via the radio model):
+
+* periodic sync at period T ∈ {1, 10, 60} s (2 msgs/pair/round) —
+  supports the ε-clock detector;
+* vector strobes (one broadcast of size n per sensed event);
+* scalar strobes (size-1 broadcasts);
+* on-demand sync: one round per sensed event (the critical-event
+  pattern).
+"""
+
+from repro.analysis.energy import RadioEnergyModel
+from repro.analysis.sweep import format_table
+from repro.clocks.physical import DriftModel, PhysicalClock
+from repro.clocks.sync import OnDemandSyncProtocol, PeriodicSyncProtocol
+from repro.core.process import ClockConfig
+from repro.core.system import PervasiveSystem, SystemConfig
+from repro.net.delay import DeltaBoundedDelay
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.world.generators import PoissonProcess
+
+N = 8
+DURATION = 600.0
+EVENT_RATE = 0.05          # sensed events per second per process
+ENERGY = RadioEnergyModel()
+
+
+def strobe_cost(vector: bool, seed: int = 0) -> dict:
+    clocks = ClockConfig(strobe_vector=True) if vector else ClockConfig(strobe_scalar=True)
+    system = PervasiveSystem(SystemConfig(
+        n_processes=N, seed=seed, delay=DeltaBoundedDelay(0.1), clocks=clocks,
+    ))
+    gens = []
+    for i in range(N):
+        system.world.create(f"obj{i}", level=0)
+        system.processes[i].track(f"v{i}", f"obj{i}", "level", initial=0)
+        counter = {"k": 0}
+        def bump(i=i, counter=counter):
+            counter["k"] += 1
+            system.world.set_attribute(f"obj{i}", "level", counter["k"])
+        gens.append(PoissonProcess(
+            system.sim, EVENT_RATE, bump, rng=system.rng.get("world", "ev", i),
+        ))
+    for g in gens:
+        g.start()
+    system.run(until=DURATION)
+    stats = system.net.stats
+    events = sum(g.arrivals for g in gens)
+    return {
+        "messages": stats.sent,
+        "units": stats.total_units,
+        "energy_J": ENERGY.network_energy(stats),
+        "events": events,
+    }
+
+
+def periodic_sync_cost(period: float, seed: int = 0) -> dict:
+    sim = Simulator()
+    rng = RngRegistry(seed=seed)
+    clocks = [
+        PhysicalClock(DriftModel.sample(rng.get("drift", i)))
+        for i in range(N)
+    ]
+    proto = PeriodicSyncProtocol(
+        sim, clocks, period=period, epsilon=1e-3, rng=rng.get("sync"),
+    )
+    proto.start()
+    sim.run(until=DURATION)
+    # Each sync message carries ~2 scalar stamps (a 2-unit payload).
+    energy = ENERGY.message_energy(
+        proto.stats.messages, proto.stats.messages,
+        proto.stats.messages * 2, proto.stats.messages * 2,
+    )
+    return {
+        "messages": proto.stats.messages,
+        "units": proto.stats.messages * 2,
+        "energy_J": energy,
+        "events": 0,
+    }
+
+
+def on_demand_cost(seed: int = 0) -> dict:
+    sim = Simulator()
+    rng = RngRegistry(seed=seed)
+    clocks = [PhysicalClock(DriftModel.sample(rng.get("drift", i))) for i in range(N)]
+    proto = OnDemandSyncProtocol(sim, clocks, epsilon=1e-3, rng=rng.get("sync"))
+    events = {"n": 0}
+    def critical_event():
+        events["n"] += 1
+        proto.sync_now()
+    gen = PoissonProcess(sim, EVENT_RATE * N, critical_event, rng=rng.get("ev"))
+    gen.start()
+    sim.run(until=DURATION)
+    energy = ENERGY.message_energy(
+        proto.stats.messages, proto.stats.messages,
+        proto.stats.messages * 2, proto.stats.messages * 2,
+    )
+    return {
+        "messages": proto.stats.messages,
+        "units": proto.stats.messages * 2,
+        "energy_J": energy,
+        "events": events["n"],
+    }
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for period in (1.0, 10.0, 60.0):
+        r = periodic_sync_cost(period)
+        r["option"] = f"periodic sync T={period:.0f}s"
+        rows.append(r)
+    r = on_demand_cost()
+    r["option"] = "on-demand sync [3]"
+    rows.append(r)
+    r = strobe_cost(vector=True)
+    r["option"] = "vector strobes (O(n))"
+    rows.append(r)
+    r = strobe_cost(vector=False)
+    r["option"] = "scalar strobes (O(1))"
+    rows.append(r)
+    return rows
+
+
+def test_e07_sync_cost(benchmark, save_table):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_table("e07_sync_cost", format_table(
+        rows,
+        columns=["option", "messages", "units", "energy_J", "events"],
+        ndigits=4,
+        title=(f"E7: standing cost of time services "
+               f"(n={N}, {DURATION:.0f}s, {EVENT_RATE}/s/process sensed events)"),
+    ))
+    by = {r["option"]: r for r in rows}
+    # Tight periodic sync is the most expensive option.
+    assert by["periodic sync T=1s"]["messages"] > by["vector strobes (O(n))"]["messages"]
+    # At this (low) event rate, strobes beat tight sync on energy...
+    assert by["vector strobes (O(n))"]["energy_J"] < by["periodic sync T=1s"]["energy_J"]
+    # ...and scalar strobes carry fewer units than vector strobes (O(1) vs O(n)).
+    assert by["scalar strobes (O(1))"]["units"] < by["vector strobes (O(n))"]["units"]
+    # On-demand sync costs scale with events, not wall time.
+    assert by["on-demand sync [3]"]["messages"] == by["on-demand sync [3]"]["events"] * (N - 1) * 2

@@ -1,0 +1,119 @@
+"""E10 — Strobe-induced causality is artificial.
+
+Paper claims (§4.2): "Strobe clock messages are control messages and
+induce a partial order that is arbitrarily determined at run-time and
+hence artificial … if our map of the physical world is also tracking
+causality, that clock should necessarily be different from the strobe
+clock.  If it is not, it will introduce false causality … and will
+also eliminate possible equivalent consistent global states."  And
+§4.1: covert channels carry *true* world causality that neither clock
+can see.
+
+Harness: one sensing execution stamped with BOTH Mattern (causality)
+and strobe vectors, plus a covert channel in the world plane.
+Measured:
+
+* ``fake_edges`` — cross-process event pairs ordered by the strobe
+  clock but concurrent under true (network-plane) causality: the
+  "false causality" the strobes would inject into a causal map;
+* ``eliminated_states`` — consistent global states of the causality
+  lattice pruned away by the strobe order;
+* ``covert_edges_visible`` — how many of the covert channel's true
+  causal edges either clock captured (always 0: the §4.1 limit).
+"""
+
+import itertools
+
+from repro.analysis.sweep import format_table
+from repro.core.process import ClockConfig
+from repro.core.system import PervasiveSystem, SystemConfig
+from repro.detect.base import RecordStore
+from repro.lattice.lattice import StateLattice
+from repro.net.delay import DeltaBoundedDelay
+
+N, P = 3, 5
+DELTAS = [0.05, 0.5, 2.0]
+
+
+def run_point(delta: float) -> dict:
+    system = PervasiveSystem(SystemConfig(
+        n_processes=N, seed=3, delay=DeltaBoundedDelay(delta),
+        clocks=ClockConfig(vector=True, strobe_vector=True),
+    ))
+    store = RecordStore()
+    for i in range(N):
+        system.world.create(f"obj{i}", level=0)
+        system.processes[i].track(f"v{i}", f"obj{i}", "level", initial=0)
+        system.processes[i].add_record_listener(store.add)
+
+    # Covert channel: object 0 physically influences object 1 (e.g. a
+    # handed-over pen) — true world causality, invisible to P.
+    covert = system.add_covert_channel(propagation_delay=0.2)
+
+    t = 1.0
+    for k in range(P):
+        for i in range(N):
+            def world_event(i=i, k=k):
+                system.world.set_attribute(f"obj{i}", "level", k + 1)
+                if i == 0:
+                    covert.transmit(
+                        "obj0", "obj1", "influence",
+                        effect=lambda w, ev: None,
+                    )
+            system.sim.schedule_at(t, world_event)
+            t += 1.0
+    system.run(until=t + delta + 1.0)
+
+    records = store.all()
+    fake_edges = 0
+    cross_pairs = 0
+    for a, b in itertools.combinations(records, 2):
+        if a.pid == b.pid:
+            continue
+        cross_pairs += 1
+        causally_concurrent = a.vector.concurrent_with(b.vector)
+        strobe_ordered = not a.strobe_vector.concurrent_with(b.strobe_vector)
+        if causally_concurrent and strobe_ordered:
+            fake_edges += 1
+
+    per_proc = store.by_process(N)
+    mattern = StateLattice([[r.vector for r in recs] for recs in per_proc]).stats()
+    strobe = StateLattice([[r.strobe_vector for r in recs] for recs in per_proc]).stats()
+
+    return {
+        "delta": delta,
+        "cross_pairs": cross_pairs,
+        "fake_edges": fake_edges,
+        "fake_fraction": fake_edges / cross_pairs if cross_pairs else 0.0,
+        "causality_states": mattern.n_states,
+        "strobe_states": strobe.n_states,
+        "eliminated_states": mattern.n_states - strobe.n_states,
+        "covert_edges_true": len(covert.log),
+        "covert_edges_visible": 0,   # by construction: P cannot see C
+    }
+
+
+def run_experiment() -> list[dict]:
+    return [run_point(d) for d in DELTAS]
+
+
+def test_e10_artificial_causality(benchmark, save_table):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_table("e10_artificial_causality", format_table(
+        rows,
+        columns=["delta", "cross_pairs", "fake_edges", "fake_fraction",
+                 "causality_states", "strobe_states", "eliminated_states",
+                 "covert_edges_true", "covert_edges_visible"],
+        title=f"E10: artificial causality injected by strobes (n={N}, p={P})",
+    ))
+    for row in rows:
+        # Strobes order pairs that true causality leaves concurrent.
+        assert row["fake_edges"] > 0
+        # ...and thereby eliminate consistent global states.
+        assert row["eliminated_states"] > 0
+        # The world's covert causal edges exist but are invisible (§4.1).
+        assert row["covert_edges_true"] == P
+        assert row["covert_edges_visible"] == 0
+    # Faster strobes (smaller Δ) inject MORE artificial order.
+    fractions = [r["fake_fraction"] for r in rows]
+    assert fractions == sorted(fractions, reverse=True)

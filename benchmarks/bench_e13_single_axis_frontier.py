@@ -1,0 +1,153 @@
+"""E13 — The §3.3 comparison: options to implement the single time axis.
+
+"We compare the trade-offs among the options in Section 3.2.1.a.(i)-(iv)
+to implement the single time axis model" — one figure, four options,
+two axes (detection accuracy vs standing cost), at two event-rate
+regimes:
+
+* perfect physical clocks (§3.2.1.a.i — the "impractical" ideal);
+* imperfectly synchronized physical clocks (a.ii) with a periodic sync
+  service paying message cost;
+* logical scalar strobes (a.iii);
+* logical vector strobes (a.iv).
+
+Each option runs on identical exhibition-hall traffic (common random
+numbers).  Cost = total messages (sync rounds for the physical option,
+strobe broadcasts for the logical options — perfect clocks cost 0 by
+assumption, which is exactly why they are fictional).  Accuracy = F1
+with borderline→positive.
+
+Expected shape (the paper's conclusion): perfect clocks dominate but
+do not exist; synced clocks buy accuracy with standing sync traffic;
+at *slow* event rates strobes reach comparable accuracy at lower cost
+(the §3.3/§6 viability conditions), while at *fast* rates (events
+within Δ) the synced-clock option pulls ahead on accuracy.
+"""
+
+from repro.analysis.metrics import BorderlinePolicy, match_detections
+from repro.analysis.sweep import format_table
+from repro.clocks.physical import DriftModel
+from repro.clocks.sync import PeriodicSyncProtocol
+from repro.core.process import ClockConfig
+from repro.detect.physical import PhysicalClockDetector
+from repro.detect.strobe_scalar import ScalarStrobeDetector
+from repro.detect.strobe_vector import VectorStrobeDetector
+from repro.net.delay import DeltaBoundedDelay
+from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+
+SEEDS = [0, 1, 2]
+DURATION = 150.0          # fast regime; the slow regime runs 4× longer
+SLOW_DURATION = 600.0     # rare events need a longer horizon for statistics
+DELTA = 0.25
+SYNC_PERIOD = 5.0
+SYNC_EPS = 0.002
+RAW_SKEW = 0.15          # unsynced clock offsets would be this bad
+
+
+def run_option(option: str, rate: float, seed: int, duration: float) -> dict:
+    cfg = ExhibitionHallConfig(
+        doors=4, capacity=10, arrival_rate=rate, mean_dwell=8.0 / rate,
+        seed=seed, delay=DeltaBoundedDelay(DELTA),
+        clocks=ClockConfig.everything(),
+        drift=DriftModel.ideal() if option == "perfect" else None,
+        max_offset=RAW_SKEW, max_drift_ppm=100.0,
+    )
+    hall = ExhibitionHall(cfg)
+
+    sync_messages = 0
+    if option == "synced":
+        proto = PeriodicSyncProtocol(
+            hall.system.sim, hall.system.physical_clocks(),
+            period=SYNC_PERIOD, epsilon=SYNC_EPS,
+            rng=hall.system.rng.get("sync"),
+        )
+        proto.start(initial_delay=0.0)
+
+    det_cls = {
+        "perfect": PhysicalClockDetector,
+        "synced": PhysicalClockDetector,
+        "strobe_scalar": ScalarStrobeDetector,
+        "strobe_vector": VectorStrobeDetector,
+    }[option]
+    det = det_cls(hall.predicate, hall.initials)
+    hall.attach_detector(det)
+    hall.run(duration)
+
+    if option == "synced":
+        proto.stop()
+        sync_messages = proto.stats.messages
+
+    truth = hall.oracle().true_intervals(hall.system.world.ground_truth, t_end=duration)
+    r = match_detections(truth, det.finalize(), policy=BorderlinePolicy.AS_POSITIVE)
+    # Cost attribution: the physical options do not need strobes (the
+    # scenario broadcasts them anyway since all clocks run — attribute
+    # only the traffic each option actually requires).
+    strobe_messages = hall.system.net.stats.control_messages
+    cost = {
+        "perfect": 0,
+        "synced": sync_messages,
+        "strobe_scalar": strobe_messages,
+        "strobe_vector": strobe_messages,
+    }[option]
+    return {"f1": r.f1, "messages": cost, "n_true": r.n_true}
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for regime, rate, duration in [
+        ("slow (interarrival≈13Δ)", 0.15, SLOW_DURATION),
+        ("fast (interarrival≈0.33Δ)", 6.0, DURATION),
+    ]:
+        for option in ("perfect", "synced", "strobe_vector", "strobe_scalar"):
+            f1 = msgs = n_true = 0.0
+            for seed in SEEDS:
+                out = run_option(option, rate, seed, duration)
+                f1 += out["f1"]
+                msgs += out["messages"]
+                n_true += out["n_true"]
+            rows.append({
+                "regime": regime,
+                "option": option,
+                "f1": f1 / len(SEEDS),
+                "messages": msgs / len(SEEDS),
+                "n_true": n_true / len(SEEDS),
+            })
+    return rows
+
+
+def test_e13_single_axis_frontier(benchmark, save_table):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_table("e13_single_axis_frontier", format_table(
+        rows,
+        columns=["regime", "option", "f1", "messages", "n_true"],
+        title=(f"E13: single-time-axis options — accuracy vs cost "
+               f"(Δ={DELTA}s, sync T={SYNC_PERIOD}s ε={SYNC_EPS}s, "
+               f"raw skew ±{RAW_SKEW}s, mean over {len(SEEDS)} seeds)"),
+    ))
+    by = {(r["regime"], r["option"]): r for r in rows}
+    slow = [k for k in by if k[0].startswith("slow")][0][0]
+    fast = [k for k in by if k[0].startswith("fast")][0][0]
+
+    for regime in (slow, fast):
+        # Perfect clocks are the (free, fictional) accuracy ceiling.
+        assert by[(regime, "perfect")]["f1"] >= by[(regime, "synced")]["f1"] - 0.02
+        assert by[(regime, "perfect")]["messages"] == 0
+        # The sync service costs real traffic.
+        assert by[(regime, "synced")]["messages"] > 0
+
+    # The §3.3 viability conditions, which hold only in the SLOW regime
+    # ("the rate of occurrence of sensed events is comparatively low"):
+    # vector strobes approach synced-clock accuracy...
+    assert by[(slow, "strobe_vector")]["f1"] >= by[(slow, "synced")]["f1"] - 0.12
+    # ...are comparable to scalar strobes (both near-exact here; the
+    # vector variant's edge shows under racing, see E2)...
+    assert by[(slow, "strobe_vector")]["f1"] >= by[(slow, "strobe_scalar")]["f1"] - 0.05
+    # ...and cost LESS than the standing sync service.
+    assert by[(slow, "strobe_vector")]["messages"] < by[(slow, "synced")]["messages"]
+
+    # Outside the viability conditions (fast regime, events racing well
+    # inside Δ) the synced clocks clearly win on accuracy and the strobe
+    # traffic explodes with the event rate — the paper never claims
+    # strobes work there, and this is the quantitative reason why.
+    assert by[(fast, "synced")]["f1"] > by[(fast, "strobe_vector")]["f1"]
+    assert by[(fast, "strobe_vector")]["messages"] > by[(fast, "synced")]["messages"]

@@ -1,0 +1,31 @@
+"""Shared benchmark utilities.
+
+Every experiment bench (E1–E12, see DESIGN.md §4):
+
+* runs its harness once under ``benchmark.pedantic`` so
+  ``pytest benchmarks/ --benchmark-only`` times the full experiment;
+* renders its table with :func:`repro.analysis.sweep.format_table`;
+* persists the table under ``benchmarks/results/`` (and prints it, so
+  ``-s`` shows it live) — EXPERIMENTS.md quotes these files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_table():
+    """Persist + print an experiment's output table."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

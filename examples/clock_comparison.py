@@ -1,0 +1,92 @@
+"""One execution, every time model (§3.2's implementation design space).
+
+Runs a single world-plane execution with ALL clocks configured, then
+shows what each clock family saw:
+
+* causality clocks (Lamport / Mattern-Fidge) never move on strobes —
+  in a sensing-only execution every cross-process event pair is
+  concurrent, so the Mattern lattice is the full O(pⁿ) grid (§4.1);
+* strobe clocks catch up on every broadcast, pruning the lattice
+  toward a chain — the slim lattice postulate (§4.2.4).
+
+Run:  python examples/clock_comparison.py
+"""
+
+from repro.analysis.sweep import format_table
+from repro.core import ClockConfig, PervasiveSystem, SystemConfig
+from repro.detect.base import RecordStore
+from repro.lattice import StateLattice
+from repro.net.delay import SynchronousDelay
+
+N, EVENTS_PER_PROC = 3, 4
+
+
+def main() -> None:
+    system = PervasiveSystem(
+        SystemConfig(
+            n_processes=N,
+            seed=1,
+            delay=SynchronousDelay(0.0),      # Δ=0: the chain-collapse case
+            clocks=ClockConfig.everything(),
+        )
+    )
+    for i in range(N):
+        system.world.create(f"obj{i}", level=0)
+        system.processes[i].track(f"v{i}", f"obj{i}", "level", initial=0)
+
+    store = RecordStore()
+    for p in system.processes:
+        p.add_record_listener(store.add)
+
+    # Round-robin world events, one at a time.
+    t = 1.0
+    for k in range(EVENTS_PER_PROC):
+        for i in range(N):
+            system.sim.schedule_at(
+                t, lambda i=i, k=k: system.world.set_attribute(f"obj{i}", "level", k + 1)
+            )
+            t += 1.0
+    system.run(until=t + 1.0)
+
+    records = store.all()
+    rows = [
+        {
+            "event": f"p{r.pid}#{r.seq}",
+            "lamport": str(r.lamport),
+            "mattern": str(r.vector.as_tuple()),
+            "strobe_scalar": str(r.strobe_scalar),
+            "strobe_vector": str(r.strobe_vector.as_tuple()),
+        }
+        for r in records
+    ]
+    print(format_table(rows, title="Stamps of the same events under four clocks:"))
+    print()
+
+    per_proc_mattern = [[] for _ in range(N)]
+    per_proc_strobe = [[] for _ in range(N)]
+    for r in records:
+        per_proc_mattern[r.pid].append(r.vector)
+        per_proc_strobe[r.pid].append(r.strobe_vector)
+
+    mattern_stats = StateLattice(per_proc_mattern).stats()
+    strobe_stats = StateLattice(per_proc_strobe).stats()
+    print(format_table(
+        [
+            {"order": "Mattern/Fidge (causality)", "states": mattern_stats.n_states,
+             "max_width": mattern_stats.max_width, "chain": mattern_stats.is_chain},
+            {"order": "strobe vector (Δ=0)", "states": strobe_stats.n_states,
+             "max_width": strobe_stats.max_width, "chain": strobe_stats.is_chain},
+        ],
+        title="Consistent-cut lattice of the same execution:",
+    ))
+    print()
+    print(f"Causality order: {mattern_stats.n_states} states "
+          f"(full grid — sensing creates no cross-process causality, §4.1).")
+    print(f"Strobe order at Δ=0: a chain of n·p+1 = {N * EVENTS_PER_PROC + 1} "
+          f"states — a recreated linear time base (§4.2.4).")
+    assert strobe_stats.is_chain
+    assert not mattern_stats.is_chain
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""The paper's §5 exhibition hall, end to end.
+
+d RFID door sensors monitor φ = Σ(xᵢ−yᵢ) > capacity under Δ-bounded
+wireless delays.  Three implementations of the single time axis are
+compared on the same traffic: ε-synchronized physical clocks, scalar
+strobes, and vector strobes with the borderline bin.
+
+Run:  python examples/exhibition_hall.py
+"""
+
+from repro.analysis.metrics import BorderlinePolicy, match_detections
+from repro.analysis.races import race_fraction
+from repro.analysis.sweep import format_table
+from repro.core.process import ClockConfig
+from repro.detect import (
+    PhysicalClockDetector,
+    ScalarStrobeDetector,
+    VectorStrobeDetector,
+)
+from repro.net.delay import DeltaBoundedDelay
+from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+
+DURATION = 300.0
+DELTA = 0.25
+
+
+def main() -> None:
+    cfg = ExhibitionHallConfig(
+        doors=4,
+        capacity=10,
+        arrival_rate=2.5,
+        mean_dwell=4.0,
+        seed=7,
+        delay=DeltaBoundedDelay(DELTA),
+        clocks=ClockConfig.everything(),
+    )
+    hall = ExhibitionHall(cfg)
+
+    detectors = {
+        "physical (ε-sync’d)": PhysicalClockDetector(hall.predicate, hall.initials),
+        "strobe scalar [25]": ScalarStrobeDetector(hall.predicate, hall.initials),
+        "strobe vector [24]": VectorStrobeDetector(hall.predicate, hall.initials),
+    }
+    for det in detectors.values():
+        hall.attach_detector(det)
+
+    hall.run(DURATION)
+
+    oracle = hall.oracle()
+    truth = oracle.true_intervals(hall.system.world.ground_truth, t_end=DURATION)
+    records = detectors["strobe vector [24]"].store.all()
+
+    print(f"doors={cfg.doors} capacity={cfg.capacity} Δ={DELTA}s "
+          f"duration={DURATION}s")
+    print(f"sensed events     : {len(records)}")
+    print(f"true occurrences  : {len(truth)}")
+    print(f"events in races (window Δ): {race_fraction(records, DELTA):.1%}")
+    print()
+
+    rows = []
+    for name, det in detectors.items():
+        out = det.finalize()
+        r = match_detections(truth, out, policy=BorderlinePolicy.AS_POSITIVE)
+        r_firm = match_detections(truth, out, policy=BorderlinePolicy.AS_NEGATIVE)
+        rows.append({
+            "detector": name,
+            "detections": len(out),
+            "borderline": sum(1 for d in out if not d.firm),
+            "tp": r.tp, "fp": r.fp, "fn": r.fn,
+            "precision": r.precision, "recall": r.recall,
+            "fp_firm_only": r_firm.fp,
+        })
+    print(format_table(
+        rows,
+        columns=["detector", "detections", "borderline", "tp", "fp", "fn",
+                 "precision", "recall", "fp_firm_only"],
+        title="Detector comparison (same traffic, same Δ):",
+    ))
+    print()
+    print("Reading: the borderline bin lets the vector-strobe detector")
+    print("flag race-dependent detections instead of asserting them; the")
+    print("application can treat the bin as positives to err safe (§5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Habitat monitoring "in the wild" with duty-cycled radios (§3.3, §5).
+
+The setting where the paper argues strobe clocks beat physical sync:
+no affordable clock-sync service, slow lifeform movement, radios
+asleep most of the time.  Duty cycling inflates the effective Δ by up
+to one sleep period — yet detection stays accurate because animal
+movement is far slower than Δ (the E3 regime).
+
+Run:  python examples/habitat_duty_cycle.py
+"""
+
+from repro.analysis.metrics import BorderlinePolicy, match_detections
+from repro.detect import VectorStrobeDetector
+from repro.scenarios.habitat import Habitat, HabitatConfig
+
+DURATION = 600.0
+
+
+def main() -> None:
+    hab = Habitat(
+        HabitatConfig(
+            seed=3,
+            n_prey=3,
+            n_predators=2,
+            region_radius=0.35,
+            mac_period=2.0,
+            mac_duty=0.25,
+            radio_delay=0.05,
+        )
+    )
+    # Relational form of the predator-near-prey alarm for the
+    # Instantaneously-modality detector.
+    from repro.predicates import RelationalPredicate
+    phi = RelationalPredicate(
+        {"prey": 0, "pred": 1},
+        lambda e: e["prey"] > 0 and e["pred"] > 0,
+        "prey present ∧ predator present",
+    )
+    det = VectorStrobeDetector(phi, hab.initials)
+    hab.attach_detector(det)
+    hab.run(DURATION)
+
+    truth = hab.oracle().true_intervals(
+        hab.system.world.ground_truth, t_end=DURATION
+    )
+    out = det.finalize()
+    report = match_detections(truth, out, policy=BorderlinePolicy.AS_POSITIVE)
+
+    print(f"radio delay bound        : {hab.config.radio_delay}s")
+    print(f"MAC sleep inflation      : +{hab.mac.extra_delay_bound():.2f}s")
+    print(f"effective Δ              : {hab.effective_delta():.2f}s")
+    print(f"true alarm occurrences   : {len(truth)}")
+    if truth:
+        mean_dur = sum(iv.duration for iv in truth) / len(truth)
+        print(f"mean alarm duration      : {mean_dur:.1f}s "
+              f"({mean_dur / hab.effective_delta():.1f}× Δ)")
+    print(f"detections (borderline)  : {len(out)} "
+          f"({sum(1 for d in out if not d.firm)})")
+    print(f"precision / recall       : {report.precision:.2f} / {report.recall:.2f}")
+    print()
+    print("Animal dwell times dwarf the (MAC-inflated) Δ, so the strobe")
+    print("clocks recover nearly every occurrence without any clock-sync")
+    print("service — the paper's 'in the wild' argument (§3.3).")
+
+
+if __name__ == "__main__":
+    main()

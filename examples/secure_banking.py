@@ -1,0 +1,79 @@
+"""The secure-banking temporal pattern (§3.1.1.a.ii and §6, citing [22]).
+
+"A biometric key is presented remotely after a password is entered
+across the network" — a *relative timing relation* between predicate
+truth intervals at two locations, with a freshness window.  The
+paper's §6 names this the natural fit for partial-order specification
+once world-plane communication becomes trackable; here we detect it on
+the single time axis recreated by strobe clocks and compare against
+the oracle.
+
+Run:  python examples/secure_banking.py
+"""
+
+from repro.core import ClockConfig, PervasiveSystem, SystemConfig
+from repro.detect import OracleDetector
+from repro.net.delay import DeltaBoundedDelay
+from repro.predicates import RelationalPredicate, TemporalPattern, find_matches
+
+WINDOW = 30.0
+DURATION = 400.0
+
+
+def pulses(system, obj, attr, times, width=2.0):
+    for t in times:
+        system.sim.schedule_at(
+            t, lambda: system.world.set_attribute(obj, attr, True)
+        )
+        system.sim.schedule_at(
+            t + width, lambda: system.world.set_attribute(obj, attr, False)
+        )
+
+
+def main() -> None:
+    system = PervasiveSystem(SystemConfig(
+        n_processes=2, seed=1, delay=DeltaBoundedDelay(0.2),
+        clocks=ClockConfig.strobes(),
+    ))
+    system.world.create("terminal", password_ok=False)
+    system.world.create("scanner", biometric_ok=False)
+    system.processes[0].track("pw", "terminal", "password_ok", initial=False)
+    system.processes[1].track("bio", "scanner", "biometric_ok", initial=False)
+
+    # Three login attempts: fresh, stale, and biometric-without-password.
+    pulses(system, "terminal", "password_ok", [50.0, 150.0])
+    pulses(system, "scanner", "biometric_ok", [60.0, 220.0, 300.0])
+
+    system.run(until=DURATION)
+
+    gt = system.world.ground_truth
+    pw_phi = RelationalPredicate({"pw": 0}, lambda e: bool(e["pw"]), "password entered")
+    bio_phi = RelationalPredicate({"bio": 1}, lambda e: bool(e["bio"]), "biometric presented")
+    pw_iv = OracleDetector(pw_phi, {"pw": ("terminal", "password_ok")},
+                           initials={"pw": False}).true_intervals(gt, t_end=DURATION)
+    bio_iv = OracleDetector(bio_phi, {"bio": ("scanner", "biometric_ok")},
+                            initials={"bio": False}).true_intervals(gt, t_end=DURATION)
+
+    fresh = TemporalPattern.before(
+        max_gap=WINDOW, label=f"biometric follows password within {WINDOW:.0f}s"
+    )
+    valid_logins = find_matches(fresh, pw_iv, bio_iv)
+
+    print(f"pattern          : {fresh}")
+    print(f"password entries : {[(iv.start) for iv in pw_iv]}")
+    print(f"biometric events : {[(iv.start) for iv in bio_iv]}")
+    print(f"valid logins     : {len(valid_logins)}")
+    for m in valid_logins:
+        print(f"  - password@{m.x.start:.0f}s + biometric@{m.y.start:.0f}s "
+              f"(gap {m.gap:.1f}s, relation {m.relation.value})")
+    unmatched_bio = [
+        iv.start for iv in bio_iv
+        if not any(m.y == iv for m in valid_logins)
+    ]
+    print(f"rejected biometrics (stale or unsolicited): {unmatched_bio}")
+    assert len(valid_logins) == 1
+    assert len(unmatched_bio) == 2
+
+
+if __name__ == "__main__":
+    main()

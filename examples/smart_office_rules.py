@@ -1,0 +1,72 @@
+"""The §3.3 smart-office rule base with *repeated* detection.
+
+Rule (i) of the paper: "reset thermostat to 28°C each time
+'motion detected' ∧ 'temp > 30°C'" — the point being *each time*:
+one-shot detectors hang after the first occurrence.
+
+Also runs the Definitely/Possibly interval detector of [17] over the
+same execution's strobe-vector partial order.
+
+Run:  python examples/smart_office_rules.py
+"""
+
+from repro.detect import ConjunctiveIntervalDetector
+from repro.net.delay import DeltaBoundedDelay
+from repro.predicates import Modality
+from repro.scenarios.smart_office import SmartOffice, SmartOfficeConfig
+
+DURATION = 600.0
+
+
+def main() -> None:
+    office = SmartOffice(
+        SmartOfficeConfig(
+            seed=11,
+            temp_threshold=28.0,
+            temp_base=27.5,
+            temp_sigma=1.5,
+            mean_occupied=40.0,
+            mean_vacant=15.0,
+            delay=DeltaBoundedDelay(0.2),
+        )
+    )
+
+    # Online rule base at the root: actuate the thermostat per occurrence.
+    actuations = office.install_thermostat_rule()
+
+    # Offline modal detectors over the same record stream.
+    definitely = ConjunctiveIntervalDetector(
+        office.predicate, office.initials,
+        modality=Modality.DEFINITELY, stamp="strobe_vector",
+    )
+    possibly = ConjunctiveIntervalDetector(
+        office.predicate, office.initials,
+        modality=Modality.POSSIBLY, stamp="strobe_vector",
+    )
+    office.attach_detector(definitely)
+    office.attach_detector(possibly)
+
+    office.run(DURATION)
+
+    truth = office.oracle().true_intervals(
+        office.system.world.ground_truth, t_end=DURATION
+    )
+    n_def = len(definitely.finalize())
+    n_pos = len(possibly.finalize())
+
+    print(f"predicate            : {office.predicate}")
+    print(f"true occurrences     : {len(truth)}")
+    print(f"thermostat actuations: {len(actuations)} at {['%.1f' % t for t in actuations]}")
+    print(f"Definitely matches   : {n_def}")
+    print(f"Possibly matches     : {n_pos}")
+    print()
+    print("Repeated semantics: the rule fired once per occurrence —")
+    print("the algorithms do not 'hang' after the first detection (§3.3).")
+    print("Possibly ≥ Definitely, as the modal hierarchy requires [10].")
+    assert n_pos >= n_def
+    if truth:
+        assert len(actuations) >= 1
+
+
+if __name__ == "__main__":
+    main()

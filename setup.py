@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build an editable
+wheel.  ``python setup.py develop`` installs the same egg-link without
+needing wheel.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Accuracy, cost, and race analysis — the experiment harness layer.
+
+Everything the benchmarks need to turn runs into the paper's numbers:
+
+* :mod:`repro.analysis.metrics` — match detector output against the
+  oracle's true intervals → confusion counts, precision/recall, and
+  borderline-bin accounting with the §5 treatment policies;
+* :mod:`repro.analysis.energy` — radio energy model converting the
+  transport's message/unit counters into Joules (E7);
+* :mod:`repro.analysis.races` — identify "races" (events at different
+  locations closer in true time than the clock/communication
+  uncertainty) and short predicate intervals (the 2ε criterion of E1);
+* :mod:`repro.analysis.sweep` — deterministic parameter sweeps with
+  replications and ASCII table rendering for the benchmark output.
+"""
+
+from repro.analysis.metrics import BorderlinePolicy, MatchReport, match_detections
+from repro.analysis.energy import RadioEnergyModel
+from repro.analysis.races import count_races, intervals_shorter_than
+from repro.analysis.sweep import Sweep, format_table
+from repro.analysis.export import export_run, load_run
+
+__all__ = [
+    "match_detections",
+    "MatchReport",
+    "BorderlinePolicy",
+    "RadioEnergyModel",
+    "count_races",
+    "intervals_shorter_than",
+    "Sweep",
+    "format_table",
+    "export_run",
+    "load_run",
+]

@@ -1,0 +1,70 @@
+"""Radio energy model.
+
+§3.3 item 1: clock synchronization "does not come for free to the
+application; the lower layers pay the cost" — E7 quantifies that cost
+in Joules using a standard first-order WSN radio model (defaults in
+the CC2420 ballpark): per-message overhead plus per-unit payload cost
+for both transmit and receive, plus optional idle listening power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.transport import NetworkStats
+
+
+@dataclass(frozen=True, slots=True)
+class RadioEnergyModel:
+    """Energy parameters (Joules).
+
+    Attributes
+    ----------
+    e_tx_msg / e_rx_msg:
+        Fixed per-message cost (preamble, header, turnaround).
+    e_tx_unit / e_rx_unit:
+        Cost per abstract payload unit carried.
+    p_listen:
+        Idle listening power (Watts) applied to the radio-on time.
+    """
+
+    e_tx_msg: float = 50e-6
+    e_rx_msg: float = 55e-6
+    e_tx_unit: float = 4e-6
+    e_rx_unit: float = 4.5e-6
+    p_listen: float = 60e-3
+
+    def message_energy(
+        self,
+        sent: int,
+        delivered: int,
+        sent_units: int,
+        delivered_units: int,
+    ) -> float:
+        """Energy of the given traffic (no listening term)."""
+        return (
+            sent * self.e_tx_msg
+            + sent_units * self.e_tx_unit
+            + delivered * self.e_rx_msg
+            + delivered_units * self.e_rx_unit
+        )
+
+    def listening_energy(self, radio_on_seconds: float) -> float:
+        return self.p_listen * radio_on_seconds
+
+    def network_energy(
+        self, stats: NetworkStats, *, radio_on_seconds: float = 0.0
+    ) -> float:
+        """Total energy for a transport's recorded traffic.
+
+        Unit counts are attributed proportionally when some messages
+        were dropped (dropped messages cost TX but not RX).
+        """
+        delivered_frac = stats.delivered / stats.sent if stats.sent else 0.0
+        delivered_units = stats.total_units * delivered_frac
+        return self.message_energy(
+            stats.sent, stats.delivered, stats.total_units, int(delivered_units)
+        ) + self.listening_energy(radio_on_seconds)
+
+
+__all__ = ["RadioEnergyModel"]

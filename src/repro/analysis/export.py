@@ -1,0 +1,128 @@
+"""Run-artifact export/import (JSON).
+
+Persists what a run produced — the sensed-event record stream, the
+oracle's true intervals, and detection outcomes — so experiments can
+be analysed outside the simulator (or re-scored later without
+re-running).  The format is plain JSON: stamps serialize to lists,
+enums to their values.
+
+Round-trip fidelity is exact for records and intervals; detections
+round-trip as summaries (detector, trigger key, label, env) — the full
+Detection object graph is not needed post-hoc.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.clocks.scalar import ScalarTimestamp
+from repro.clocks.vector import VectorTimestamp
+from repro.core.records import SensedEventRecord
+from repro.detect.base import Detection
+from repro.world.ground_truth import TrueInterval
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Records
+# ---------------------------------------------------------------------------
+
+def record_to_dict(r: SensedEventRecord) -> dict:
+    return {
+        "pid": r.pid,
+        "seq": r.seq,
+        "var": r.var,
+        "value": r.value,
+        "lamport": [r.lamport.value, r.lamport.pid] if r.lamport else None,
+        "vector": list(r.vector.as_tuple()) if r.vector else None,
+        "strobe_scalar": (
+            [r.strobe_scalar.value, r.strobe_scalar.pid] if r.strobe_scalar else None
+        ),
+        "strobe_vector": (
+            list(r.strobe_vector.as_tuple()) if r.strobe_vector else None
+        ),
+        "physical": r.physical,
+        "true_time": r.true_time,
+    }
+
+
+def record_from_dict(d: Mapping[str, Any]) -> SensedEventRecord:
+    return SensedEventRecord(
+        pid=int(d["pid"]),
+        seq=int(d["seq"]),
+        var=d["var"],
+        value=d["value"],
+        lamport=ScalarTimestamp(*d["lamport"]) if d.get("lamport") else None,
+        vector=VectorTimestamp(d["vector"]) if d.get("vector") else None,
+        strobe_scalar=(
+            ScalarTimestamp(*d["strobe_scalar"]) if d.get("strobe_scalar") else None
+        ),
+        strobe_vector=(
+            VectorTimestamp(d["strobe_vector"]) if d.get("strobe_vector") else None
+        ),
+        physical=d.get("physical"),
+        true_time=float(d.get("true_time", 0.0)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Runs
+# ---------------------------------------------------------------------------
+
+def export_run(
+    path: str | Path,
+    *,
+    records: Sequence[SensedEventRecord] = (),
+    truth: Sequence[TrueInterval] = (),
+    detections: Sequence[Detection] = (),
+    meta: Mapping[str, Any] | None = None,
+) -> Path:
+    """Write a run bundle; returns the path."""
+    bundle = {
+        "format_version": FORMAT_VERSION,
+        "meta": dict(meta or {}),
+        "records": [record_to_dict(r) for r in records],
+        "truth": [[iv.start, iv.end] for iv in truth],
+        "detections": [
+            {
+                "detector": d.detector,
+                "trigger": list(d.trigger.key()),
+                "trigger_true_time": d.trigger.true_time,
+                "label": d.label.value,
+                "env": dict(d.env),
+            }
+            for d in detections
+        ],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(bundle, indent=1, default=_fallback))
+    return path
+
+
+def _fallback(obj: Any) -> Any:
+    # Last-resort serialization for odd payload values.
+    return repr(obj)
+
+
+def load_run(path: str | Path) -> dict:
+    """Load a bundle: records/truth reconstructed as objects,
+    detections as summary dicts."""
+    data = json.loads(Path(path).read_text())
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported run bundle version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return {
+        "meta": data.get("meta", {}),
+        "records": [record_from_dict(d) for d in data.get("records", [])],
+        "truth": [TrueInterval(a, b) for a, b in data.get("truth", [])],
+        "detections": data.get("detections", []),
+    }
+
+
+__all__ = ["export_run", "load_run", "record_to_dict", "record_from_dict"]

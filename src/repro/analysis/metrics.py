@@ -1,0 +1,119 @@
+"""Detection-accuracy scoring against the oracle.
+
+A detector reports occurrences (rising edges); the oracle knows the
+maximal true intervals of φ.  Matching rule: a detection matches a
+true interval iff its trigger's true occurrence time lies within
+``[start − tol, end + tol)``.  Then
+
+* TP = true intervals matched by ≥ 1 detection,
+* FN = true intervals matched by none,
+* FP = detections matching no interval.
+
+Borderline policy (§5: the application can treat borderline entries
+"as positives or negatives; to err on the safe side … as positives"):
+
+* ``AS_POSITIVE``  — borderline detections count like firm ones;
+* ``AS_NEGATIVE``  — borderline detections are discarded up front;
+* ``SEPARATE``     — scored like AS_POSITIVE, but the report also
+  counts how many FPs and how many interval-matches were borderline,
+  so benches can show what the bin absorbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from repro.detect.base import Detection
+from repro.world.ground_truth import TrueInterval
+
+
+class BorderlinePolicy(Enum):
+    AS_POSITIVE = "as_positive"
+    AS_NEGATIVE = "as_negative"
+    SEPARATE = "separate"
+
+
+@dataclass(frozen=True, slots=True)
+class MatchReport:
+    """Confusion counts for one detector on one run."""
+
+    tp: int
+    fp: int
+    fn: int
+    n_true: int
+    n_detections: int
+    borderline_total: int
+    borderline_fp: int          # false positives carrying the borderline label
+    borderline_tp_matches: int  # matched detections carrying the label
+
+    @property
+    def precision(self) -> float:
+        det_pos = self.tp + self.fp
+        return self.tp / det_pos if det_pos else 1.0
+
+    @property
+    def recall(self) -> float:
+        return self.tp / self.n_true if self.n_true else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def fp_absorbed_by_bin(self) -> float:
+        """Fraction of false positives the borderline bin flagged —
+        the §5 claim is that this is high."""
+        return self.borderline_fp / self.fp if self.fp else 1.0
+
+
+def match_detections(
+    true_intervals: Sequence[TrueInterval],
+    detections: Sequence[Detection],
+    *,
+    tol: float = 0.0,
+    policy: BorderlinePolicy = BorderlinePolicy.SEPARATE,
+) -> MatchReport:
+    """Score detections against oracle intervals (see module doc)."""
+    if policy is BorderlinePolicy.AS_NEGATIVE:
+        scored = [d for d in detections if d.firm]
+    else:
+        scored = list(detections)
+
+    matched_intervals: set[int] = set()
+    fp = 0
+    borderline_fp = 0
+    borderline_tp_matches = 0
+    for det in scored:
+        t = det.trigger.true_time
+        hit = None
+        for idx, iv in enumerate(true_intervals):
+            if iv.start - tol <= t < iv.end + tol:
+                hit = idx
+                break
+        if hit is None:
+            fp += 1
+            if not det.firm:
+                borderline_fp += 1
+        else:
+            matched_intervals.add(hit)
+            if not det.firm:
+                borderline_tp_matches += 1
+
+    tp = len(matched_intervals)
+    fn = len(true_intervals) - tp
+    return MatchReport(
+        tp=tp,
+        fp=fp,
+        fn=fn,
+        n_true=len(true_intervals),
+        n_detections=len(scored),
+        borderline_total=sum(1 for d in detections if not d.firm),
+        borderline_fp=borderline_fp,
+        borderline_tp_matches=borderline_tp_matches,
+    )
+
+
+__all__ = ["match_detections", "MatchReport", "BorderlinePolicy"]

@@ -1,0 +1,65 @@
+"""Race identification — the §3.3 accuracy limiter.
+
+"A 'race' occurs when two or more events occur at different locations
+and it is not possible for a global observer to determine the physical
+time ordering of the events."  For ε-synchronized physical clocks the
+ambiguity window is 2ε [28]; for strobe clocks it is the delay bound Δ
+(a strobe in flight cannot order the events it races).
+
+These helpers are oracle-side: they read true occurrence times.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.records import SensedEventRecord
+from repro.world.ground_truth import TrueInterval
+
+
+def count_races(
+    records: Sequence[SensedEventRecord], window: float
+) -> int:
+    """Number of cross-process record pairs closer in true time than
+    ``window`` — the raced pairs a clock with that uncertainty cannot
+    order."""
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    recs = sorted(records, key=lambda r: r.true_time)
+    races = 0
+    for i, a in enumerate(recs):
+        for b in recs[i + 1:]:
+            if b.true_time - a.true_time >= window:
+                break
+            if b.pid != a.pid:
+                races += 1
+    return races
+
+
+def race_fraction(
+    records: Sequence[SensedEventRecord], window: float
+) -> float:
+    """Fraction of records participating in at least one race."""
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    recs = sorted(records, key=lambda r: r.true_time)
+    in_race = set()
+    for i, a in enumerate(recs):
+        for b in recs[i + 1:]:
+            if b.true_time - a.true_time >= window:
+                break
+            if b.pid != a.pid:
+                in_race.add(a.key())
+                in_race.add(b.key())
+    return len(in_race) / len(recs) if recs else 0.0
+
+
+def intervals_shorter_than(
+    intervals: Sequence[TrueInterval], bound: float
+) -> list[TrueInterval]:
+    """True intervals shorter than ``bound`` — with ε-clocks, those
+    under 2ε are the false-negative candidates [28] (E1)."""
+    return [iv for iv in intervals if iv.duration < bound]
+
+
+__all__ = ["count_races", "race_fraction", "intervals_shorter_than"]

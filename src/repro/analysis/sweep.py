@@ -1,0 +1,128 @@
+"""Deterministic parameter sweeps and ASCII table output.
+
+Every benchmark prints its table through :func:`format_table`, so all
+experiment output shares one format:
+
+    parameter | rep-averaged metric columns ...
+
+:class:`Sweep` runs ``fn(point, seed)`` over a parameter list ×
+replication count, deriving per-replication seeds from a master seed
+(so adding a sweep point never changes other points' draws), and
+aggregates numeric fields by mean (and optionally std).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.sim.rng import substream_seed
+
+RunFn = Callable[[Any, int], Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A 1-D parameter sweep with replications.
+
+    Parameters
+    ----------
+    fn:
+        ``fn(point, seed) -> {metric: value}``.
+    points:
+        Sweep points (any hashable/printable values).
+    reps:
+        Replications per point.
+    seed:
+        Master seed.
+    """
+
+    fn: RunFn
+    points: Sequence[Any]
+    reps: int = 5
+    seed: int = 0
+
+    def run(
+        self, *, with_std: bool = False, with_ci: bool = False,
+        confidence: float = 0.95,
+    ) -> list[dict[str, Any]]:
+        """Returns one row dict per point: {'point': p, metric: mean, ...}.
+
+        ``with_ci`` adds ``{metric}_ci`` — the half-width of the
+        Student-t confidence interval on the mean at the given level
+        (0.0 when reps < 2 or the samples are constant).
+        """
+        rows = []
+        for point in self.points:
+            samples: dict[str, list[float]] = {}
+            for rep in range(self.reps):
+                rep_seed = substream_seed(self.seed, "sweep", repr(point), rep)
+                result = self.fn(point, rep_seed)
+                for k, v in result.items():
+                    samples.setdefault(k, []).append(float(v))
+            row: dict[str, Any] = {"point": point}
+            for k, vals in samples.items():
+                row[k] = float(np.mean(vals))
+                if with_std:
+                    row[f"{k}_std"] = float(np.std(vals))
+                if with_ci:
+                    row[f"{k}_ci"] = _ci_halfwidth(vals, confidence)
+            rows.append(row)
+        return rows
+
+
+def _ci_halfwidth(vals: Sequence[float], confidence: float) -> float:
+    """Half-width of the Student-t CI on the mean (0.0 for < 2 samples
+    or zero variance)."""
+    n = len(vals)
+    if n < 2:
+        return 0.0
+    sem = float(np.std(vals, ddof=1)) / np.sqrt(n)
+    if sem == 0.0:
+        return 0.0
+    from scipy import stats
+
+    t = float(stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    return t * sem
+
+
+def _fmt(value: Any, ndigits: int) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 10 ** -ndigits or abs(value) >= 10**7):
+            return f"{value:.{ndigits}e}"
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    headers: Mapping[str, str] | None = None,
+    ndigits: int = 3,
+    title: str = "",
+) -> str:
+    """Render rows as an aligned ASCII table (the benches' output)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    headers = dict(headers or {})
+    head = [headers.get(c, c) for c in cols]
+    body = [[_fmt(r.get(c, ""), ndigits) for c in cols] for r in rows]
+    widths = [
+        max(len(head[i]), *(len(b[i]) for b in body)) for i in range(len(cols))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(head, widths)))
+    lines.append(sep)
+    for b in body:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(b, widths)))
+    return "\n".join(lines)
+
+
+__all__ = ["Sweep", "format_table", "RunFn"]

@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <scenario> [options]``.
+
+Runs a scenario with a chosen detector and prints the oracle-scored
+comparison table — the quickest way to poke at the system without
+writing a script.
+
+Subcommands::
+
+    hall      the §5 exhibition hall
+    office    the §3.3 smart office (conjunctive context + rule base)
+    hospital  ward monitoring over zone-hopping visitors
+    habitat   duty-cycled wildlife monitoring
+    clocks    stamp one execution under all four clock families
+
+Example::
+
+    python -m repro hall --doors 4 --delta 0.3 --duration 120 --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.metrics import BorderlinePolicy, match_detections
+from repro.analysis.sweep import format_table
+from repro.core.process import ClockConfig
+from repro.detect import (
+    PhysicalClockDetector,
+    ScalarStrobeDetector,
+    VectorStrobeDetector,
+)
+from repro.net.delay import DeltaBoundedDelay, SynchronousDelay
+
+DETECTORS = {
+    "vector": VectorStrobeDetector,
+    "scalar": ScalarStrobeDetector,
+    "physical": PhysicalClockDetector,
+}
+
+
+def _delay(delta: float):
+    return SynchronousDelay(0.0) if delta == 0.0 else DeltaBoundedDelay(delta)
+
+
+def _score_row(name, truth, detections):
+    r = match_detections(truth, detections, policy=BorderlinePolicy.AS_POSITIVE)
+    return {
+        "detector": name,
+        "detections": len(detections),
+        "borderline": sum(1 for d in detections if not d.firm),
+        "tp": r.tp, "fp": r.fp, "fn": r.fn,
+        "precision": r.precision, "recall": r.recall,
+    }
+
+
+# ---------------------------------------------------------------------------
+def cmd_hall(args) -> int:
+    from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+
+    cfg = ExhibitionHallConfig(
+        doors=args.doors, capacity=args.capacity,
+        arrival_rate=args.rate, mean_dwell=args.dwell,
+        seed=args.seed, delay=_delay(args.delta),
+        clocks=ClockConfig.everything(),
+    )
+    hall = ExhibitionHall(cfg)
+    dets = {name: DETECTORS[name](hall.predicate, hall.initials)
+            for name in args.detectors}
+    for d in dets.values():
+        hall.attach_detector(d)
+    hall.run(args.duration)
+    truth = hall.oracle().true_intervals(
+        hall.system.world.ground_truth, t_end=args.duration
+    )
+    print(f"φ = {hall.predicate}; true occurrences: {len(truth)}")
+    rows = [_score_row(name, truth, det.finalize()) for name, det in dets.items()]
+    print(format_table(rows))
+    if args.export:
+        from repro.analysis.export import export_run
+        first = next(iter(dets.values()))
+        all_detections = [d for det in dets.values() for d in det.detections]
+        path = export_run(
+            args.export,
+            records=first.store.all(),
+            truth=truth,
+            detections=all_detections,
+            meta={
+                "scenario": "hall", "seed": args.seed, "delta": args.delta,
+                "doors": args.doors, "capacity": args.capacity,
+                "duration": args.duration,
+            },
+        )
+        print(f"run bundle written to {path}")
+    return 0
+
+
+def cmd_office(args) -> int:
+    from repro.scenarios.smart_office import SmartOffice, SmartOfficeConfig
+
+    office = SmartOffice(SmartOfficeConfig(
+        seed=args.seed, delay=_delay(args.delta),
+        temp_threshold=28.0, temp_base=27.5, temp_sigma=1.5,
+        mean_occupied=40.0, mean_vacant=15.0,
+    ))
+    actuations = office.install_thermostat_rule()
+    office.run(args.duration)
+    truth = office.oracle().true_intervals(
+        office.system.world.ground_truth, t_end=args.duration
+    )
+    print(f"φ = {office.predicate}")
+    print(f"true occurrences     : {len(truth)}")
+    print(f"thermostat actuations: {len(actuations)}")
+    return 0
+
+
+def cmd_hospital(args) -> int:
+    from repro.scenarios.hospital import Hospital, HospitalConfig
+
+    h = Hospital(HospitalConfig(
+        seed=args.seed, delay=_delay(args.delta),
+        n_visitors=args.visitors, waiting_capacity=args.capacity,
+    ))
+    phi = h.waiting_room_predicate()
+    det = VectorStrobeDetector(phi, h.initials_for(phi))
+    h.attach_detector(det)
+    h.run(args.duration)
+    truth = h.oracle_waiting().true_intervals(
+        h.system.world.ground_truth, t_end=args.duration
+    )
+    print(f"φ = {phi}; true occurrences: {len(truth)}")
+    print(format_table([_score_row("vector", truth, det.finalize())]))
+    return 0
+
+
+def cmd_habitat(args) -> int:
+    from repro.scenarios.habitat import Habitat, HabitatConfig
+
+    hab = Habitat(HabitatConfig(
+        seed=args.seed, mac_period=args.mac_period, mac_duty=args.mac_duty,
+    ))
+    from repro.predicates import RelationalPredicate
+    phi = RelationalPredicate(
+        {"prey": 0, "pred": 1},
+        lambda e: e["prey"] > 0 and e["pred"] > 0,
+        "prey ∧ predator",
+    )
+    det = VectorStrobeDetector(phi, hab.initials)
+    hab.attach_detector(det)
+    hab.run(args.duration)
+    truth = hab.oracle().true_intervals(
+        hab.system.world.ground_truth, t_end=args.duration
+    )
+    print(f"effective Δ = {hab.effective_delta():.2f}s")
+    print(f"φ = {phi}; true occurrences: {len(truth)}")
+    print(format_table([_score_row("vector", truth, det.finalize())]))
+    return 0
+
+
+def cmd_clocks(args) -> int:
+    from repro.core.system import PervasiveSystem, SystemConfig
+    from repro.detect.base import RecordStore
+
+    system = PervasiveSystem(SystemConfig(
+        n_processes=args.n, seed=args.seed, delay=_delay(args.delta),
+        clocks=ClockConfig.everything(),
+    ))
+    store = RecordStore()
+    for i in range(args.n):
+        system.world.create(f"obj{i}", level=0)
+        system.processes[i].track(f"v{i}", f"obj{i}", "level", initial=0)
+        system.processes[i].add_record_listener(store.add)
+    t = 1.0
+    for k in range(args.events):
+        for i in range(args.n):
+            system.sim.schedule_at(
+                t, lambda i=i, k=k: system.world.set_attribute(f"obj{i}", "level", k + 1)
+            )
+            t += 1.0
+    system.run(until=t + 1.0)
+    rows = [
+        {
+            "event": f"p{r.pid}#{r.seq}",
+            "lamport": str(r.lamport),
+            "mattern": str(r.vector.as_tuple()),
+            "strobe_scalar": str(r.strobe_scalar),
+            "strobe_vector": str(r.strobe_vector.as_tuple()),
+        }
+        for r in store.all()
+    ]
+    print(format_table(rows))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pervasive sensornet time-model reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--delta", type=float, default=0.2,
+                       help="message delay bound Δ in seconds (0 = synchronous)")
+        p.add_argument("--duration", type=float, default=120.0)
+
+    p = sub.add_parser("hall", help="§5 exhibition hall")
+    common(p)
+    p.add_argument("--doors", type=int, default=4)
+    p.add_argument("--capacity", type=int, default=10)
+    p.add_argument("--rate", type=float, default=2.5, help="arrivals/s")
+    p.add_argument("--dwell", type=float, default=4.0, help="mean dwell s")
+    p.add_argument("--detectors", nargs="+", default=["vector", "scalar", "physical"],
+                   choices=sorted(DETECTORS))
+    p.add_argument("--export", metavar="PATH", default=None,
+                   help="write a JSON run bundle (records/truth/detections)")
+    p.set_defaults(fn=cmd_hall)
+
+    p = sub.add_parser("office", help="§3.3 smart office")
+    common(p)
+    p.set_defaults(fn=cmd_office)
+
+    p = sub.add_parser("hospital", help="hospital ward monitoring")
+    common(p)
+    p.add_argument("--visitors", type=int, default=12)
+    p.add_argument("--capacity", type=int, default=4)
+    p.set_defaults(fn=cmd_hospital)
+
+    p = sub.add_parser("habitat", help="duty-cycled wildlife monitoring")
+    common(p)
+    p.add_argument("--mac-period", type=float, default=2.0)
+    p.add_argument("--mac-duty", type=float, default=0.25)
+    p.set_defaults(fn=cmd_habitat)
+
+    p = sub.add_parser("clocks", help="stamp one execution under all clocks")
+    common(p)
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--events", type=int, default=3)
+    p.set_defaults(fn=cmd_clocks)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Abstract clock interfaces.
+
+Two protocol families exist in the paper:
+
+* **Causality-based clocks** (:class:`Clock`): tick on local events,
+  piggyback a timestamp on every *computation* message, merge-and-tick
+  on receive (Lamport SC1–SC3, Mattern/Fidge VC1–VC3).
+
+* **Strobe clocks** (:class:`StrobeClock`): tick on locally *sensed*
+  relevant events and then broadcast the whole clock as a *control*
+  message; on receiving a strobe they merge **without ticking**
+  (SSC1–SSC2, SVC1–SVC2).  §4.2.3 items 1–4 spell out exactly these
+  behavioural differences, and the test suite asserts each one.
+
+Clock objects are deliberately network-free: methods that would
+transmit return the payload instead.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class ClockError(ValueError):
+    """Raised on protocol misuse (wrong vector width, bad process id...)."""
+
+
+class Clock(ABC, Generic[T]):
+    """Causality-based logical clock interface (Lamport / Mattern-Fidge).
+
+    The three rules map onto methods as:
+
+    * SC1/VC1 (local relevant event)  → :meth:`on_local_event`
+    * SC2/VC2 (send)                  → :meth:`on_send`
+    * SC3/VC3 (receive)               → :meth:`on_receive`
+    """
+
+    @abstractmethod
+    def on_local_event(self) -> T:
+        """Tick for a local relevant (internal/sense/actuate) event and
+        return the new timestamp."""
+
+    @abstractmethod
+    def on_send(self) -> T:
+        """Tick for a send event; the returned timestamp must be
+        piggybacked on the outgoing computation message."""
+
+    @abstractmethod
+    def on_receive(self, remote: T) -> T:
+        """Merge a piggybacked timestamp and tick (receive rule);
+        return the new local timestamp."""
+
+    @abstractmethod
+    def read(self) -> T:
+        """Current timestamp without ticking (a pure read)."""
+
+
+class StrobeClock(ABC, Generic[T]):
+    """Strobe clock interface (paper §4.2.1–§4.2.2).
+
+    * SSC1/SVC1 → :meth:`on_relevant_event` — tick the local component
+      and return the strobe payload that the caller must broadcast
+      system-wide as a control message.
+    * SSC2/SVC2 → :meth:`on_strobe` — merge a received strobe
+      **without ticking** (§4.2.3 item 2).
+    """
+
+    @abstractmethod
+    def on_relevant_event(self) -> T:
+        """Tick for a locally sensed relevant event; returns the strobe
+        payload to broadcast."""
+
+    @abstractmethod
+    def on_strobe(self, strobe: T) -> T:
+        """Merge a received strobe (no local tick); returns the new
+        local timestamp."""
+
+    @abstractmethod
+    def read(self) -> T:
+        """Current timestamp without ticking."""
+
+    @abstractmethod
+    def strobe_size(self) -> int:
+        """Size of one strobe payload in abstract units (ints carried).
+
+        §4.2.2: scalar strobes are O(1), vector strobes are O(n); the
+        E12 bench reports exactly this quantity.
+        """
+
+
+def validate_pid(pid: int, n: int) -> int:
+    """Validate a process id against the process count."""
+    if not 0 <= pid < n:
+        raise ClockError(f"process id {pid} out of range for n={n}")
+    return pid
+
+
+__all__ = ["Clock", "StrobeClock", "ClockError", "validate_pid"]

@@ -1,0 +1,97 @@
+"""Hybrid logical clock (extension beyond the paper).
+
+The paper's §6 calls for studying implementations of the single time
+axis; HLCs (Kulkarni et al., 2014 — after the paper) are the modern
+answer: a logical clock bounded to stay within the physical clock
+uncertainty while preserving the happens-before conditions of Lamport
+clocks.  We include it as the "future work" representative so the E7
+cost bench can show the spectrum physical → hybrid → strobe → logical.
+
+Timestamp is ``(l, c, pid)``: ``l`` is the max physical time witnessed
+(here: the local :class:`~repro.clocks.physical.PhysicalClock`
+reading), ``c`` a bounded logical counter for ties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.clocks.base import ClockError
+from repro.clocks.physical import PhysicalClock
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class HlcTimestamp:
+    """Hybrid timestamp ordered lexicographically by ``(l, c, pid)``."""
+
+    l: float
+    c: int
+    pid: int
+
+    def __lt__(self, other: "HlcTimestamp") -> bool:
+        if not isinstance(other, HlcTimestamp):
+            return NotImplemented
+        return (self.l, self.c, self.pid) < (other.l, other.c, other.pid)
+
+    def __str__(self) -> str:
+        return f"({self.l:.6f},{self.c})@p{self.pid}"
+
+
+class HybridLogicalClock:
+    """HLC driven by a (possibly drifting) local physical clock.
+
+    The standard send/receive rules; ``now`` callbacks are true-time
+    reads mediated through the physical clock, preserving the paper's
+    constraint that processes only see local wall time.
+    """
+
+    def __init__(self, pid: int, physical: PhysicalClock) -> None:
+        if pid < 0:
+            raise ClockError(f"pid must be non-negative, got {pid}")
+        self._pid = int(pid)
+        self._phys = physical
+        self._l = float("-inf")
+        self._c = 0
+
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    def _local(self, true_time: float) -> float:
+        return self._phys.read(true_time)
+
+    def on_local_or_send(self, true_time: float) -> HlcTimestamp:
+        """Rule for local and send events."""
+        pt = self._local(true_time)
+        if pt > self._l:
+            self._l, self._c = pt, 0
+        else:
+            self._c += 1
+        return self.read()
+
+    def on_receive(self, true_time: float, remote: HlcTimestamp) -> HlcTimestamp:
+        """Rule for receive events; merges the remote timestamp."""
+        pt = self._local(true_time)
+        l_old = self._l
+        self._l = max(l_old, remote.l, pt)
+        if self._l == l_old and self._l == remote.l:
+            self._c = max(self._c, remote.c) + 1
+        elif self._l == l_old:
+            self._c += 1
+        elif self._l == remote.l:
+            self._c = remote.c + 1
+        else:
+            self._c = 0
+        return self.read()
+
+    def read(self) -> HlcTimestamp:
+        return HlcTimestamp(self._l, self._c, self._pid)
+
+    def logical_drift(self, true_time: float) -> float:
+        """|l - local physical time| — the HLC boundedness quantity."""
+        return abs(self._l - self._local(true_time))
+
+
+__all__ = ["HybridLogicalClock", "HlcTimestamp"]

@@ -1,0 +1,80 @@
+"""Matrix clock (extension beyond the paper).
+
+Appendix A lists garbage collection and causal memory among vector
+clock applications; matrix clocks are their classical generalization —
+process i additionally tracks what it knows about what *j* knows
+(row j of the matrix).  ``min_row()`` gives the garbage-collection
+horizon: events everyone is known to have seen.
+
+Included as an extension substrate; not required by any experiment,
+but exercised by tests and available to downstream users.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clocks.base import ClockError, validate_pid
+from repro.clocks.vector import VectorTimestamp
+
+
+class MatrixClock:
+    """n×n matrix clock for process ``pid``.
+
+    Row ``i`` (own row) is this process's vector clock; row ``j`` is
+    the latest vector clock known to have been held by process j.
+    """
+
+    def __init__(self, pid: int, n: int) -> None:
+        validate_pid(pid, n)
+        self._pid = int(pid)
+        self._n = int(n)
+        self._m = np.zeros((n, n), dtype=np.int64)
+
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def on_local_event(self) -> np.ndarray:
+        self._m[self._pid, self._pid] += 1
+        return self._m.copy()
+
+    def on_send(self) -> np.ndarray:
+        """Tick and return the matrix to piggyback."""
+        self._m[self._pid, self._pid] += 1
+        return self._m.copy()
+
+    def on_receive(self, sender: int, remote: np.ndarray) -> np.ndarray:
+        """Merge a received matrix from ``sender`` and tick."""
+        remote = np.asarray(remote, dtype=np.int64)
+        if remote.shape != (self._n, self._n):
+            raise ClockError(f"matrix shape mismatch: {remote.shape}")
+        if not 0 <= sender < self._n:
+            raise ClockError(f"sender {sender} out of range")
+        # Own row: vector-clock merge with the sender's row.
+        np.maximum(
+            self._m[self._pid], remote[sender], out=self._m[self._pid]
+        )
+        # All rows: pointwise max of knowledge.
+        np.maximum(self._m, remote, out=self._m)
+        self._m[self._pid, self._pid] += 1
+        return self._m.copy()
+
+    def vector(self) -> VectorTimestamp:
+        """This process's own vector clock (row pid)."""
+        return VectorTimestamp(self._m[self._pid])
+
+    def min_row(self) -> VectorTimestamp:
+        """Component-wise min over rows: the events known to be known
+        by everyone (safe-to-discard horizon)."""
+        return VectorTimestamp(self._m.min(axis=0))
+
+    def read(self) -> np.ndarray:
+        return self._m.copy()
+
+
+__all__ = ["MatrixClock"]

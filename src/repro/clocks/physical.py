@@ -1,0 +1,181 @@
+"""Physical clock models: offset, skew/drift, granularity.
+
+A :class:`PhysicalClock` maps *true* time (the simulator's axis, which
+real processes cannot see) to the process's *local* wall-clock
+reading:
+
+    ``local(t) = offset + (1 + drift_ppm * 1e-6) * (t - t0) + noise``
+
+The drift rate is per-clock constant (a first-order crystal model,
+the standard assumption in the WSN sync literature the paper cites
+[35]); sync protocols in :mod:`repro.clocks.sync` periodically cancel
+the accumulated offset down to a residual ε.
+
+:class:`PhysicalVectorClock` is §3.2.1.b.ii: a vector whose components
+are the *local unsynchronized wall clocks* of each process as last
+heard — "an overkill to track causality, but useful when relating the
+locally observed wall times at different locations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clocks.base import ClockError, validate_pid
+
+
+@dataclass(frozen=True, slots=True)
+class DriftModel:
+    """Constant-rate drift + initial offset + read-noise model.
+
+    Parameters
+    ----------
+    offset:
+        Initial offset from true time, seconds.
+    drift_ppm:
+        Constant frequency error in parts-per-million.  Typical quartz
+        crystals: 10–100 ppm.
+    noise_std:
+        Std-dev of zero-mean Gaussian read noise, seconds (models
+        granularity/interrupt latency).  Requires an rng at read time
+        when nonzero.
+    """
+
+    offset: float = 0.0
+    drift_ppm: float = 0.0
+    noise_std: float = 0.0
+
+    @staticmethod
+    def ideal() -> "DriftModel":
+        """A perfect clock (the pervasive-computing literature's
+        assumption the paper calls impractical, §3.2.1.a.i)."""
+        return DriftModel(0.0, 0.0, 0.0)
+
+    @staticmethod
+    def sample(
+        rng: np.random.Generator,
+        max_offset: float = 0.05,
+        max_drift_ppm: float = 50.0,
+        noise_std: float = 0.0,
+    ) -> "DriftModel":
+        """Draw a random clock: offset ~ U(-max_offset, max_offset),
+        drift ~ U(-max_drift_ppm, max_drift_ppm)."""
+        return DriftModel(
+            offset=float(rng.uniform(-max_offset, max_offset)),
+            drift_ppm=float(rng.uniform(-max_drift_ppm, max_drift_ppm)),
+            noise_std=float(noise_std),
+        )
+
+
+class PhysicalClock:
+    """A process's local hardware clock.
+
+    The class is read-oriented: :meth:`read` converts true simulation
+    time to the local reading.  Synchronization is modelled by
+    :meth:`adjust`, which applies an additive correction (as real sync
+    protocols do) — it does *not* reset drift, so error re-accumulates,
+    matching §3.3 item 2.
+    """
+
+    def __init__(
+        self,
+        model: DriftModel | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+        epoch: float = 0.0,
+    ) -> None:
+        self._model = model or DriftModel.ideal()
+        if self._model.noise_std > 0 and rng is None:
+            raise ClockError("read noise requires an rng")
+        self._rng = rng
+        self._epoch = float(epoch)
+        self._correction = 0.0
+        self._adjustments = 0
+
+    @property
+    def model(self) -> DriftModel:
+        return self._model
+
+    @property
+    def adjustments(self) -> int:
+        """Number of sync corrections applied so far."""
+        return self._adjustments
+
+    def rate(self) -> float:
+        """Instantaneous clock rate d(local)/d(true)."""
+        return 1.0 + self._model.drift_ppm * 1e-6
+
+    def read(self, true_time: float) -> float:
+        """Local wall-clock reading at true time ``true_time``."""
+        base = (
+            self._model.offset
+            + self._correction
+            + self.rate() * (float(true_time) - self._epoch)
+            + self._epoch
+        )
+        if self._model.noise_std > 0:
+            assert self._rng is not None
+            base += float(self._rng.normal(0.0, self._model.noise_std))
+        return base
+
+    def error(self, true_time: float) -> float:
+        """Signed offset from true time (noise-free), for the oracle."""
+        return (
+            self._model.offset
+            + self._correction
+            + (self.rate() - 1.0) * (float(true_time) - self._epoch)
+        )
+
+    def adjust(self, delta: float) -> None:
+        """Apply an additive correction (a sync step)."""
+        self._correction += float(delta)
+        self._adjustments += 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"PhysicalClock(offset={self._model.offset:+.6f}, "
+            f"drift={self._model.drift_ppm:+.1f}ppm, corr={self._correction:+.6f})"
+        )
+
+
+class PhysicalVectorClock:
+    """Vector of last-heard local wall-clock readings (§3.2.1.b.ii).
+
+    Component ``k`` holds the most recent local time of process k known
+    here (its own component is refreshed on every operation).  Unlike a
+    logical vector clock there is no tick; monotonicity comes from the
+    monotonicity of the underlying physical clocks.
+    """
+
+    def __init__(self, pid: int, n: int, clock: PhysicalClock) -> None:
+        validate_pid(pid, n)
+        self._pid = int(pid)
+        self._n = int(n)
+        self._clock = clock
+        self._v = np.full(n, -np.inf, dtype=np.float64)
+
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    def on_local_event(self, true_time: float) -> np.ndarray:
+        """Refresh own component; returns a copy for piggybacking."""
+        self._v[self._pid] = self._clock.read(true_time)
+        return self._v.copy()
+
+    def on_receive(self, true_time: float, remote: np.ndarray) -> np.ndarray:
+        """Merge a received physical vector; refresh own component."""
+        remote = np.asarray(remote, dtype=np.float64)
+        if remote.shape != (self._n,):
+            raise ClockError(f"vector width mismatch: {self._n} vs {remote.shape}")
+        np.maximum(self._v, remote, out=self._v)
+        self._v[self._pid] = self._clock.read(true_time)
+        return self._v.copy()
+
+    def read(self) -> np.ndarray:
+        return self._v.copy()
+
+
+__all__ = ["PhysicalClock", "PhysicalVectorClock", "DriftModel"]

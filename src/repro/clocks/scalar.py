@@ -1,0 +1,89 @@
+"""Lamport logical scalar clock — rules SC1–SC3 (paper §4.2.2).
+
+The timestamp is ``(value, pid)``; the pid tiebreak gives the standard
+total order used to linearize events under the single-time-axis model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.clocks.base import Clock, ClockError
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class ScalarTimestamp:
+    """A Lamport timestamp with process-id tiebreak.
+
+    Ordering is lexicographic on ``(value, pid)``, which extends the
+    clock-consistency partial order to the total order the single
+    time axis model requires.
+    """
+
+    value: int
+    pid: int
+
+    def __lt__(self, other: "ScalarTimestamp") -> bool:
+        if not isinstance(other, ScalarTimestamp):
+            return NotImplemented
+        return (self.value, self.pid) < (other.value, other.pid)
+
+    def __str__(self) -> str:
+        return f"{self.value}@p{self.pid}"
+
+
+class LamportClock(Clock[ScalarTimestamp]):
+    """Logical scalar clock per Lamport's rules.
+
+    SC1: local event → ``C = C + 1``
+    SC2: send        → ``C = C + 1``; piggyback C
+    SC3: receive(T)  → ``C = max(C, T)``; ``C = C + 1``
+
+    Parameters
+    ----------
+    pid:
+        This process's identifier (used only for tiebreak).
+
+    Examples
+    --------
+    >>> a, b = LamportClock(0), LamportClock(1)
+    >>> t = a.on_send()
+    >>> b.on_receive(t).value > t.value
+    True
+    """
+
+    def __init__(self, pid: int, initial: int = 0) -> None:
+        if pid < 0:
+            raise ClockError(f"pid must be non-negative, got {pid}")
+        if initial < 0:
+            raise ClockError(f"initial clock must be non-negative, got {initial}")
+        self._pid = int(pid)
+        self._value = int(initial)
+
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    def on_local_event(self) -> ScalarTimestamp:
+        self._value += 1
+        return self.read()
+
+    def on_send(self) -> ScalarTimestamp:
+        self._value += 1
+        return self.read()
+
+    def on_receive(self, remote: ScalarTimestamp) -> ScalarTimestamp:
+        self._value = max(self._value, remote.value)
+        self._value += 1
+        return self.read()
+
+    def read(self) -> ScalarTimestamp:
+        return ScalarTimestamp(self._value, self._pid)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LamportClock(pid={self._pid}, value={self._value})"
+
+
+__all__ = ["LamportClock", "ScalarTimestamp"]

@@ -1,0 +1,153 @@
+"""Strobe clocks — the paper's central protocol (§4.2.1–§4.2.2).
+
+Strobe clocks recreate a (partial-order approximation of a) linear
+time base *without* a physical clock-sync service.  The two protocols,
+verbatim from the paper:
+
+Strobe vector clock (SVC):
+    SVC1. on sensing a relevant event at process i:
+          ``C_i[i] += 1``; system-wide broadcast of ``C_i``.
+    SVC2. on receiving a strobe T:
+          ``∀k: C_i[k] = max(C_i[k], T[k])``  (no local tick).
+
+Strobe scalar clock (SSC):
+    SSC1. on sensing a relevant event at process i:
+          ``C_i += 1``; system-wide broadcast of ``C_i``.
+    SSC2. on receiving a strobe T:
+          ``C_i = max(C_i, T)``  (no local tick).
+
+The differences from causality-based clocks (§4.2.3) that this module
+encodes and the tests assert:
+
+1. strobes synchronize by *catching up*, not by tracking send/receive
+   causality;
+2. a strobe receive does **not** tick the receiver;
+3. strobes are control messages carrying the full clock;
+4. strobes are emitted at most once per relevant event.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clocks.base import ClockError, StrobeClock, validate_pid
+from repro.clocks.scalar import ScalarTimestamp
+from repro.clocks.vector import VectorTimestamp
+
+
+class StrobeVectorClock(StrobeClock[VectorTimestamp]):
+    """Strobe vector clock (rules SVC1–SVC2).
+
+    Examples
+    --------
+    >>> a, b = StrobeVectorClock(0, 2), StrobeVectorClock(1, 2)
+    >>> strobe = a.on_relevant_event()     # SVC1: tick + payload
+    >>> b.on_strobe(strobe).as_tuple()     # SVC2: merge, no tick
+    (1, 0)
+    """
+
+    def __init__(self, pid: int, n: int) -> None:
+        validate_pid(pid, n)
+        self._pid = int(pid)
+        self._n = int(n)
+        self._v = np.zeros(n, dtype=np.int64)
+        self._relevant_events = 0
+        self._strobes_received = 0
+
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def relevant_events(self) -> int:
+        """Local SVC1 invocations so far."""
+        return self._relevant_events
+
+    @property
+    def strobes_received(self) -> int:
+        """SVC2 invocations so far."""
+        return self._strobes_received
+
+    def on_relevant_event(self) -> VectorTimestamp:
+        """SVC1: tick own component; return the strobe to broadcast."""
+        self._v[self._pid] += 1
+        self._relevant_events += 1
+        return self.read()
+
+    def on_strobe(self, strobe: VectorTimestamp) -> VectorTimestamp:
+        """SVC2: component-wise max merge; **no** local tick."""
+        if strobe.n != self._n:
+            raise ClockError(f"strobe width mismatch: {self._n} vs {strobe.n}")
+        np.maximum(self._v, strobe.as_array(), out=self._v)
+        self._strobes_received += 1
+        return self.read()
+
+    def read(self) -> VectorTimestamp:
+        return VectorTimestamp(self._v)
+
+    def strobe_size(self) -> int:
+        """O(n): a strobe carries the full vector."""
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StrobeVectorClock(pid={self._pid}, v={tuple(int(x) for x in self._v)})"
+
+
+class StrobeScalarClock(StrobeClock[ScalarTimestamp]):
+    """Strobe scalar clock (rules SSC1–SSC2).
+
+    Weaker than the vector variant but with O(1) strobes (§4.2.2).
+    At Δ=0 with a strobe per relevant event it is equivalent to the
+    vector strobe (§4.2.3 item 5) — experiment E6 checks this.
+    """
+
+    def __init__(self, pid: int, initial: int = 0) -> None:
+        if pid < 0:
+            raise ClockError(f"pid must be non-negative, got {pid}")
+        if initial < 0:
+            raise ClockError(f"initial clock must be non-negative, got {initial}")
+        self._pid = int(pid)
+        self._value = int(initial)
+        self._relevant_events = 0
+        self._strobes_received = 0
+
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    @property
+    def relevant_events(self) -> int:
+        return self._relevant_events
+
+    @property
+    def strobes_received(self) -> int:
+        return self._strobes_received
+
+    def on_relevant_event(self) -> ScalarTimestamp:
+        """SSC1: tick; return the strobe to broadcast."""
+        self._value += 1
+        self._relevant_events += 1
+        return self.read()
+
+    def on_strobe(self, strobe: ScalarTimestamp) -> ScalarTimestamp:
+        """SSC2: ``C = max(C, T)``; **no** local tick."""
+        self._value = max(self._value, strobe.value)
+        self._strobes_received += 1
+        return self.read()
+
+    def read(self) -> ScalarTimestamp:
+        return ScalarTimestamp(self._value, self._pid)
+
+    def strobe_size(self) -> int:
+        """O(1): a strobe carries a single integer."""
+        return 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StrobeScalarClock(pid={self._pid}, value={self._value})"
+
+
+__all__ = ["StrobeVectorClock", "StrobeScalarClock"]

@@ -1,0 +1,176 @@
+"""Mattern/Fidge vector clock — rules VC1–VC3 (paper §4.2.1).
+
+Timestamps are immutable :class:`VectorTimestamp` objects backed by a
+NumPy ``int64`` array, so component-wise merges and dominance tests
+are vectorized (relevant for the E12 microbench at n up to 512).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal
+
+import numpy as np
+
+from repro.clocks.base import Clock, ClockError, validate_pid
+
+Ordering = Literal["<", ">", "=", "||"]
+
+
+class VectorTimestamp:
+    """An immutable n-component vector timestamp.
+
+    Supports the causality partial order: ``a < b`` iff a ≤ b
+    component-wise and a ≠ b (vector dominance).  ``a || b`` denotes
+    concurrency.  Hashable, so timestamps can key sets/dicts in the
+    lattice machinery.
+    """
+
+    __slots__ = ("_v", "_hash")
+
+    def __init__(self, components: Iterable[int]) -> None:
+        v = np.asarray(tuple(components), dtype=np.int64)
+        if v.ndim != 1 or v.size == 0:
+            raise ClockError(f"vector timestamp needs a 1-D nonempty vector, got shape {v.shape}")
+        if np.any(v < 0):
+            raise ClockError("vector components must be non-negative")
+        v.setflags(write=False)
+        self._v = v
+        self._hash = hash(v.tobytes())
+
+    # -- accessors ------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._v.size
+
+    def __len__(self) -> int:
+        return self._v.size
+
+    def __getitem__(self, i: int) -> int:
+        return int(self._v[i])
+
+    def as_tuple(self) -> tuple[int, ...]:
+        return tuple(int(x) for x in self._v)
+
+    def as_array(self) -> np.ndarray:
+        """Read-only view of the underlying array (no copy)."""
+        return self._v
+
+    # -- order ----------------------------------------------------------
+    def _check(self, other: "VectorTimestamp") -> None:
+        if not isinstance(other, VectorTimestamp):
+            raise TypeError(f"cannot compare VectorTimestamp with {type(other)!r}")
+        if other.n != self.n:
+            raise ClockError(f"vector width mismatch: {self.n} vs {other.n}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorTimestamp):
+            return NotImplemented
+        return self.n == other.n and bool(np.array_equal(self._v, other._v))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __le__(self, other: "VectorTimestamp") -> bool:
+        self._check(other)
+        return bool(np.all(self._v <= other._v))
+
+    def __lt__(self, other: "VectorTimestamp") -> bool:
+        """Strict vector dominance == happens-before (the isomorphism)."""
+        self._check(other)
+        return bool(np.all(self._v <= other._v) and np.any(self._v < other._v))
+
+    def __ge__(self, other: "VectorTimestamp") -> bool:
+        return other.__le__(self)
+
+    def __gt__(self, other: "VectorTimestamp") -> bool:
+        return other.__lt__(self)
+
+    def concurrent_with(self, other: "VectorTimestamp") -> bool:
+        """True iff neither dominates the other (a || b)."""
+        self._check(other)
+        return not (self <= other) and not (other <= self)
+
+    def merge(self, other: "VectorTimestamp") -> "VectorTimestamp":
+        """Component-wise max (the join in the timestamp lattice)."""
+        self._check(other)
+        return VectorTimestamp(np.maximum(self._v, other._v))
+
+    def sum(self) -> int:
+        """Total event count witnessed (used by lattice level indexing)."""
+        return int(self._v.sum())
+
+    def __repr__(self) -> str:
+        return f"VectorTimestamp({self.as_tuple()})"
+
+
+def compare(a: VectorTimestamp, b: VectorTimestamp) -> Ordering:
+    """Classify the causal relation between two timestamps.
+
+    Returns ``"<"`` (a happens-before b), ``">"``, ``"="`` or ``"||"``.
+    """
+    if a == b:
+        return "="
+    if a < b:
+        return "<"
+    if b < a:
+        return ">"
+    return "||"
+
+
+def concurrent(a: VectorTimestamp, b: VectorTimestamp) -> bool:
+    """Convenience alias for :meth:`VectorTimestamp.concurrent_with`."""
+    return a.concurrent_with(b)
+
+
+class VectorClock(Clock[VectorTimestamp]):
+    """Mattern/Fidge causality-tracking vector clock.
+
+    VC1: local event  → ``C[i] += 1``
+    VC2: send         → ``C[i] += 1``; piggyback C
+    VC3: receive(T)   → ``C = max(C, T)``; ``C[i] += 1``
+
+    Parameters
+    ----------
+    pid:
+        This process's index in the vector.
+    n:
+        Number of processes (vector width).
+    """
+
+    def __init__(self, pid: int, n: int) -> None:
+        validate_pid(pid, n)
+        self._pid = int(pid)
+        self._n = int(n)
+        self._v = np.zeros(n, dtype=np.int64)
+
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def on_local_event(self) -> VectorTimestamp:
+        self._v[self._pid] += 1
+        return self.read()
+
+    def on_send(self) -> VectorTimestamp:
+        self._v[self._pid] += 1
+        return self.read()
+
+    def on_receive(self, remote: VectorTimestamp) -> VectorTimestamp:
+        if remote.n != self._n:
+            raise ClockError(f"vector width mismatch: {self._n} vs {remote.n}")
+        np.maximum(self._v, remote.as_array(), out=self._v)
+        self._v[self._pid] += 1
+        return self.read()
+
+    def read(self) -> VectorTimestamp:
+        return VectorTimestamp(self._v)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"VectorClock(pid={self._pid}, v={tuple(int(x) for x in self._v)})"
+
+
+__all__ = ["VectorClock", "VectorTimestamp", "compare", "concurrent", "Ordering"]

@@ -1,0 +1,31 @@
+"""Core execution model — the paper's §2 contribution.
+
+Wires the substrates into the ⟨P, L, O, C⟩ quadruple:
+
+* :class:`PervasiveSystem` — the full system model: the network plane
+  ⟨P, L⟩ (sensor/actuator processes over a logical overlay) observing
+  the world plane ⟨O, C⟩ (clock-less objects, covert channels);
+* :class:`SensorProcess` — a process whose local execution is a
+  sequence of events of the five §2.2 kinds (compute / sense / actuate
+  / send / receive), carrying whatever clocks the experiment
+  configures and emitting :class:`SensedEventRecord` streams that the
+  detectors in :mod:`repro.detect` consume;
+* :class:`ClockConfig` — which of the §3.2 clock options a process
+  runs (any subset; clocks are independent so experiments can compare
+  stamps of the *same* execution under different time models).
+"""
+
+from repro.core.events import Event, EventKind
+from repro.core.records import SensedEventRecord
+from repro.core.process import ClockConfig, SensorProcess
+from repro.core.system import PervasiveSystem, SystemConfig
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "SensedEventRecord",
+    "SensorProcess",
+    "ClockConfig",
+    "PervasiveSystem",
+    "SystemConfig",
+]

@@ -1,0 +1,56 @@
+"""Event kinds and the process-local event log entry (§2.2).
+
+"An event e is one of three types: an internal event, which is of
+type compute (c), sense (n), or actuate (a); a send event (s) …; a
+receive event (r)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+
+class EventKind(Enum):
+    """The five event types of the execution model."""
+
+    COMPUTE = "c"
+    SENSE = "n"
+    ACTUATE = "a"
+    SEND = "s"
+    RECEIVE = "r"
+
+    @property
+    def is_internal(self) -> bool:
+        """c/n/a are internal; s/r are communication events in ⟨P, L⟩."""
+        return self in (EventKind.COMPUTE, EventKind.SENSE, EventKind.ACTUATE)
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One entry in a process's local event log.
+
+    ``true_time`` is oracle-only (never read by process logic);
+    ``stamps`` holds whichever clock readings were taken at the event,
+    keyed by clock name (``"lamport"``, ``"vector"``,
+    ``"strobe_scalar"``, ``"strobe_vector"``, ``"physical"``).
+    """
+
+    pid: int
+    seq: int
+    kind: EventKind
+    true_time: float
+    stamps: dict
+    detail: Any = None
+
+    def stamp(self, clock: str) -> Any:
+        """The reading of the named clock at this event (KeyError if
+        that clock was not configured)."""
+        return self.stamps[clock]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"e{self.seq}({self.kind.value})@p{self.pid} t={self.true_time:.4f}"
+
+
+__all__ = ["Event", "EventKind"]

@@ -1,0 +1,409 @@
+"""Sensor/actuator process — the ``p ∈ P`` of the model.
+
+A :class:`SensorProcess`:
+
+* senses world-object attributes it subscribes to (the ``n`` events),
+  emitting a :class:`~repro.core.records.SensedEventRecord` per event;
+* runs whatever clocks its :class:`ClockConfig` enables, applying the
+  correct protocol rule per event kind (causality clocks tick on
+  local/send/receive; strobe clocks tick on relevant events and merge
+  on strobes — never the other way around, §4.2.3);
+* broadcasts strobes (control messages) when a strobe clock is
+  configured, piggybacking the sensed record so any process — in
+  particular the distinguished root P0 — can run a detector;
+* exchanges semantic *computation* messages (``send_app``) which are
+  the only messages that drive the causality clocks;
+* actuates world objects (the ``a`` events).
+
+Processes never see true time: every ``sim.now`` use here is confined
+to stamping the oracle fields of events/records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.clocks.physical import PhysicalClock, PhysicalVectorClock
+from repro.clocks.scalar import LamportClock
+from repro.clocks.strobe import StrobeScalarClock, StrobeVectorClock
+from repro.clocks.vector import VectorClock
+from repro.core.events import Event, EventKind
+from repro.core.records import SensedEventRecord
+from repro.net.message import Message
+from repro.net.transport import Network
+from repro.sim.kernel import Simulator
+from repro.world.objects import AttributeChange, WorldState
+
+#: Called with every record this process emits locally (its own senses).
+RecordListener = Callable[[SensedEventRecord], None]
+#: Called with every record this process learns of via strobe receipt.
+StrobeListener = Callable[[SensedEventRecord], None]
+#: Application message handler.
+AppHandler = Callable[["SensorProcess", Message], None]
+
+
+@dataclass(frozen=True, slots=True)
+class ClockConfig:
+    """Which §3.2 clock options a process runs.
+
+    All combinations are legal; each clock stamps independently so one
+    execution yields comparable stamps under several time models.
+    ``physical_vector`` (§3.2.1.b.ii — vectors of last-heard local wall
+    clocks, "useful when relating the locally observed wall times at
+    different locations") requires ``physical``.
+    """
+
+    lamport: bool = False
+    vector: bool = False
+    strobe_scalar: bool = False
+    strobe_vector: bool = False
+    physical: bool = False
+    physical_vector: bool = False
+
+    def __post_init__(self) -> None:
+        if self.physical_vector and not self.physical:
+            raise ValueError("physical_vector requires physical")
+
+    @staticmethod
+    def strobes() -> "ClockConfig":
+        """Both strobe clocks — the paper's proposal."""
+        return ClockConfig(strobe_scalar=True, strobe_vector=True)
+
+    @staticmethod
+    def everything() -> "ClockConfig":
+        return ClockConfig(True, True, True, True, True, True)
+
+
+class SensorProcess:
+    """One sensor/actuator process.
+
+    Parameters
+    ----------
+    pid, n:
+        Process id and total process count (vector widths).
+    sim, net, world:
+        Substrate handles.
+    clocks:
+        Which clocks to run.
+    physical_clock:
+        Required when ``clocks.physical`` — the process's local
+        hardware clock (with its drift model).
+    keep_event_log:
+        Retain the full per-event log (memory-heavy in long sweeps).
+    strobe_transport:
+        ``"overlay"`` (default): strobes use the overlay-level
+        system-wide broadcast (one logical hop per destination).
+        ``"flood"``: strobes go to direct topology neighbors only and
+        are re-forwarded hop by hop (each process forwards a record the
+        first time it sees it) — the physical-radio flooding a
+        multi-hop deployment actually performs.  Effective Δ becomes
+        (network diameter) × (per-hop bound).
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        sim: Simulator,
+        net: Network,
+        world: WorldState,
+        *,
+        clocks: ClockConfig = ClockConfig.strobes(),
+        physical_clock: PhysicalClock | None = None,
+        keep_event_log: bool = True,
+        strobe_transport: str = "overlay",
+        strobe_every: int = 1,
+    ) -> None:
+        if strobe_transport not in ("overlay", "flood"):
+            raise ValueError(f"unknown strobe_transport {strobe_transport!r}")
+        if strobe_every < 1:
+            raise ValueError(f"strobe_every must be >= 1, got {strobe_every}")
+        self.pid = pid
+        self.n = n
+        self._sim = sim
+        self._net = net
+        self._world = world
+        self._config = clocks
+        if clocks.physical and physical_clock is None:
+            raise ValueError("clocks.physical requires a physical_clock")
+        self.physical_clock = physical_clock
+
+        self.lamport = LamportClock(pid) if clocks.lamport else None
+        self.vector = VectorClock(pid, n) if clocks.vector else None
+        self.strobe_scalar = StrobeScalarClock(pid) if clocks.strobe_scalar else None
+        self.strobe_vector = StrobeVectorClock(pid, n) if clocks.strobe_vector else None
+        self.physical_vector = (
+            PhysicalVectorClock(pid, n, physical_clock)
+            if clocks.physical_vector else None
+        )
+
+        self._keep_log = keep_event_log
+        self.events: list[Event] = []
+        self._seq = 0          # all events
+        self._sense_seq = 0    # sense events only (record seq)
+
+        #: local variables tracked from sensed attributes
+        self.variables: dict[str, Any] = {}
+
+        self._record_listeners: list[RecordListener] = []
+        self._strobe_listeners: list[StrobeListener] = []
+        self._app_handlers: dict[str, AppHandler] = {}
+        self._strobe_transport = strobe_transport
+        self._strobe_every = int(strobe_every)
+        self._seen_strobes: set[tuple[int, int]] = set()
+        self._crashed = False
+
+        net.register(pid, self._on_message)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def track(
+        self,
+        var: str,
+        obj: str,
+        attr: str,
+        *,
+        initial: Any = 0,
+        min_delta: float = 0.0,
+        latency: float = 0.0,
+        transform: Callable[[AttributeChange], Any] | None = None,
+    ) -> None:
+        """Sense world ``obj.attr`` into local variable ``var``.
+
+        ``transform`` maps the attribute change to the stored value
+        (default: the new attribute value) — e.g. a door sensor turns a
+        zone change into a counter increment.
+        """
+        self.variables[var] = initial
+
+        def on_change(change: AttributeChange) -> None:
+            value = change.new if transform is None else transform(change)
+            self.on_sense(var, value)
+
+        self._world.subscribe(
+            on_change, obj=obj, attr=attr, min_delta=min_delta, latency=latency
+        )
+
+    def add_record_listener(self, fn: RecordListener) -> None:
+        """Observe this process's own sensed records (local tap)."""
+        self._record_listeners.append(fn)
+
+    def add_strobe_listener(self, fn: StrobeListener) -> None:
+        """Observe records arriving via strobe broadcasts (what a
+        detector hosted at this process actually sees)."""
+        self._strobe_listeners.append(fn)
+
+    def on_app_message(self, kind: str, handler: AppHandler) -> None:
+        """Register a handler for semantic messages of ``kind``."""
+        self._app_handlers[kind] = handler
+
+    # ------------------------------------------------------------------
+    # Event machinery
+    # ------------------------------------------------------------------
+    def _log(self, kind: EventKind, stamps: dict, detail: Any = None) -> Event:
+        self._seq += 1
+        ev = Event(
+            pid=self.pid, seq=self._seq, kind=kind,
+            true_time=self._sim.now, stamps=stamps, detail=detail,
+        )
+        if self._keep_log:
+            self.events.append(ev)
+        return ev
+
+    def _stamp_local(self) -> dict:
+        """Tick clocks for an internal (c/n/a) event; returns stamps."""
+        stamps: dict = {}
+        if self.lamport is not None:
+            stamps["lamport"] = self.lamport.on_local_event()
+        if self.vector is not None:
+            stamps["vector"] = self.vector.on_local_event()
+        if self.physical_clock is not None:
+            stamps["physical"] = self.physical_clock.read(self._sim.now)
+        if self.physical_vector is not None:
+            stamps["physical_vector"] = self.physical_vector.on_local_event(self._sim.now)
+        return stamps
+
+    # ------------------------------------------------------------------
+    # Sense (n) — the relevant events that drive strobes
+    # ------------------------------------------------------------------
+    def on_sense(self, var: str, value: Any) -> SensedEventRecord | None:
+        """Handle a significant change of a tracked variable.
+
+        Returns None when the process has crashed (a dead sensor
+        neither records nor reports world activity).
+        """
+        if self._crashed:
+            return None
+        self.variables[var] = value
+        self._sense_seq += 1
+        stamps = self._stamp_local()
+        # Strobe rule SVC1/SSC1: tick, then broadcast.
+        strobe_scalar_ts = strobe_vector_ts = None
+        if self.strobe_scalar is not None:
+            strobe_scalar_ts = self.strobe_scalar.on_relevant_event()
+            stamps["strobe_scalar"] = strobe_scalar_ts
+        if self.strobe_vector is not None:
+            strobe_vector_ts = self.strobe_vector.on_relevant_event()
+            stamps["strobe_vector"] = strobe_vector_ts
+
+        record = SensedEventRecord(
+            pid=self.pid,
+            seq=self._sense_seq,
+            var=var,
+            value=value,
+            lamport=stamps.get("lamport"),
+            vector=stamps.get("vector"),
+            strobe_scalar=strobe_scalar_ts,
+            strobe_vector=strobe_vector_ts,
+            physical=stamps.get("physical"),
+            true_time=self._sim.now,
+        )
+        self._log(EventKind.SENSE, stamps, detail=record)
+
+        has_strobe_clock = (
+            self.strobe_scalar is not None or self.strobe_vector is not None
+        )
+        # §4.2: "this synchronization need not happen any more frequently
+        # than the local sensing of relevant events" — strobe_every=k
+        # thins the broadcasts (events between strobes stay local, an
+        # accuracy/cost trade the ablation bench measures).
+        if has_strobe_clock and self._sense_seq % self._strobe_every == 0:
+            # One control broadcast carries all configured strobe stamps
+            # plus the record itself (size: vector O(n) dominates).
+            size = 0
+            if self.strobe_scalar is not None:
+                size += self.strobe_scalar.strobe_size()
+            if self.strobe_vector is not None:
+                size += self.strobe_vector.strobe_size()
+            self._seen_strobes.add(record.key())
+            if self._strobe_transport == "flood":
+                self._net.neighbor_broadcast(
+                    self.pid, "strobe", payload=record, size=max(size, 1), control=True
+                )
+            else:
+                self._net.broadcast(
+                    self.pid, "strobe", payload=record, size=max(size, 1), control=True
+                )
+        for fn in self._record_listeners:
+            fn(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Compute (c) and actuate (a)
+    # ------------------------------------------------------------------
+    def compute(self, detail: Any = None) -> Event:
+        """Record an internal compute event."""
+        return self._log(EventKind.COMPUTE, self._stamp_local(), detail)
+
+    def actuate(self, oid: str, attr: str, value: Any) -> Event:
+        """Drive a world object's attribute (output to the environment)."""
+        ev = self._log(EventKind.ACTUATE, self._stamp_local(), detail=(oid, attr, value))
+        self._world.set_attribute(oid, attr, value)
+        return ev
+
+    # ------------------------------------------------------------------
+    # Semantic computation messages (s / r) — drive causality clocks
+    # ------------------------------------------------------------------
+    def send_app(self, dst: int, kind: str, payload: Any = None, *, size: int = 1) -> Event | None:
+        """Send a computation message (rule SC2/VC2 applies).
+
+        Returns None if the process has crashed.
+        """
+        if self._crashed:
+            return None
+        stamps: dict = {}
+        if self.lamport is not None:
+            stamps["lamport"] = self.lamport.on_send()
+        if self.vector is not None:
+            stamps["vector"] = self.vector.on_send()
+        if self.physical_clock is not None:
+            stamps["physical"] = self.physical_clock.read(self._sim.now)
+        if self.physical_vector is not None:
+            stamps["physical_vector"] = self.physical_vector.on_local_event(self._sim.now)
+        ev = self._log(EventKind.SEND, stamps, detail=(dst, kind))
+        self._net.send(
+            self.pid, dst, f"app:{kind}",
+            payload={"data": payload, "stamps": stamps},
+            size=size, control=False,
+        )
+        return ev
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Fail-stop: the process stops sensing, strobing, sending and
+        receiving.  Irreversible (fail-stop, not fail-recover)."""
+        self._crashed = True
+
+    # ------------------------------------------------------------------
+    # Receive dispatch
+    # ------------------------------------------------------------------
+    def _on_message(self, msg: Message) -> None:
+        if self._crashed:
+            return
+        if msg.kind == "strobe":
+            self._on_strobe(msg)
+        elif msg.kind.startswith("app:"):
+            self._on_app(msg)
+        # Unknown kinds are dropped silently: forward-compatibility with
+        # protocol extensions (e.g. sync handshakes modelled abstractly).
+
+    def _on_strobe(self, msg: Message) -> None:
+        """SSC2/SVC2: merge, no tick; causality clocks untouched.
+
+        Under flooding, duplicate copies of a record arrive via
+        different paths; the merge is idempotent so re-merging is
+        harmless, but forwarding and listener delivery happen only on
+        first receipt (the standard flood-suppression rule).
+        """
+        record: SensedEventRecord = msg.payload
+        if self.strobe_scalar is not None and record.strobe_scalar is not None:
+            self.strobe_scalar.on_strobe(record.strobe_scalar)
+        if self.strobe_vector is not None and record.strobe_vector is not None:
+            self.strobe_vector.on_strobe(record.strobe_vector)
+        if record.key() in self._seen_strobes:
+            return
+        self._seen_strobes.add(record.key())
+        if self._strobe_transport == "flood":
+            self._net.neighbor_broadcast(
+                self.pid, "strobe", payload=record, size=msg.size, control=True
+            )
+        for fn in self._strobe_listeners:
+            fn(record)
+
+    def _on_app(self, msg: Message) -> None:
+        stamps_in = msg.payload["stamps"]
+        stamps: dict = {}
+        if self.lamport is not None and "lamport" in stamps_in:
+            stamps["lamport"] = self.lamport.on_receive(stamps_in["lamport"])
+        if self.vector is not None and "vector" in stamps_in:
+            stamps["vector"] = self.vector.on_receive(stamps_in["vector"])
+        if self.physical_clock is not None:
+            stamps["physical"] = self.physical_clock.read(self._sim.now)
+        if self.physical_vector is not None and "physical_vector" in stamps_in:
+            stamps["physical_vector"] = self.physical_vector.on_receive(
+                self._sim.now, stamps_in["physical_vector"]
+            )
+        self._log(EventKind.RECEIVE, stamps, detail=(msg.src, msg.kind))
+        kind = msg.kind.removeprefix("app:")
+        handler = self._app_handlers.get(kind)
+        if handler is not None:
+            handler(self, msg)
+
+    # ------------------------------------------------------------------
+    def sense_events(self) -> list[Event]:
+        """All sense events from the log."""
+        return [e for e in self.events if e.kind == EventKind.SENSE]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SensorProcess(pid={self.pid}, vars={self.variables})"
+
+
+__all__ = ["SensorProcess", "ClockConfig"]

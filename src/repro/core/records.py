@@ -1,0 +1,65 @@
+"""The sensed-event record — the unit of observation.
+
+When a process senses a relevant world change it emits one
+:class:`SensedEventRecord` carrying the new value and every configured
+clock stamp.  Records travel inside strobe broadcasts and/or reports
+to the root; detectors consume streams of them.
+
+The ``true_time`` field is oracle-only: detectors must never read it
+(the accuracy analysis does, to score detections).  This is enforced
+by convention and checked in code review rather than at runtime — the
+alternative (separate record types) doubles the API for no modelling
+gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.clocks.scalar import ScalarTimestamp
+from repro.clocks.vector import VectorTimestamp
+
+
+@dataclass(frozen=True, slots=True)
+class SensedEventRecord:
+    """One sensed world-plane event as observed at a process.
+
+    Attributes
+    ----------
+    pid:
+        Sensing process.
+    seq:
+        Local sense-event index at that process (1-based, counts only
+        sense events).
+    var:
+        The variable (the paper's ``x_i`` naming) whose value changed.
+    value:
+        The value after the change.
+    lamport / strobe_scalar:
+        Scalar stamps, if those clocks are configured.
+    vector / strobe_vector:
+        Vector stamps, if configured.
+    physical:
+        Local (possibly skewed) wall-clock reading, if configured.
+    true_time:
+        ORACLE ONLY — true physical occurrence time.
+    """
+
+    pid: int
+    seq: int
+    var: str
+    value: Any
+    lamport: ScalarTimestamp | None = None
+    vector: VectorTimestamp | None = None
+    strobe_scalar: ScalarTimestamp | None = None
+    strobe_vector: VectorTimestamp | None = None
+    physical: float | None = None
+    true_time: float = 0.0
+
+    def key(self) -> tuple[int, int]:
+        """Unique id of the underlying event."""
+        return (self.pid, self.seq)
+
+
+__all__ = ["SensedEventRecord"]

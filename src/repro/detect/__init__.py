@@ -1,0 +1,56 @@
+"""Predicate-detection algorithms — the paper's implementation options
+crossed with modalities.
+
+=====================================  ======================================
+Detector                                Implements
+=====================================  ======================================
+:class:`OracleDetector`                 ground truth (the simulator's view)
+:class:`PhysicalClockDetector`          Mayo–Kearns/Stoller ε-clock detection
+                                        of *Instantaneously* [28, 34]
+:class:`ScalarStrobeDetector`           scalar-strobe single-time-axis
+                                        simulation [25] (SSC1–SSC2 stamps)
+:class:`VectorStrobeDetector`           vector-strobe detection with the
+                                        borderline bin [24] (SVC1–SVC2)
+:class:`ConjunctiveIntervalDetector`    Possibly/Definitely conjunctive
+                                        detection on truth intervals
+                                        (Garg–Waldecker / [17])
+:class:`LatticeDetector`                exact Possibly/Definitely via the
+                                        consistent-cut lattice [10]
+:class:`CoordinatedSnapshot`            request/reply global snapshot
+                                        substrate (send/receive semantics)
+=====================================  ======================================
+
+All detectors output :class:`Detection` sequences with *repeated*
+semantics — every occurrence is reported, not just the first (§3.3:
+"existing literature … detects only the first time the predicate
+becomes true and then the algorithms hang").
+"""
+
+from repro.detect.base import Detection, DetectionLabel, Detector, RecordStore
+from repro.detect.oracle import OracleDetector
+from repro.detect.physical import PhysicalClockDetector
+from repro.detect.strobe_scalar import ScalarStrobeDetector
+from repro.detect.strobe_vector import VectorStrobeDetector
+from repro.detect.conjunctive_interval import ConjunctiveIntervalDetector
+from repro.detect.lattice_detector import LatticeDetector
+from repro.detect.online import OnlineScalarStrobeDetector, OnlineVectorStrobeDetector
+from repro.detect.interval_extract import extract_truth_intervals, find_causal_matches
+from repro.detect.snapshot import CoordinatedSnapshot
+
+__all__ = [
+    "Detection",
+    "DetectionLabel",
+    "Detector",
+    "RecordStore",
+    "OracleDetector",
+    "PhysicalClockDetector",
+    "ScalarStrobeDetector",
+    "VectorStrobeDetector",
+    "OnlineVectorStrobeDetector",
+    "OnlineScalarStrobeDetector",
+    "ConjunctiveIntervalDetector",
+    "LatticeDetector",
+    "CoordinatedSnapshot",
+    "extract_truth_intervals",
+    "find_causal_matches",
+]

@@ -1,0 +1,154 @@
+"""Detector interfaces and shared machinery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterable, Mapping
+
+from repro.core.records import SensedEventRecord
+from repro.predicates.base import Predicate
+
+
+class DetectionLabel(Enum):
+    """Confidence class of a detection (§5's "borderline bin").
+
+    * ``FIRM`` — every ordering of the racing events yields φ true.
+    * ``BORDERLINE`` — φ's truth depends on how a race resolves; the
+      application chooses how to treat these ("to err on the safe
+      side, such entries can be treated as positives", §5).
+    """
+
+    FIRM = "firm"
+    BORDERLINE = "borderline"
+
+
+@dataclass(frozen=True, slots=True)
+class Detection:
+    """One reported occurrence of the predicate.
+
+    Attributes
+    ----------
+    detector:
+        Emitting detector's name.
+    trigger:
+        The record whose application made φ (appear to become) true.
+        ``trigger.true_time`` is used *only* by the scoring oracle.
+    env:
+        The variable environment at detection.
+    label:
+        FIRM or BORDERLINE.
+    detail:
+        Free-form extra info (race set size, interval combination...).
+    """
+
+    detector: str
+    trigger: SensedEventRecord
+    env: dict
+    label: DetectionLabel = DetectionLabel.FIRM
+    detail: Any = None
+
+    @property
+    def firm(self) -> bool:
+        return self.label is DetectionLabel.FIRM
+
+
+class RecordStore:
+    """Deduplicating accumulator of sensed records.
+
+    A record may reach a detector several times (once per strobe copy
+    when the detector taps several processes, or via both the local and
+    the strobe path at the root); the store keeps the first copy of
+    each ``(pid, seq)``.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[tuple[int, int], SensedEventRecord] = {}
+        self.duplicates = 0
+
+    def add(self, record: SensedEventRecord) -> bool:
+        """Returns True if the record was new."""
+        key = record.key()
+        if key in self._records:
+            self.duplicates += 1
+            return False
+        self._records[key] = record
+        return True
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def all(self) -> list[SensedEventRecord]:
+        """Records sorted by (pid, seq)."""
+        return [self._records[k] for k in sorted(self._records)]
+
+    def by_process(self, n: int) -> list[list[SensedEventRecord]]:
+        """Per-process record lists in seq order."""
+        out: list[list[SensedEventRecord]] = [[] for _ in range(n)]
+        for (pid, _), rec in sorted(self._records.items()):
+            out[pid].append(rec)
+        return out
+
+
+class Detector:
+    """Base class: feed records in, call finalize() for detections.
+
+    Online detectors may also emit during :meth:`feed`; ``detections``
+    accumulates everything.
+    """
+
+    name = "detector"
+
+    def __init__(self, predicate: Predicate, initials: Mapping[str, Any]) -> None:
+        missing = [v for v in predicate.variables if v not in initials]
+        if missing:
+            raise ValueError(
+                f"initial values required for all predicate variables; missing {missing}"
+            )
+        self.predicate = predicate
+        self.initials = dict(initials)
+        self.store = RecordStore()
+        self.detections: list[Detection] = []
+
+    # -- ingestion ------------------------------------------------------
+    def feed(self, record: SensedEventRecord) -> None:
+        """Ingest one record (order-insensitive)."""
+        self.store.add(record)
+
+    def feed_many(self, records: Iterable[SensedEventRecord]) -> None:
+        for r in records:
+            self.feed(r)
+
+    def attach(self, process, *, local: bool = True, strobes: bool = True) -> None:
+        """Tap a :class:`~repro.core.process.SensorProcess` so its
+        record streams flow into this detector."""
+        if local:
+            process.add_record_listener(self.feed)
+        if strobes:
+            process.add_strobe_listener(self.feed)
+
+    # -- finalization ----------------------------------------------------
+    def finalize(self) -> list[Detection]:
+        """Run/complete detection; returns all detections."""
+        raise NotImplementedError
+
+    # -- shared replay helper ---------------------------------------------
+    def _replay(
+        self, ordered: list[SensedEventRecord]
+    ) -> list[tuple[SensedEventRecord, dict, Any]]:
+        """Apply records in the given total order.
+
+        Returns per-record tuples ``(record, env_after_copy,
+        previous_value_of_var)`` — the previous value is what race
+        analysis needs to construct alternative states.
+        """
+        env = dict(self.initials)
+        out = []
+        for rec in ordered:
+            prev = env.get(rec.var)
+            env[rec.var] = rec.value
+            out.append((rec, dict(env), prev))
+        return out
+
+
+__all__ = ["Detector", "Detection", "DetectionLabel", "RecordStore"]

@@ -1,0 +1,207 @@
+"""Interval-based Possibly/Definitely detection of conjunctive
+predicates (Garg–Waldecker; used for pervasive context in [17]).
+
+Each process's conjunct toggles at its sense events; the maximal
+intervals during which the conjunct is true, stamped with vector
+timestamps of their bounding events, are derived from the record
+stream.  The classic queue algorithm then finds combinations of
+intervals (one per process):
+
+* ``Modality.POSSIBLY`` — pairwise *possible* overlap
+  (¬(end_i → start_j) both ways): φ held in some consistent
+  observation;
+* ``Modality.DEFINITELY`` — pairwise *definite* overlap
+  (start_i → end_j both ways): φ held in every consistent observation.
+
+Repeated semantics: on a match, all heads are consumed and the scan
+continues, so every occurrence with fresh intervals is reported
+(§3.3's complaint about one-shot algorithms).
+
+The stamp source is selectable: Mattern/Fidge ``vector`` stamps (pure
+causality — in a sensing-only execution all cross-process intervals
+are concurrent and Definitely never holds, the paper's §4.1 point) or
+``strobe_vector`` stamps (the strobe-induced order, which is what [17]
+effectively relies on for context detection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.clocks.vector import VectorTimestamp
+from repro.core.records import SensedEventRecord
+from repro.detect.base import Detection, DetectionLabel, Detector
+from repro.predicates.base import Modality
+from repro.predicates.conjunctive import ConjunctivePredicate
+
+
+@dataclass(frozen=True, slots=True)
+class _TruthInterval:
+    """A maximal local-conjunct-true interval at one process."""
+
+    pid: int
+    start_rec: SensedEventRecord
+    v_start: VectorTimestamp
+    v_end: VectorTimestamp | None          # None = still true at end of run
+
+    @property
+    def open(self) -> bool:
+        return self.v_end is None
+
+
+def _precedes(a: VectorTimestamp | None, b: VectorTimestamp | None) -> bool:
+    """Happens-before with None-as-top semantics: an open end (None)
+    follows everything; nothing precedes a start that is None."""
+    if a is None:
+        return False            # an open end precedes nothing
+    if b is None:
+        return True             # everything precedes the open top
+    return a < b
+
+
+class ConjunctiveIntervalDetector(Detector):
+    """Queue-based Possibly/Definitely conjunctive detection.
+
+    Parameters
+    ----------
+    predicate:
+        A :class:`ConjunctivePredicate` with exactly one conjunct per
+        participating process.
+    initials:
+        Initial variable values (determine initial conjunct truth).
+    modality:
+        POSSIBLY or DEFINITELY.
+    stamp:
+        ``"vector"`` (Mattern/Fidge) or ``"strobe_vector"``.
+    """
+
+    name = "conjunctive_interval"
+
+    def __init__(
+        self,
+        predicate: ConjunctivePredicate,
+        initials: Mapping[str, Any],
+        *,
+        modality: Modality = Modality.DEFINITELY,
+        stamp: str = "strobe_vector",
+    ) -> None:
+        if not isinstance(predicate, ConjunctivePredicate):
+            raise TypeError("ConjunctiveIntervalDetector needs a ConjunctivePredicate")
+        if modality is Modality.INSTANTANEOUS:
+            raise ValueError("use a strobe/physical detector for Instantaneously")
+        if stamp not in ("vector", "strobe_vector"):
+            raise ValueError(f"unknown stamp source {stamp!r}")
+        pids = [c.pid for c in predicate.conjuncts]
+        if len(set(pids)) != len(pids):
+            raise ValueError("need exactly one conjunct per process")
+        super().__init__(predicate, initials)
+        self.modality = modality
+        self._stamp = stamp
+        self.name = f"{modality.value}_conjunctive[{stamp}]"
+
+    # ------------------------------------------------------------------
+    def _stamp_of(self, rec: SensedEventRecord) -> VectorTimestamp:
+        ts = getattr(rec, self._stamp)
+        if ts is None:
+            raise ValueError(
+                f"record {rec.key()} lacks {self._stamp} stamp; configure the clock"
+            )
+        return ts
+
+    def _truth_intervals(self) -> dict[int, list[_TruthInterval]]:
+        """Per-process maximal truth intervals of the local conjunct."""
+        pred: ConjunctivePredicate = self.predicate  # type: ignore[assignment]
+        out: dict[int, list[_TruthInterval]] = {}
+        for conjunct in pred.conjuncts:
+            pid = conjunct.pid
+            recs = [r for r in self.store.all() if r.pid == pid and r.var == conjunct.var]
+            recs.sort(key=lambda r: r.seq)
+            intervals: list[_TruthInterval] = []
+            truth = conjunct.holds(self.initials[conjunct.var])
+            open_start: SensedEventRecord | None = None
+            # An initially-true conjunct has an interval starting "at the
+            # beginning" — representable only once a first record exists;
+            # we conservatively open it at the first record if still true,
+            # or skip it (detectors observe events, not initial silence).
+            for r in recs:
+                now_true = conjunct.holds(r.value)
+                if now_true and not truth:
+                    open_start = r
+                elif not now_true and truth and open_start is not None:
+                    intervals.append(
+                        _TruthInterval(pid, open_start, self._stamp_of(open_start), self._stamp_of(r))
+                    )
+                    open_start = None
+                truth = now_true
+            if truth and open_start is not None:
+                intervals.append(
+                    _TruthInterval(pid, open_start, self._stamp_of(open_start), None)
+                )
+            out[pid] = intervals
+        return out
+
+    # ------------------------------------------------------------------
+    def _pair_ok(self, x: _TruthInterval, y: _TruthInterval) -> bool:
+        if self.modality is Modality.POSSIBLY:
+            return not _precedes(x.v_end, y.v_start) and not _precedes(y.v_end, x.v_start)
+        # DEFINITELY: each start happens-before the other's end.
+        return _precedes(x.v_start, y.v_end) and _precedes(y.v_start, x.v_end)
+
+    def _advance_candidate(self, x: _TruthInterval, y: _TruthInterval) -> list[int]:
+        """Which pids' queues to advance when (x, y) fails the test."""
+        if self.modality is Modality.POSSIBLY:
+            out = []
+            if _precedes(x.v_end, y.v_start):
+                out.append(x.pid)
+            if _precedes(y.v_end, x.v_start):
+                out.append(y.pid)
+            return out or [x.pid]
+        out = []
+        if not _precedes(x.v_start, y.v_end):
+            out.append(y.pid)    # y ends too early relative to x's start
+        if not _precedes(y.v_start, x.v_end):
+            out.append(x.pid)
+        return out or [x.pid]
+
+    def finalize(self) -> list[Detection]:
+        queues = self._truth_intervals()
+        pids = sorted(queues)
+        idx = {pid: 0 for pid in pids}
+        self.detections = []
+        guard = sum(len(q) for q in queues.values()) * 4 + 16
+        while all(idx[p] < len(queues[p]) for p in pids) and guard > 0:
+            guard -= 1
+            heads = {p: queues[p][idx[p]] for p in pids}
+            to_advance: set[int] = set()
+            for i, p in enumerate(pids):
+                for q in pids[i + 1:]:
+                    if not self._pair_ok(heads[p], heads[q]):
+                        to_advance.update(self._advance_candidate(heads[p], heads[q]))
+            if not to_advance:
+                # Match: all heads pairwise satisfy the modality.
+                trigger = max(
+                    (heads[p] for p in pids), key=lambda iv: iv.start_rec.true_time
+                )
+                env = {
+                    c.var: heads[c.pid].start_rec.value
+                    for c in self.predicate.conjuncts  # type: ignore[attr-defined]
+                }
+                self.detections.append(
+                    Detection(
+                        self.name,
+                        trigger.start_rec,
+                        env,
+                        DetectionLabel.FIRM,
+                        detail={p: (heads[p].start_rec.seq) for p in pids},
+                    )
+                )
+                for p in pids:           # consume all heads: repeated semantics
+                    idx[p] += 1
+            else:
+                for p in to_advance:
+                    idx[p] += 1
+        return self.detections
+
+
+__all__ = ["ConjunctiveIntervalDetector"]

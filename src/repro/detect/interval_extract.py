@@ -1,0 +1,96 @@
+"""Truth-interval extraction from record streams.
+
+Turns a process's sensed records into the maximal intervals during
+which a local condition held, carrying both the oracle endpoints
+(true times) and the logical endpoint timestamps — the
+:class:`~repro.intervals.interval.Interval` objects that the
+fine-grained relation machinery (§3.1.1.b.i) and the causal pattern
+matcher consume.
+
+This is the public form of what
+:class:`~repro.detect.conjunctive_interval.ConjunctiveIntervalDetector`
+derives internally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.clocks.vector import VectorTimestamp
+from repro.core.records import SensedEventRecord
+from repro.intervals.finegrained import EndpointCode, fine_grained_code
+from repro.intervals.interval import Interval
+
+
+def extract_truth_intervals(
+    records: Iterable[SensedEventRecord],
+    *,
+    pid: int,
+    var: str,
+    test: Callable[[Any], bool],
+    initial: Any,
+    stamp: str = "strobe_vector",
+) -> list[Interval]:
+    """Maximal intervals during which ``test(value of var at pid)`` held.
+
+    Open intervals (still true at the end of the stream) have
+    ``t_end``/``v_end`` of None.  Requires the chosen stamp on every
+    relevant record.
+    """
+    if stamp not in ("vector", "strobe_vector"):
+        raise ValueError(f"unknown stamp source {stamp!r}")
+    recs = sorted(
+        (r for r in records if r.pid == pid and r.var == var),
+        key=lambda r: r.seq,
+    )
+    out: list[Interval] = []
+    truth = bool(test(initial))
+    current: Interval | None = None
+    for r in recs:
+        ts = getattr(r, stamp)
+        if ts is None:
+            raise ValueError(f"record {r.key()} lacks {stamp} stamp")
+        now_true = bool(test(r.value))
+        if now_true and not truth:
+            current = Interval(
+                pid=pid, var=var, value=r.value,
+                t_start=r.true_time, v_start=ts,
+            )
+        elif not now_true and truth and current is not None:
+            out.append(current.close(r.true_time, v_end=ts))
+            current = None
+        truth = now_true
+    if current is not None:
+        out.append(current)
+    return out
+
+
+def find_causal_matches(
+    codes: Sequence[EndpointCode] | Sequence[tuple[str, str, str, str]],
+    xs: Sequence[Interval],
+    ys: Sequence[Interval],
+) -> list[tuple[Interval, Interval, EndpointCode]]:
+    """Causality-based pattern matching (§3.1.1.b.i).
+
+    Returns every (x, y) closed-interval pair whose endpoint-causality
+    code is in ``codes`` — the partial-order analogue of
+    :func:`repro.predicates.temporal.find_matches`.  Open intervals are
+    skipped (their codes are not yet determined).
+    """
+    accepted = {
+        c.as_tuple() if isinstance(c, EndpointCode) else tuple(c) for c in codes
+    }
+    out = []
+    for x in xs:
+        if x.open:
+            continue
+        for y in ys:
+            if y.open:
+                continue
+            code = fine_grained_code(x, y)
+            if code.as_tuple() in accepted:
+                out.append((x, y, code))
+    return out
+
+
+__all__ = ["extract_truth_intervals", "find_causal_matches"]

@@ -1,0 +1,80 @@
+"""Ground-truth oracle detection.
+
+Not a detector in the protocol sense — it reads the world plane's
+ground-truth log directly (which no real system can) and returns the
+exact maximal intervals during which the predicate held in true
+physical time.  Every accuracy number in the benchmarks is computed
+against its output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.predicates.base import Predicate
+from repro.world.ground_truth import GroundTruthLog, TrueInterval
+
+#: Maps the oracle's world snapshot {(obj, attr): value} to the
+#: predicate's variable environment {var: value}.
+EnvMapper = Callable[[Mapping[tuple[str, str], Any]], Mapping[str, Any]]
+
+
+class OracleDetector:
+    """Exact occurrence detection from the ground-truth log.
+
+    Parameters
+    ----------
+    predicate:
+        The predicate over located variables.
+    var_map:
+        variable name → (object id, attribute) pairs in the world, OR
+        a custom :data:`EnvMapper` for derived variables.
+    initials:
+        Environment defaults for attributes not yet written.
+    """
+
+    name = "oracle"
+
+    def __init__(
+        self,
+        predicate: Predicate,
+        var_map: Mapping[str, tuple[str, str]] | EnvMapper,
+        initials: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.predicate = predicate
+        self._initials = dict(initials or {})
+        if callable(var_map):
+            self._mapper: EnvMapper = var_map
+        else:
+            static_map = dict(var_map)
+            missing = [v for v in predicate.variables if v not in static_map]
+            if missing:
+                raise ValueError(f"var_map missing variables: {missing}")
+
+            def mapper(snapshot: Mapping[tuple[str, str], Any]) -> Mapping[str, Any]:
+                env = dict(self._initials)
+                for var, key in static_map.items():
+                    if key in snapshot:
+                        env[var] = snapshot[key]
+                return env
+
+            self._mapper = mapper
+
+    def _world_predicate(self, snapshot: Mapping[tuple[str, str], Any]) -> bool:
+        env = dict(self._initials)
+        env.update(self._mapper(snapshot))
+        result = self.predicate.evaluate_safe(env)
+        return bool(result) if result is not None else False
+
+    def true_intervals(
+        self, log: GroundTruthLog, *, t_end: float | None = None
+    ) -> list[TrueInterval]:
+        """Exact maximal intervals during which φ held."""
+        return log.true_intervals(self._world_predicate, t_end=t_end)
+
+    def occurrences(self, log: GroundTruthLog, *, t_end: float | None = None) -> int:
+        """Exact number of times φ became true."""
+        return len(self.true_intervals(log, t_end=t_end))
+
+
+__all__ = ["OracleDetector", "EnvMapper"]

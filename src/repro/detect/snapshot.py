@@ -1,0 +1,114 @@
+"""Coordinated global-state snapshot substrate.
+
+A minimal request/reply snapshot over the network plane: a coordinator
+broadcasts a ``snap`` request (semantic message → send/receive events,
+causality clocks tick), each process replies with its current tracked
+variables and its vector timestamp, and the coordinator assembles the
+global state when all replies arrive.
+
+This is the sensornet-practical cousin of Chandy–Lamport: channels
+carry no application state here (sensing is one-way from the world),
+so channel recording is unnecessary, and FIFO — which our Δ-bounded
+transport deliberately does not guarantee — is not required.  The
+assembled state is a *consistent* cut of the sensing execution iff no
+sensed event raced the snapshot window; the caller can verify with the
+returned vector timestamps (pairwise concurrency check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.clocks.vector import VectorTimestamp
+from repro.core.process import SensorProcess
+
+
+@dataclass(slots=True)
+class SnapshotResult:
+    """Assembled global state."""
+
+    states: dict[int, dict] = field(default_factory=dict)
+    stamps: dict[int, VectorTimestamp | None] = field(default_factory=dict)
+    complete: bool = False
+
+    def env(self) -> dict:
+        """Merged variable environment across processes."""
+        out: dict = {}
+        for state in self.states.values():
+            out.update(state)
+        return out
+
+
+class CoordinatedSnapshot:
+    """Request/reply snapshot initiated at a coordinator process.
+
+    Parameters
+    ----------
+    processes:
+        All system processes; the coordinator is one of them.
+    coordinator:
+        pid of the initiating process.
+    on_complete:
+        Called with the :class:`SnapshotResult` when all replies are in.
+    """
+
+    def __init__(
+        self,
+        processes: list[SensorProcess],
+        *,
+        coordinator: int = 0,
+        on_complete: Callable[[SnapshotResult], None] | None = None,
+    ) -> None:
+        self._procs = processes
+        self._coord = coordinator
+        self._on_complete = on_complete
+        self.result = SnapshotResult()
+        self._expected = {p.pid for p in processes if p.pid != coordinator}
+
+        for p in processes:
+            p.on_app_message("snap", self._handle_request)
+        processes[coordinator].on_app_message("snap_reply", self._handle_reply)
+
+    # ------------------------------------------------------------------
+    def initiate(self) -> None:
+        """Broadcast the snapshot request (semantic messages)."""
+        coord = self._procs[self._coord]
+        # Record the coordinator's own state first.
+        self.result.states[self._coord] = dict(coord.variables)
+        self.result.stamps[self._coord] = (
+            coord.vector.read() if coord.vector is not None else None
+        )
+        if not self._expected:
+            self.result.complete = True
+            if self._on_complete:
+                self._on_complete(self.result)
+            return
+        for p in self._procs:
+            if p.pid != self._coord:
+                coord.send_app(p.pid, "snap")
+
+    def _handle_request(self, proc: SensorProcess, msg) -> None:
+        proc.send_app(
+            self._coord,
+            "snap_reply",
+            payload={
+                "pid": proc.pid,
+                "state": dict(proc.variables),
+                "stamp": proc.vector.read() if proc.vector is not None else None,
+            },
+        )
+
+    def _handle_reply(self, proc: SensorProcess, msg) -> None:
+        data = msg.payload["data"]
+        pid = data["pid"]
+        self.result.states[pid] = data["state"]
+        self.result.stamps[pid] = data["stamp"]
+        self._expected.discard(pid)
+        if not self._expected and not self.result.complete:
+            self.result.complete = True
+            if self._on_complete:
+                self._on_complete(self.result)
+
+
+__all__ = ["CoordinatedSnapshot", "SnapshotResult"]

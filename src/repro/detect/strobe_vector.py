@@ -1,0 +1,204 @@
+"""Vector-strobe detection with the borderline bin — the algorithm
+family of [24] re-derived from the paper's description.
+
+Records are stamped with strobe vector clocks (SVC1–SVC2).  The
+observer:
+
+1. linearizes records by ``(vector sum, pid, seq)`` — vector dominance
+   implies strictly smaller component sum, so this respects the
+   strobe-induced partial order;
+2. replays the global state along the linearization, watching φ;
+3. at every point of interest runs **race analysis**: records whose
+   vector timestamps are *concurrent* with the current record raced
+   with it within Δ (the strobe had not yet arrived), so their true
+   order is unknown.  The analysis enumerates the alternative variable
+   environments reachable by reordering the race — each racing
+   record's variable may be at its pre- or post-event value — and
+   classifies:
+
+   * φ true under **every** resolution → FIRM detection;
+   * φ true under some resolutions only → BORDERLINE detection
+     (the §5 "borderline bin … characterized by a race condition");
+   * φ false in the linearization but true under some resolution →
+     BORDERLINE detection too — this is how the bin "captures … most
+     false negatives" (§5).
+
+Δ=0 behaviour: every strobe arrives before the next relevant event,
+so no two records are concurrent, races vanish, and the detector's
+output is exact and identical to the scalar-strobe detector's (§4.2.3
+item 5; experiment E6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.records import SensedEventRecord
+from repro.detect.base import Detection, DetectionLabel, Detector
+from repro.predicates.base import Predicate
+
+
+class VectorStrobeDetector(Detector):
+    """Vector-strobe Instantaneously(φ) detection with race analysis.
+
+    Parameters
+    ----------
+    predicate, initials:
+        As for every detector.
+    max_race_combos:
+        Cap on the number of alternative environments enumerated per
+        race window.  Beyond the cap the detection is conservatively
+        labelled BORDERLINE (a race too tangled to resolve is by
+        definition borderline).
+    """
+
+    name = "strobe_vector"
+
+    def __init__(
+        self,
+        predicate: Predicate,
+        initials: Mapping[str, Any],
+        *,
+        max_race_combos: int = 4096,
+    ) -> None:
+        super().__init__(predicate, initials)
+        self._max_combos = int(max_race_combos)
+
+    # ------------------------------------------------------------------
+    def _concurrency_matrix(self, records: list[SensedEventRecord]) -> np.ndarray:
+        """Boolean m×m matrix: conc[i, j] iff records i and j are
+        concurrent under the strobe vector order (vectorized)."""
+        m = len(records)
+        if m == 0:
+            return np.zeros((0, 0), dtype=bool)
+        vecs = np.stack([r.strobe_vector.as_array() for r in records])
+        # leq[i, j] = all(vecs[i] <= vecs[j])
+        leq = np.all(vecs[:, None, :] <= vecs[None, :, :], axis=2)
+        conc = ~(leq | leq.T)
+        np.fill_diagonal(conc, False)
+        return conc
+
+    def _alternative_envs(
+        self,
+        env: dict,
+        idx: int,
+        ordered: list[SensedEventRecord],
+        replay: list[tuple[SensedEventRecord, dict, Any]],
+        conc: np.ndarray,
+        applied_upto: int,
+    ) -> list[dict] | None:
+        """Environments reachable by re-resolving the race around
+        record ``idx``.  Returns None when the combination count
+        exceeds the cap."""
+        race = np.flatnonzero(conc[idx])
+        if race.size == 0:
+            return [env]
+        # For each racing record: if already applied (position <= applied_upto
+        # in the linearization) its variable may alternatively still hold its
+        # pre-event value; if not yet applied, it may alternatively already
+        # hold its post-event value.
+        choices: dict[str, set] = {}
+        for j in race:
+            rec_j, _, prev_j = replay[j]
+            var = rec_j.var
+            current = env.get(var)
+            alt = prev_j if j <= applied_upto else rec_j.value
+            vals = choices.setdefault(var, {current} if current is not None else set())
+            if alt is not None:
+                vals.add(alt)
+        vars_ = [v for v, vals in choices.items() if len(vals) > 1]
+        if not vars_:
+            return [env]
+        combos = 1
+        for v in vars_:
+            combos *= len(choices[v])
+            if combos > self._max_combos:
+                return None
+        envs = []
+        for combo in itertools.product(*(sorted(choices[v], key=repr) for v in vars_)):
+            e = dict(env)
+            e.update(zip(vars_, combo))
+            envs.append(e)
+        return envs
+
+    # ------------------------------------------------------------------
+    def _step(
+        self,
+        i: int,
+        rec: SensedEventRecord,
+        env: dict,
+        ordered: list[SensedEventRecord],
+        replay: list[tuple[SensedEventRecord, dict, Any]],
+        conc: np.ndarray,
+        state: dict,
+        *,
+        detail_extra: dict | None = None,
+    ) -> None:
+        """Process one linearized record: evaluate φ, run race analysis,
+        emit detections.  ``state`` carries ``prev_lin``/``prev_possible``
+        across calls (shared by the offline and online paths)."""
+        cur = self.predicate.evaluate_safe(env)
+        if cur is None:
+            return
+        cur = bool(cur)
+        envs = self._alternative_envs(env, i, ordered, replay, conc, i)
+        if envs is None:
+            results = None           # too tangled: unknown
+        else:
+            evaluated = [self.predicate.evaluate_safe(e) for e in envs]
+            results = {bool(r) for r in evaluated if r is not None}
+
+        if results is None:
+            possible, certain = True, False
+        else:
+            possible = True in results
+            certain = results == {True}
+
+        detail = {"race_size": int(conc[i].sum())}
+        if detail_extra:
+            detail.update(detail_extra)
+        if cur and not state["prev_lin"]:
+            label = DetectionLabel.FIRM if certain else DetectionLabel.BORDERLINE
+            self.detections.append(
+                Detection(self.name, rec, env, label, detail=detail)
+            )
+        elif (not cur) and possible and not state["prev_possible"] and not state["prev_lin"]:
+            # The linearization says false, but a race resolution says
+            # true: borderline (potential missed occurrence).
+            detail["lin_false"] = True
+            self.detections.append(
+                Detection(self.name, rec, env, DetectionLabel.BORDERLINE, detail=detail)
+            )
+        state["prev_lin"] = cur
+        state["prev_possible"] = possible
+
+    @staticmethod
+    def _sort_key(r: SensedEventRecord):
+        return (r.strobe_vector.sum(), r.pid, r.seq)
+
+    def _check_stamps(self, records: list[SensedEventRecord]) -> None:
+        missing = [r for r in records if r.strobe_vector is None]
+        if missing:
+            raise ValueError(
+                f"{len(missing)} records lack strobe_vector stamps; configure "
+                "ClockConfig(strobe_vector=True)"
+            )
+
+    def finalize(self) -> list[Detection]:
+        records = self.store.all()
+        self._check_stamps(records)
+        ordered = sorted(records, key=self._sort_key)
+        conc = self._concurrency_matrix(ordered)
+        replay = self._replay(ordered)
+
+        self.detections = []
+        state = {"prev_lin": False, "prev_possible": False}
+        for i, (rec, env, _prev_val) in enumerate(replay):
+            self._step(i, rec, env, ordered, replay, conc, state)
+        return self.detections
+
+
+__all__ = ["VectorStrobeDetector"]

@@ -1,0 +1,39 @@
+"""Intervals and timing relations — the specification design space (§3.1).
+
+The paper's predicates are "explicitly defined on attribute values
+during intervals, that are implicitly related using certain timing
+relationships" (§2.2).  This subpackage provides:
+
+* :class:`Interval` — a value held at a process between two events,
+  carrying both true physical endpoints (oracle view) and logical
+  endpoint timestamps (observer view);
+* Allen's 13 interval relations on physical time (§3.1.1.a.ii,
+  "relative timing relations" [1, 15]);
+* the causality-based fine-grained relation machinery of
+  §3.1.1.b.i — endpoint-causality codes between interval pairs, the
+  *possibly-* and *definitely-overlap* tests that drive the
+  Possibly/Definitely detectors, and an enumeration of the realizable
+  dense-time code space (the "suite of 40 orthogonal relationships"
+  [7, 20, 21] appears here as the complete consistent code set).
+"""
+
+from repro.intervals.interval import Interval
+from repro.intervals.allen import AllenRelation, allen_relation
+from repro.intervals.finegrained import (
+    EndpointCode,
+    definitely_overlaps,
+    enumerate_realizable_codes,
+    fine_grained_code,
+    possibly_overlaps,
+)
+
+__all__ = [
+    "Interval",
+    "AllenRelation",
+    "allen_relation",
+    "EndpointCode",
+    "fine_grained_code",
+    "possibly_overlaps",
+    "definitely_overlaps",
+    "enumerate_realizable_codes",
+]

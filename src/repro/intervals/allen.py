@@ -1,0 +1,98 @@
+"""Allen's interval algebra — the 13 relations on physical time.
+
+§3.1.1.a.ii cites Allen [1] and Hamblin [15] for relative timing
+relations on the single time axis ("X before Y", "X overlaps Y"...).
+This module classifies a pair of closed real intervals into exactly
+one of the 13 mutually exclusive, jointly exhaustive relations.
+
+Intervals here are plain ``(start, end)`` pairs with ``start <= end``;
+use :meth:`repro.intervals.interval.Interval` endpoints for world
+intervals.  Point intervals (start == end) are permitted; they make
+several relations coincide with the boundary cases, and the classifier
+resolves them by the standard endpoint comparisons.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class AllenRelation(Enum):
+    """The 13 Allen relations.  ``X <rel> Y`` reads left-to-right."""
+
+    BEFORE = "before"                  # X ends before Y starts
+    MEETS = "meets"                    # X ends exactly when Y starts
+    OVERLAPS = "overlaps"              # X starts first, they overlap, Y ends last
+    STARTS = "starts"                  # same start, X ends first
+    DURING = "during"                  # X strictly inside Y
+    FINISHES = "finishes"              # same end, X starts later
+    EQUAL = "equal"
+    FINISHED_BY = "finished_by"        # inverse of FINISHES
+    CONTAINS = "contains"              # inverse of DURING
+    STARTED_BY = "started_by"          # inverse of STARTS
+    OVERLAPPED_BY = "overlapped_by"    # inverse of OVERLAPS
+    MET_BY = "met_by"                  # inverse of MEETS
+    AFTER = "after"                    # inverse of BEFORE
+
+    @property
+    def inverse(self) -> "AllenRelation":
+        return _INVERSE[self]
+
+    @property
+    def is_disjoint(self) -> bool:
+        """True for the four relations with no shared interior point."""
+        return self in (
+            AllenRelation.BEFORE,
+            AllenRelation.AFTER,
+            AllenRelation.MEETS,
+            AllenRelation.MET_BY,
+        )
+
+
+_INVERSE = {
+    AllenRelation.BEFORE: AllenRelation.AFTER,
+    AllenRelation.AFTER: AllenRelation.BEFORE,
+    AllenRelation.MEETS: AllenRelation.MET_BY,
+    AllenRelation.MET_BY: AllenRelation.MEETS,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+    AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+    AllenRelation.STARTS: AllenRelation.STARTED_BY,
+    AllenRelation.STARTED_BY: AllenRelation.STARTS,
+    AllenRelation.DURING: AllenRelation.CONTAINS,
+    AllenRelation.CONTAINS: AllenRelation.DURING,
+    AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+    AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+    AllenRelation.EQUAL: AllenRelation.EQUAL,
+}
+
+
+def allen_relation(
+    x_start: float, x_end: float, y_start: float, y_end: float
+) -> AllenRelation:
+    """Classify intervals X=[x_start,x_end], Y=[y_start,y_end].
+
+    Raises ValueError on reversed endpoints.
+    """
+    if x_end < x_start or y_end < y_start:
+        raise ValueError("interval endpoints reversed")
+    if x_start == y_start and x_end == y_end:
+        return AllenRelation.EQUAL
+    if x_end < y_start:
+        return AllenRelation.BEFORE
+    if y_end < x_start:
+        return AllenRelation.AFTER
+    if x_end == y_start:
+        return AllenRelation.MEETS
+    if y_end == x_start:
+        return AllenRelation.MET_BY
+    if x_start == y_start:
+        return AllenRelation.STARTS if x_end < y_end else AllenRelation.STARTED_BY
+    if x_end == y_end:
+        return AllenRelation.FINISHES if x_start > y_start else AllenRelation.FINISHED_BY
+    if x_start < y_start:
+        return AllenRelation.CONTAINS if x_end > y_end else AllenRelation.OVERLAPS
+    # x_start > y_start from here
+    return AllenRelation.DURING if x_end < y_end else AllenRelation.OVERLAPPED_BY
+
+
+__all__ = ["AllenRelation", "allen_relation"]

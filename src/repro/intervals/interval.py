@@ -1,0 +1,79 @@
+"""The interval type.
+
+§2.2: "The time duration between two successive events at a process
+identifies an interval.  We model the event-driven activity at
+processes in terms of intervals."
+
+An :class:`Interval` records the value a variable held at a process
+between a start event and an end event.  It carries two views:
+
+* **oracle view** — true physical start/end times (``t_start``,
+  ``t_end``), known only to the simulator; used for ground-truth
+  overlap and Allen relations;
+* **observer view** — logical timestamps of the start and end events
+  (``v_start``, ``v_end``, any timestamp type with a partial order),
+  which is all a detector may use.
+
+``t_end``/``v_end`` are None while the interval is still open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, slots=True)
+class Interval(Generic[T]):
+    """A maximal duration during which ``var`` held ``value`` at ``pid``."""
+
+    pid: int
+    var: str
+    value: Any
+    t_start: float
+    t_end: float | None = None
+    v_start: T | None = None
+    v_end: T | None = None
+
+    @property
+    def open(self) -> bool:
+        """True while the interval has not been closed by a new event."""
+        return self.t_end is None
+
+    @property
+    def duration(self) -> float:
+        """Physical duration (inf while open)."""
+        if self.t_end is None:
+            return float("inf")
+        return self.t_end - self.t_start
+
+    def close(self, t_end: float, v_end: T | None = None) -> "Interval[T]":
+        """Return a closed copy ending at ``t_end``."""
+        if not self.open:
+            raise ValueError("interval already closed")
+        if t_end < self.t_start:
+            raise ValueError(f"t_end {t_end} before t_start {self.t_start}")
+        return replace(self, t_end=t_end, v_end=v_end)
+
+    def physically_overlaps(self, other: "Interval") -> bool:
+        """Oracle test: do the true-time spans intersect?
+
+        Open intervals extend to +inf.  Touching endpoints ([a,b) and
+        [b,c)) do not overlap.
+        """
+        a_end = float("inf") if self.t_end is None else self.t_end
+        b_end = float("inf") if other.t_end is None else other.t_end
+        return self.t_start < b_end and other.t_start < a_end
+
+    def contains_time(self, t: float) -> bool:
+        end = float("inf") if self.t_end is None else self.t_end
+        return self.t_start <= t < end
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        end = "open" if self.t_end is None else f"{self.t_end:.4f}"
+        return f"I(p{self.pid}.{self.var}={self.value!r} [{self.t_start:.4f},{end}))"
+
+
+__all__ = ["Interval"]

@@ -1,0 +1,24 @@
+"""Global states and the consistent-cut lattice (§4.1, §4.2.4).
+
+The paper's "slim lattice postulate": strobe broadcasts create
+artificial causal dependencies that *prune* the lattice of consistent
+global states — the faster the strobes relative to Δ, the leaner the
+lattice, collapsing to a linear order of n·p states at Δ=0.
+Experiment E4 measures lattice size and width as a function of strobe
+rate and Δ using this machinery.
+
+Core objects:
+
+* :class:`Cut` — a global state as per-process event-prefix lengths;
+* :func:`is_consistent` — the vector-timestamp consistency test (works
+  for Mattern/Fidge timestamps *and* strobe-vector timestamps; the
+  latter induce the strobe sublattice);
+* :class:`StateLattice` — level-by-level enumeration of all consistent
+  cuts with size/width/linearity statistics and a safety cap (the
+  unpruned lattice is O(p^n), §4.2.4).
+"""
+
+from repro.lattice.cut import Cut, is_consistent
+from repro.lattice.lattice import LatticeStats, StateLattice
+
+__all__ = ["Cut", "is_consistent", "StateLattice", "LatticeStats"]

@@ -1,0 +1,99 @@
+"""Cuts (global states) and their consistency test.
+
+A cut assigns to each process a prefix of its local event sequence;
+``Cut((2, 0, 1))`` includes the first two events of p0, none of p1,
+one of p2.  A cut is *consistent* iff it is causally closed: every
+event happening-before an included event is itself included.
+
+With vector timestamps the test is the classic one: for the cut
+``c = (c_1..c_n)``, writing ``V_i`` for the timestamp of the last
+included event of process i (when ``c_i > 0``),
+
+    consistent(c)  ⇔  ∀ i, j:  V_i[j] ≤ c_j
+
+i.e. no included event has witnessed more of process j than the cut
+includes.  The same test applied to strobe-vector timestamps yields
+consistency w.r.t. the strobe-induced order — the sublattice of
+§4.2.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.clocks.vector import VectorTimestamp
+
+
+@dataclass(frozen=True, slots=True)
+class Cut:
+    """A global state: per-process included-event counts."""
+
+    counts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            raise ValueError("cut needs at least one process")
+        if any(c < 0 for c in self.counts):
+            raise ValueError(f"negative prefix count in {self.counts}")
+
+    @property
+    def n(self) -> int:
+        return len(self.counts)
+
+    @property
+    def level(self) -> int:
+        """Total number of included events (the lattice level)."""
+        return sum(self.counts)
+
+    def advance(self, pid: int) -> "Cut":
+        """The cut with one more event of ``pid`` included."""
+        c = list(self.counts)
+        c[pid] += 1
+        return Cut(tuple(c))
+
+    def dominates(self, other: "Cut") -> bool:
+        """Component-wise ≥ (the lattice order on cuts)."""
+        if other.n != self.n:
+            raise ValueError("cut width mismatch")
+        return all(a >= b for a, b in zip(self.counts, other.counts))
+
+    def __getitem__(self, pid: int) -> int:
+        return self.counts[pid]
+
+    @staticmethod
+    def initial(n: int) -> "Cut":
+        return Cut((0,) * n)
+
+
+def is_consistent(
+    cut: Cut, timestamps: Sequence[Sequence[VectorTimestamp]]
+) -> bool:
+    """Is ``cut`` causally closed w.r.t. the given event timestamps?
+
+    ``timestamps[i][k]`` is the vector timestamp of the (k+1)-th event
+    of process i.  Raises on cuts that exceed the event counts.
+    """
+    if cut.n != len(timestamps):
+        raise ValueError(
+            f"cut has {cut.n} processes but timestamps cover {len(timestamps)}"
+        )
+    for i, c_i in enumerate(cut.counts):
+        if c_i > len(timestamps[i]):
+            raise ValueError(
+                f"cut includes {c_i} events of p{i} but only "
+                f"{len(timestamps[i])} exist"
+            )
+    for i, c_i in enumerate(cut.counts):
+        if c_i == 0:
+            continue
+        v = timestamps[i][c_i - 1]
+        for j in range(cut.n):
+            if j == i:
+                continue
+            if v[j] > cut.counts[j]:
+                return False
+    return True
+
+
+__all__ = ["Cut", "is_consistent"]

@@ -1,0 +1,44 @@
+"""Network plane ⟨P, L⟩ substrate.
+
+Implements the paper's observation-and-control plane: a set of process
+endpoints connected by a logical overlay ``L`` (§2.1), with the three
+message-delay classes of §3.2.2 (synchronous, asynchronous Δ-bounded,
+asynchronous unbounded), per-message loss models (§4.2.2 discusses
+strobe loss), and message/byte accounting for the cost experiments.
+
+The API follows mpi4py idioms (``send``/``broadcast`` with explicit
+source/destination, delivery via registered receive callbacks), but is
+event-driven: delivery happens as simulator callbacks after a sampled
+delay.
+"""
+
+from repro.net.delay import (
+    DelayModel,
+    DeltaBoundedDelay,
+    SynchronousDelay,
+    UnboundedDelay,
+)
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
+from repro.net.message import Message
+from repro.net.topology import DynamicTopology, Topology
+from repro.net.transport import Network, NetworkStats
+from repro.net.mac import DutyCycleMAC
+from repro.net.alignment import DutyCycleAlignment
+
+__all__ = [
+    "DelayModel",
+    "SynchronousDelay",
+    "DeltaBoundedDelay",
+    "UnboundedDelay",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "Message",
+    "Topology",
+    "DynamicTopology",
+    "Network",
+    "NetworkStats",
+    "DutyCycleMAC",
+    "DutyCycleAlignment",
+]

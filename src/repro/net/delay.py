@@ -1,0 +1,175 @@
+"""Message delay models — the three classes of paper §3.2.2.
+
+* :class:`SynchronousDelay` — "instantaneous or synchronous: ideal
+  case".  Delay is a constant (default 0).
+* :class:`DeltaBoundedDelay` — "asynchronous Δ-bounded … practical in
+  many cases … because the delay is bounded due to the bounded number
+  of attempts at retransmissions."  Delay is drawn from a chosen
+  distribution and *provably* never exceeds Δ.
+* :class:`UnboundedDelay` — "asynchronous unbounded: good for a
+  worst-case analysis."  Heavy-tailed or exponential, no bound.
+
+All models sample with an explicit generator (determinism contract)
+and expose ``bound`` (Δ, or ``inf``) so detectors can reason about the
+race window without re-deriving it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class DelayModel(ABC):
+    """Samples per-message transmission+propagation delays."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one delay (seconds, >= 0)."""
+
+    @property
+    @abstractmethod
+    def bound(self) -> float:
+        """Upper bound Δ on delays; ``inf`` if unbounded."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Mean delay (used by experiment sweeps for labelling)."""
+
+
+class SynchronousDelay(DelayModel):
+    """Constant delay; the ideal Δ=0 case when ``value`` is 0.
+
+    A nonzero constant models a fixed-latency synchronous bus.
+    """
+
+    def __init__(self, value: float = 0.0) -> None:
+        if value < 0:
+            raise ValueError(f"delay must be non-negative, got {value}")
+        self._value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._value
+
+    @property
+    def bound(self) -> float:
+        return self._value
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"SynchronousDelay({self._value})"
+
+
+class DeltaBoundedDelay(DelayModel):
+    """Δ-bounded delay: ``delta * Beta``-style draws, hard-capped at Δ.
+
+    Parameters
+    ----------
+    delta:
+        The hard bound Δ (seconds), > 0.
+    shape:
+        ``"uniform"`` draws U(min_frac·Δ, Δ); ``"truncexp"`` draws an
+        exponential with the given mean fraction, rejected/truncated to
+        ≤ Δ — models a retransmission process with a retry cap.
+    min_frac:
+        Lower bound as a fraction of Δ (propagation floor).
+    mean_frac:
+        For ``"truncexp"``: mean of the untruncated exponential as a
+        fraction of Δ.
+    """
+
+    def __init__(
+        self,
+        delta: float,
+        *,
+        shape: str = "uniform",
+        min_frac: float = 0.0,
+        mean_frac: float = 0.3,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        if shape not in ("uniform", "truncexp"):
+            raise ValueError(f"unknown shape {shape!r}")
+        if not 0.0 <= min_frac < 1.0:
+            raise ValueError(f"min_frac must be in [0,1), got {min_frac}")
+        if not 0.0 < mean_frac <= 1.0:
+            raise ValueError(f"mean_frac must be in (0,1], got {mean_frac}")
+        self._delta = float(delta)
+        self._shape = shape
+        self._min = min_frac * self._delta
+        self._mean_exp = mean_frac * self._delta
+
+    @property
+    def delta(self) -> float:
+        return self._delta
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self._shape == "uniform":
+            return float(rng.uniform(self._min, self._delta))
+        # Truncated exponential: floor + Exp(mean), capped at delta.
+        d = self._min + float(rng.exponential(self._mean_exp))
+        return min(d, self._delta)
+
+    @property
+    def bound(self) -> float:
+        return self._delta
+
+    @property
+    def mean(self) -> float:
+        if self._shape == "uniform":
+            return 0.5 * (self._min + self._delta)
+        # Approximation ignoring the (light) truncation mass.
+        return min(self._min + self._mean_exp, self._delta)
+
+    def __repr__(self) -> str:
+        return f"DeltaBoundedDelay(delta={self._delta}, shape={self._shape!r})"
+
+
+class UnboundedDelay(DelayModel):
+    """Unbounded asynchronous delay for worst-case analysis.
+
+    ``"exponential"`` or heavy-tailed ``"pareto"`` (alpha > 1 so the
+    mean exists).
+    """
+
+    def __init__(self, mean: float, *, shape: str = "exponential", pareto_alpha: float = 2.5) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if shape not in ("exponential", "pareto"):
+            raise ValueError(f"unknown shape {shape!r}")
+        if shape == "pareto" and pareto_alpha <= 1.0:
+            raise ValueError("pareto_alpha must exceed 1 for a finite mean")
+        self._mean = float(mean)
+        self._shape = shape
+        self._alpha = float(pareto_alpha)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self._shape == "exponential":
+            return float(rng.exponential(self._mean))
+        # Pareto with minimum x_m chosen so the mean matches.
+        x_m = self._mean * (self._alpha - 1.0) / self._alpha
+        return float(x_m * (1.0 + rng.pareto(self._alpha)))
+
+    @property
+    def bound(self) -> float:
+        return float("inf")
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"UnboundedDelay(mean={self._mean}, shape={self._shape!r})"
+
+
+__all__ = [
+    "DelayModel",
+    "SynchronousDelay",
+    "DeltaBoundedDelay",
+    "UnboundedDelay",
+]

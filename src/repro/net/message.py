@@ -1,0 +1,57 @@
+"""Message type carried by the network plane.
+
+A message is either a *computation* message (semantic send/receive in
+the distributed program, §2.2) or a *control* message (clock strobes,
+sync handshakes, §4.2.3 item 3).  The ``control`` flag lets the
+accounting layer separate protocol overhead from application traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_seq = itertools.count()
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """An in-flight network-plane message.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint ids.  ``dst`` is the concrete destination — a
+        broadcast fans out into one :class:`Message` per receiver.
+    kind:
+        Application-defined tag (e.g. ``"strobe"``, ``"report"``).
+    payload:
+        Arbitrary payload (timestamps, sensed values...).
+    size:
+        Abstract size in units (ints carried); used for byte/energy
+        accounting, not for delay computation.
+    control:
+        True for protocol control messages (strobes, sync), False for
+        semantic computation messages.
+    sent_at:
+        True send time (stamped by the network, for the oracle).
+    seq:
+        Globally unique id, in send order.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any = None
+    size: int = 1
+    control: bool = False
+    sent_at: float = 0.0
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "ctl" if self.control else "app"
+        return f"[{tag}#{self.seq} {self.kind} {self.src}->{self.dst} @{self.sent_at:.4f}]"
+
+
+__all__ = ["Message"]

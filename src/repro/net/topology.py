@@ -1,0 +1,145 @@
+"""Logical network overlays ``L`` (and, reused, world-plane overlays ``C``).
+
+§2.1: "L is a dynamically changing graph."  :class:`Topology` wraps a
+static networkx graph with the factory constructors the scenarios
+need; :class:`DynamicTopology` adds seeded edge churn so experiments
+can model mobility-induced link changes.
+
+The transport layer consults the topology per delivery: a message is
+deliverable iff the endpoints are currently connected (directly or —
+for the overlay abstraction — via any path; the overlay hides
+routing, matching the paper's "logical network overlay").
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+
+class Topology:
+    """A (static) logical overlay graph over integer node ids."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("topology needs at least one node")
+        self._g = graph
+
+    # -- factories ------------------------------------------------------
+    @classmethod
+    def complete(cls, n: int) -> "Topology":
+        """Fully connected overlay (the default for small sensornets)."""
+        return cls(nx.complete_graph(n))
+
+    @classmethod
+    def ring(cls, n: int) -> "Topology":
+        return cls(nx.cycle_graph(n))
+
+    @classmethod
+    def star(cls, n: int, center: int = 0) -> "Topology":
+        """Hub-and-spoke: the distinguished root process P0 pattern (§2.1)."""
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from((center, i) for i in range(n) if i != center)
+        return cls(g)
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "Topology":
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(rows, cols))
+        return cls(g)
+
+    @classmethod
+    def random_geometric(
+        cls, n: int, radius: float, rng: np.random.Generator
+    ) -> "Topology":
+        """Unit-square random geometric graph — the standard WSN
+        deployment model."""
+        pos = {i: (float(rng.random()), float(rng.random())) for i in range(n)}
+        g = nx.random_geometric_graph(n, radius, pos=pos)
+        return cls(g)
+
+    # -- queries --------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._g.number_of_nodes()
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._g
+
+    def nodes(self) -> list[int]:
+        return sorted(self._g.nodes)
+
+    def neighbors(self, node: int) -> list[int]:
+        return sorted(self._g.neighbors(node))
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return self._g.has_edge(a, b)
+
+    def connected(self, a: int, b: int) -> bool:
+        """True iff a path exists between a and b (overlay reachability)."""
+        if a == b:
+            return True
+        return nx.has_path(self._g, a, b)
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self._g)
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Shortest-path hops, or -1 if unreachable."""
+        try:
+            return int(nx.shortest_path_length(self._g, a, b))
+        except nx.NetworkXNoPath:
+            return -1
+
+
+class DynamicTopology(Topology):
+    """Topology with seeded random edge churn.
+
+    ``churn(rng, flip_fraction)`` toggles a random fraction of all
+    possible edges (adds absent ones, drops present ones), modelling
+    mobility-induced link changes.  Node set is fixed.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        super().__init__(graph.copy())
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Number of churn steps applied."""
+        return self._epoch
+
+    def churn(self, rng: np.random.Generator, flip_fraction: float = 0.05) -> int:
+        """Toggle ~``flip_fraction`` of all node pairs; returns the
+        number of edges flipped."""
+        if not 0.0 <= flip_fraction <= 1.0:
+            raise ValueError(f"flip_fraction must be in [0,1], got {flip_fraction}")
+        nodes = self.nodes()
+        n = len(nodes)
+        pairs = [(nodes[i], nodes[j]) for i in range(n) for j in range(i + 1, n)]
+        k = int(round(flip_fraction * len(pairs)))
+        if k == 0:
+            self._epoch += 1
+            return 0
+        idx = rng.choice(len(pairs), size=k, replace=False)
+        flipped = 0
+        for i in idx:
+            a, b = pairs[int(i)]
+            if self._g.has_edge(a, b):
+                self._g.remove_edge(a, b)
+            else:
+                self._g.add_edge(a, b)
+            flipped += 1
+        self._epoch += 1
+        return flipped
+
+    def remove_edge(self, a: int, b: int) -> None:
+        if self._g.has_edge(a, b):
+            self._g.remove_edge(a, b)
+
+    def add_edge(self, a: int, b: int) -> None:
+        self._g.add_edge(a, b)
+
+
+__all__ = ["Topology", "DynamicTopology"]

@@ -1,0 +1,232 @@
+"""Asynchronous message transport over the network plane.
+
+The :class:`Network` is the glue between endpoints (processes in P):
+``send`` and ``broadcast`` apply the loss model, sample a delay from
+the delay model, and schedule delivery callbacks on the simulator.
+System-wide broadcast — the primitive strobe clocks require
+("System-wide_Broadcast", SVC1/SSC1) — fans out one independently
+delayed copy per destination, which is how a wireless flood behaves at
+the overlay level.
+
+Accounting (``NetworkStats``) splits application vs control traffic so
+the E7 cost experiment can compare sync-service overhead against
+strobe overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.net.delay import DelayModel, SynchronousDelay
+from repro.net.loss import LossModel, NoLoss
+from repro.net.mac import DutyCycleMAC
+from repro.net.message import Message
+from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
+
+Receiver = Callable[[Message], None]
+
+
+class TransportError(RuntimeError):
+    """Raised on transport misuse (unknown endpoint, double register)."""
+
+
+@dataclass(slots=True)
+class NetworkStats:
+    """Counters maintained by :class:`Network`."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    app_messages: int = 0
+    control_messages: int = 0
+    app_units: int = 0       # abstract payload units (ints carried)
+    control_units: int = 0
+    #: delay of each delivered message, for distribution checks
+    delays: list = field(default_factory=list)
+
+    @property
+    def total_units(self) -> int:
+        return self.app_units + self.control_units
+
+
+class Network:
+    """Event-driven message transport.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    topology:
+        Overlay ``L``; messages between disconnected endpoints are
+        dropped (counted in ``dropped_partition``).
+    delay:
+        Delay model applied per message copy.
+    loss:
+        Loss model applied per message copy.
+    rng:
+        Generator for delay/loss draws.
+    record_delays:
+        Keep per-message delays in stats (off for long sweeps).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        *,
+        delay: DelayModel | None = None,
+        loss: LossModel | None = None,
+        rng: np.random.Generator | None = None,
+        record_delays: bool = False,
+        mac: "DutyCycleMAC | None" = None,
+    ) -> None:
+        self._sim = sim
+        self._topo = topology
+        self._delay = delay or SynchronousDelay(0.0)
+        self._loss = loss or NoLoss()
+        self._rng = rng or np.random.default_rng(0)
+        self._endpoints: dict[int, Receiver] = {}
+        self._record_delays = record_delays
+        self._mac = mac
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def delay_model(self) -> DelayModel:
+        return self._delay
+
+    @property
+    def topology(self) -> Topology:
+        return self._topo
+
+    @property
+    def delta(self) -> float:
+        """The delay bound Δ the detectors may assume (§3.2.2.b)."""
+        return self._delay.bound
+
+    def register(self, node: int, receiver: Receiver) -> None:
+        """Attach the receive callback for endpoint ``node``."""
+        if node in self._endpoints:
+            raise TransportError(f"endpoint {node} already registered")
+        if node not in self._topo.graph.nodes:
+            raise TransportError(f"endpoint {node} not in topology")
+        self._endpoints[node] = receiver
+
+    def endpoints(self) -> list[int]:
+        return sorted(self._endpoints)
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: object = None,
+        *,
+        size: int = 1,
+        control: bool = False,
+    ) -> Message:
+        """Send one message; returns the Message (even if it will be
+        lost — senders cannot observe loss)."""
+        if dst not in self._endpoints:
+            raise TransportError(f"unknown destination {dst}")
+        if src == dst:
+            raise TransportError("self-send is a local event, not a message")
+        msg = Message(
+            src=src, dst=dst, kind=kind, payload=payload, size=size,
+            control=control, sent_at=self._sim.now,
+        )
+        self._account_send(msg)
+        self._dispatch(msg)
+        return msg
+
+    def broadcast(
+        self,
+        src: int,
+        kind: str,
+        payload: object = None,
+        *,
+        size: int = 1,
+        control: bool = False,
+    ) -> list[Message]:
+        """System-wide broadcast: one copy per other endpoint, each with
+        its own delay/loss draw."""
+        out = []
+        for dst in self.endpoints():
+            if dst == src:
+                continue
+            msg = Message(
+                src=src, dst=dst, kind=kind, payload=payload, size=size,
+                control=control, sent_at=self._sim.now,
+            )
+            self._account_send(msg)
+            self._dispatch(msg)
+            out.append(msg)
+        return out
+
+    def neighbor_broadcast(
+        self,
+        src: int,
+        kind: str,
+        payload: object = None,
+        *,
+        size: int = 1,
+        control: bool = False,
+    ) -> list[Message]:
+        """Broadcast to *direct topology neighbors* only — the physical
+        radio primitive under multi-hop flooding (vs the overlay-level
+        :meth:`broadcast` that models a routed system-wide flood as one
+        logical hop)."""
+        out = []
+        for dst in self._topo.neighbors(src):
+            if dst not in self._endpoints:
+                continue
+            msg = Message(
+                src=src, dst=dst, kind=kind, payload=payload, size=size,
+                control=control, sent_at=self._sim.now,
+            )
+            self._account_send(msg)
+            self._dispatch(msg)
+            out.append(msg)
+        return out
+
+    # ------------------------------------------------------------------
+    def _account_send(self, msg: Message) -> None:
+        self.stats.sent += 1
+        if msg.control:
+            self.stats.control_messages += 1
+            self.stats.control_units += msg.size
+        else:
+            self.stats.app_messages += 1
+            self.stats.app_units += msg.size
+
+    def _dispatch(self, msg: Message) -> None:
+        if not self._topo.connected(msg.src, msg.dst):
+            self.stats.dropped_partition += 1
+            return
+        if self._loss.drops(self._rng):
+            self.stats.dropped_loss += 1
+            return
+        d = self._delay.sample(self._rng)
+        if self._mac is not None:
+            # Sleeping destination: frame buffered until next wake edge
+            # (the Δ-inflating mechanism of §3.2.2.b).
+            arrival = self._sim.now + d
+            d = self._mac.delivery_time(msg.dst, arrival) - self._sim.now
+        if self._record_delays:
+            self.stats.delays.append(d)
+        self._sim.schedule_after(
+            d, lambda m=msg: self._deliver(m), label=f"deliver:{msg.kind}"
+        )
+
+    def _deliver(self, msg: Message) -> None:
+        self.stats.delivered += 1
+        self._endpoints[msg.dst](msg)
+
+
+__all__ = ["Network", "NetworkStats", "TransportError"]

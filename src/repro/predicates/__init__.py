@@ -1,0 +1,42 @@
+"""Predicate framework — §3.1's specification design space.
+
+Predicates are boolean conditions over named variables, each variable
+sensed at (owned by) one process — the paper's ``x_i`` subscript
+convention ("the subscript on a variable denotes the location where
+the variable is sensed", §3.1.2.a).
+
+Two predicate classes (§3.1.2):
+
+* :class:`ConjunctivePredicate` — ``φ = ∧ φ_i`` where each conjunct is
+  locally evaluable at one process;
+* :class:`RelationalPredicate` — an arbitrary expression over the
+  system-wide variables (e.g. the exhibition hall's
+  ``Σ(x_i − y_i) > 200``).
+
+Three modalities (§3.1.1): ``INSTANTANEOUS`` (single time axis),
+``POSSIBLY`` and ``DEFINITELY`` (partial order).  Modality is a
+property of the *detection request*, not the predicate, so it lives in
+its own enum consumed by :mod:`repro.detect`.
+"""
+
+from repro.predicates.base import (
+    Modality,
+    Predicate,
+    PredicateError,
+)
+from repro.predicates.conjunctive import Conjunct, ConjunctivePredicate
+from repro.predicates.relational import RelationalPredicate, SumThresholdPredicate
+from repro.predicates.temporal import TemporalMatch, TemporalPattern, find_matches
+
+__all__ = [
+    "Predicate",
+    "PredicateError",
+    "Modality",
+    "Conjunct",
+    "ConjunctivePredicate",
+    "RelationalPredicate",
+    "SumThresholdPredicate",
+    "TemporalPattern",
+    "TemporalMatch",
+    "find_matches",
+]

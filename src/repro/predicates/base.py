@@ -1,0 +1,134 @@
+"""Predicate and modality base types."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+from typing import Any, Mapping
+
+
+class PredicateError(ValueError):
+    """Raised on malformed predicates or incomplete environments."""
+
+
+class Modality(Enum):
+    """Time modality under which a predicate is to be detected (§3.1.1).
+
+    * ``INSTANTANEOUS`` — the predicate held at some instant of
+      physical time (single time axis; the dominant specification in
+      pervasive systems).
+    * ``POSSIBLY`` — it held in *some* consistent observation of the
+      execution (partial order) [10].
+    * ``DEFINITELY`` — it held in *every* consistent observation [10].
+    """
+
+    INSTANTANEOUS = "instantaneous"
+    POSSIBLY = "possibly"
+    DEFINITELY = "definitely"
+
+
+class Predicate(ABC):
+    """A boolean condition over named, located variables.
+
+    ``variables`` maps variable name → owning process id.  ``evaluate``
+    consumes an environment {variable: value}; missing variables raise
+    :class:`PredicateError` so detectors fail loudly rather than
+    silently defaulting.
+    """
+
+    @property
+    @abstractmethod
+    def variables(self) -> Mapping[str, int]:
+        """Variable name → owning process id."""
+
+    @abstractmethod
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        """Evaluate under a complete environment."""
+
+    # ------------------------------------------------------------------
+    def processes(self) -> list[int]:
+        """Sorted distinct owning processes."""
+        return sorted(set(self.variables.values()))
+
+    def check_env(self, env: Mapping[str, Any]) -> None:
+        missing = [v for v in self.variables if v not in env]
+        if missing:
+            raise PredicateError(f"environment missing variables: {missing}")
+
+    def evaluate_safe(self, env: Mapping[str, Any]) -> bool | None:
+        """Evaluate, returning None when variables are missing — used
+        by online detectors before every location has reported."""
+        try:
+            self.check_env(env)
+        except PredicateError:
+            return None
+        return self.evaluate(env)
+
+    # ------------------------------------------------------------------
+    # Algebra — §3.1: "Combinations of the above can also be constructed."
+    # Composition yields general predicates (the conjunctive *structure*
+    # is lost, so interval detectors reject them; replay detectors work).
+    # ------------------------------------------------------------------
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return ComposedPredicate(self, other, "and")
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return ComposedPredicate(self, other, "or")
+
+    def __invert__(self) -> "Predicate":
+        return NegatedPredicate(self)
+
+
+class ComposedPredicate(Predicate):
+    """Boolean combination of two predicates over merged variables.
+
+    Shared variable names must agree on the owning process.
+    """
+
+    def __init__(self, a: Predicate, b: Predicate, op: str) -> None:
+        if op not in ("and", "or"):
+            raise PredicateError(f"unknown op {op!r}")
+        conflicts = [
+            v for v in set(a.variables) & set(b.variables)
+            if a.variables[v] != b.variables[v]
+        ]
+        if conflicts:
+            raise PredicateError(
+                f"variables owned by different processes in the operands: {conflicts}"
+            )
+        self._a, self._b, self._op = a, b, op
+        self._vars = {**dict(a.variables), **dict(b.variables)}
+
+    @property
+    def variables(self) -> Mapping[str, Any]:
+        return dict(self._vars)
+
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        self.check_env(env)
+        if self._op == "and":
+            return self._a.evaluate(env) and self._b.evaluate(env)
+        return self._a.evaluate(env) or self._b.evaluate(env)
+
+    def __str__(self) -> str:
+        sym = "∧" if self._op == "and" else "∨"
+        return f"({self._a} {sym} {self._b})"
+
+
+class NegatedPredicate(Predicate):
+    """Negation of a predicate."""
+
+    def __init__(self, inner: Predicate) -> None:
+        self._inner = inner
+
+    @property
+    def variables(self) -> Mapping[str, Any]:
+        return dict(self._inner.variables)
+
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        return not self._inner.evaluate(env)
+
+    def __str__(self) -> str:
+        return f"¬{self._inner}"
+
+
+__all__ = ["Predicate", "PredicateError", "Modality", "ComposedPredicate", "NegatedPredicate"]

@@ -1,0 +1,93 @@
+"""Conjunctive predicates — §3.1.2.a.
+
+``φ = ∧_i φ_i`` where each conjunct φ_i is locally evaluable by one
+process on its own variable(s) [14].  The paper's examples:
+
+    ψ = (x_i = 5) ∧ (y_j > 7)
+    χ = (temp_i = 20C ∧ person_in_room_i)
+
+Local evaluability is what makes interval-based Definitely detection
+(Garg–Waldecker, used by [17]) work: each process tracks the maximal
+intervals during which its conjunct is true and only those intervals
+need be shipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.predicates.base import Predicate, PredicateError
+
+
+@dataclass(frozen=True)
+class Conjunct:
+    """One locally-evaluable conjunct.
+
+    Attributes
+    ----------
+    var:
+        Variable name the conjunct reads.
+    pid:
+        Process sensing the variable.
+    test:
+        The local condition on the variable's value.
+    label:
+        Human-readable form for reports (e.g. ``"temp > 30"``).
+    """
+
+    var: str
+    pid: int
+    test: Callable[[Any], bool]
+    label: str = ""
+
+    def holds(self, value: Any) -> bool:
+        return bool(self.test(value))
+
+    def __str__(self) -> str:
+        return self.label or f"φ({self.var}@p{self.pid})"
+
+
+class ConjunctivePredicate(Predicate):
+    """Conjunction of local conjuncts, at most one per variable.
+
+    Examples
+    --------
+    >>> phi = ConjunctivePredicate([
+    ...     Conjunct("motion", 0, lambda v: bool(v), "motion detected"),
+    ...     Conjunct("temp", 1, lambda v: v > 30, "temp > 30"),
+    ... ])
+    >>> phi.evaluate({"motion": True, "temp": 31})
+    True
+    """
+
+    def __init__(self, conjuncts: Sequence[Conjunct]) -> None:
+        if not conjuncts:
+            raise PredicateError("need at least one conjunct")
+        names = [c.var for c in conjuncts]
+        if len(set(names)) != len(names):
+            raise PredicateError(f"duplicate variables in conjuncts: {names}")
+        self._conjuncts = tuple(conjuncts)
+        self._vars = {c.var: c.pid for c in conjuncts}
+
+    @property
+    def conjuncts(self) -> tuple[Conjunct, ...]:
+        return self._conjuncts
+
+    @property
+    def variables(self) -> Mapping[str, int]:
+        return dict(self._vars)
+
+    def conjunct_for(self, pid: int) -> list[Conjunct]:
+        """The conjuncts evaluated at process ``pid``."""
+        return [c for c in self._conjuncts if c.pid == pid]
+
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        self.check_env(env)
+        return all(c.holds(env[c.var]) for c in self._conjuncts)
+
+    def __str__(self) -> str:
+        return " ∧ ".join(str(c) for c in self._conjuncts)
+
+
+__all__ = ["Conjunct", "ConjunctivePredicate"]

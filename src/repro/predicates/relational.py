@@ -1,0 +1,109 @@
+"""Relational predicates — §3.1.2.b.
+
+"A relational predicate φ is an arbitrary expression on the
+system-wide sensed variables", e.g. ``x_i + y_j > 7``.  Relational
+predicates cannot be decomposed into local conjuncts, which is why the
+strobe-clock detectors must assemble (approximately) instantaneous
+global states before evaluating.
+
+:class:`SumThresholdPredicate` is the paper's flagship instance: the
+exhibition-hall occupancy predicate ``Σ_i (x_i − y_i) > 200`` (§5),
+provided as a first-class type because E5 sweeps it and because its
+linear structure lets detectors compute borderline margins cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.predicates.base import Predicate, PredicateError
+
+
+class RelationalPredicate(Predicate):
+    """Arbitrary boolean expression over located variables.
+
+    Parameters
+    ----------
+    variables:
+        Mapping variable name → owning process id.
+    fn:
+        The expression; receives the environment dict.
+    label:
+        Human-readable form.
+
+    Examples
+    --------
+    >>> phi = RelationalPredicate({"x": 0, "y": 1}, lambda e: e["x"] + e["y"] > 7)
+    >>> phi.evaluate({"x": 3, "y": 5})
+    True
+    """
+
+    def __init__(
+        self,
+        variables: Mapping[str, int],
+        fn: Callable[[Mapping[str, Any]], bool],
+        label: str = "",
+    ) -> None:
+        if not variables:
+            raise PredicateError("need at least one variable")
+        self._vars = dict(variables)
+        self._fn = fn
+        self._label = label
+
+    @property
+    def variables(self) -> Mapping[str, int]:
+        return dict(self._vars)
+
+    def evaluate(self, env: Mapping[str, Any]) -> bool:
+        self.check_env(env)
+        return bool(self._fn(env))
+
+    def __str__(self) -> str:
+        return self._label or f"φ({', '.join(sorted(self._vars))})"
+
+
+class SumThresholdPredicate(RelationalPredicate):
+    """``Σ_i weight_i · var_i  >  threshold`` (strict).
+
+    The exhibition hall's φ = Σ(x_i − y_i) > 200 is expressed with +1
+    weights on the entry counters and −1 weights on the exit counters.
+
+    ``margin(env)`` returns the signed distance from the threshold —
+    detectors use it to size the race window ("borderline bin", §5).
+    """
+
+    def __init__(
+        self,
+        terms: Sequence[tuple[str, int, float]],
+        threshold: float,
+        label: str = "",
+    ) -> None:
+        """``terms``: (variable, owning pid, weight) triples."""
+        if not terms:
+            raise PredicateError("need at least one term")
+        names = [t[0] for t in terms]
+        if len(set(names)) != len(names):
+            raise PredicateError(f"duplicate variables: {names}")
+        self._weights = {name: float(w) for name, _, w in terms}
+        self._threshold = float(threshold)
+        variables = {name: pid for name, pid, _ in terms}
+        super().__init__(
+            variables,
+            lambda env: self.total(env) > self._threshold,
+            label or f"Σ w·v > {threshold}",
+        )
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    def total(self, env: Mapping[str, Any]) -> float:
+        self.check_env(env)
+        return sum(self._weights[v] * env[v] for v in self._weights)
+
+    def margin(self, env: Mapping[str, Any]) -> float:
+        """Signed distance above the threshold (positive = predicate true)."""
+        return self.total(env) - self._threshold
+
+
+__all__ = ["RelationalPredicate", "SumThresholdPredicate"]

@@ -1,0 +1,141 @@
+"""Relative timing relations on predicate intervals (§3.1.1.a.ii).
+
+The paper's single-time-axis specification space includes relative
+relations between *intervals of predicate truth*: "X before Y",
+"X overlaps Y", "X before Y by real-time greater than 5 seconds", with
+the secure-banking example of [22]: "a biometric key is presented
+remotely after a password is entered across the network."
+
+A :class:`TemporalPattern` names two interval streams (each the
+maximal truth intervals of a sub-predicate, from the oracle or from a
+detector's reconstruction) and a required Allen relation, optionally
+constrained by a metric gap bound.  :func:`find_matches` returns every
+(x, y) interval pair satisfying the pattern — repeated semantics, like
+everything else in this repository.
+
+This layer is deliberately time-axis-agnostic: feed it oracle
+intervals for ground truth, or intervals reconstructed from detector
+output for the deployed behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.intervals.allen import AllenRelation, allen_relation
+from repro.world.ground_truth import TrueInterval
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalMatch:
+    """One (x, y) pair satisfying a pattern."""
+
+    x: TrueInterval
+    y: TrueInterval
+    relation: AllenRelation
+    gap: float
+    """Signed gap y.start − x.end (positive when y starts after x ends)."""
+
+
+@dataclass(frozen=True)
+class TemporalPattern:
+    """``X <relations> Y`` with an optional metric gap constraint.
+
+    Parameters
+    ----------
+    relations:
+        Accepted Allen relations of (x, y).  E.g. ``{BEFORE, MEETS}``
+        for "X before Y"; ``{OVERLAPS, STARTS, DURING, FINISHES,
+        EQUAL, FINISHED_BY, CONTAINS, STARTED_BY, OVERLAPPED_BY}`` for
+        "X overlaps Y" in the loose sense.
+    min_gap / max_gap:
+        Bounds on ``y.start − x.end`` (seconds).  ``min_gap=5.0`` with
+        BEFORE expresses "X before Y by more than 5 seconds";
+        ``max_gap=30.0`` expresses a freshness window (the banking
+        example: the biometric must follow the password within 30 s).
+    label:
+        Human-readable name.
+    """
+
+    relations: frozenset
+    min_gap: float | None = None
+    max_gap: float | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.relations:
+            raise ValueError("need at least one accepted relation")
+        bad = [r for r in self.relations if not isinstance(r, AllenRelation)]
+        if bad:
+            raise ValueError(f"not Allen relations: {bad}")
+        if (
+            self.min_gap is not None
+            and self.max_gap is not None
+            and self.min_gap > self.max_gap
+        ):
+            raise ValueError("min_gap exceeds max_gap")
+
+    # -- factories for the paper's stock phrases ------------------------
+    @staticmethod
+    def before(min_gap: float | None = None, max_gap: float | None = None,
+               label: str = "") -> "TemporalPattern":
+        """"X before Y" (disjoint, X first), optionally "by more than
+        min_gap" / "within max_gap"."""
+        return TemporalPattern(
+            frozenset({AllenRelation.BEFORE, AllenRelation.MEETS}),
+            min_gap=min_gap, max_gap=max_gap,
+            label=label or "X before Y",
+        )
+
+    @staticmethod
+    def overlaps(label: str = "") -> "TemporalPattern":
+        """"X overlaps Y": the two truth intervals share an instant."""
+        shared = {
+            AllenRelation.OVERLAPS, AllenRelation.OVERLAPPED_BY,
+            AllenRelation.STARTS, AllenRelation.STARTED_BY,
+            AllenRelation.DURING, AllenRelation.CONTAINS,
+            AllenRelation.FINISHES, AllenRelation.FINISHED_BY,
+            AllenRelation.EQUAL,
+        }
+        return TemporalPattern(frozenset(shared), label=label or "X overlaps Y")
+
+    # -- evaluation ------------------------------------------------------
+    def matches(self, x: TrueInterval, y: TrueInterval) -> bool:
+        rel = allen_relation(x.start, x.end, y.start, y.end)
+        if rel not in self.relations:
+            return False
+        gap = y.start - x.end
+        if self.min_gap is not None and not gap > self.min_gap:
+            return False
+        if self.max_gap is not None and not gap <= self.max_gap:
+            return False
+        return True
+
+    def __str__(self) -> str:
+        return self.label or f"pattern({sorted(r.value for r in self.relations)})"
+
+
+def find_matches(
+    pattern: TemporalPattern,
+    xs: Sequence[TrueInterval],
+    ys: Sequence[TrueInterval],
+) -> list[TemporalMatch]:
+    """Every (x, y) pair satisfying the pattern, in (x.start, y.start)
+    order.  Quadratic; interval streams here are small (occurrences of
+    a predicate, not raw events)."""
+    out = []
+    for x in sorted(xs, key=lambda iv: iv.start):
+        for y in sorted(ys, key=lambda iv: iv.start):
+            if pattern.matches(x, y):
+                out.append(
+                    TemporalMatch(
+                        x, y,
+                        allen_relation(x.start, x.end, y.start, y.end),
+                        y.start - x.end,
+                    )
+                )
+    return out
+
+
+__all__ = ["TemporalPattern", "TemporalMatch", "find_matches"]

@@ -1,0 +1,208 @@
+"""Windowed temporal logic over world histories (§3.1.1.a.iv).
+
+The paper's specification design space includes "temporal logic
+(*TL*) based" modalities, citing the sensor-network requirement logics
+surveyed in [6].  This module provides a small, exact evaluator for a
+metric (windowed) LTL fragment over the piecewise-constant world
+histories recorded by :class:`~repro.world.ground_truth.GroundTruthLog`:
+
+    φ ::= atom(f) | ¬φ | φ ∧ φ | φ ∨ φ
+        | F[w] φ   (eventually within w seconds)
+        | G[w] φ   (always for the next w seconds)
+        | φ U[w] ψ (φ holds until ψ, with ψ within w seconds)
+
+Evaluation is exact, not sampled: world state only changes at write
+times, so each operator quantifies over the (finite) change points
+inside its window plus the window endpoints.
+
+This evaluates against the *oracle* history — it is a specification
+tool (what should have held), complementing the detectors (what the
+network plane could observe).  Examples: "whenever occupancy exceeds
+the limit, it returns below it within 60 s" is
+``G[T] (atom(over) → F[60] atom(¬over))`` — see the tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.world.ground_truth import GroundTruthLog
+
+Snapshot = Mapping[tuple[str, str], Any]
+
+
+class Formula(ABC):
+    """Base class for TL formulas; combinators via &, |, ~, >>."""
+
+    @abstractmethod
+    def holds(self, log: GroundTruthLog, t: float, t_end: float) -> bool:
+        """Does the formula hold at instant ``t`` of the history,
+        with the run known up to ``t_end``?"""
+
+    # -- operator sugar ---------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return Or(Not(self), other)
+
+    # -- quantified check over a run --------------------------------------
+    def check_points(self, log: GroundTruthLog, t_end: float) -> list[float]:
+        """The change points of the history up to t_end, plus 0."""
+        pts = [0.0] + [t for t in log.change_times() if t <= t_end]
+        return sorted(set(pts))
+
+    def always_on_run(self, log: GroundTruthLog, t_end: float) -> bool:
+        """Does the formula hold at every instant of [0, t_end]?"""
+        return all(self.holds(log, t, t_end) for t in self.check_points(log, t_end))
+
+    def ever_on_run(self, log: GroundTruthLog, t_end: float) -> bool:
+        """Does the formula hold at some instant of [0, t_end]?"""
+        return any(self.holds(log, t, t_end) for t in self.check_points(log, t_end))
+
+
+def _window_points(log: GroundTruthLog, t: float, w: float, t_end: float) -> list[float]:
+    """Evaluation instants covering [t, min(t+w, t_end)] exactly for
+    piecewise-constant state: both endpoints plus interior changes."""
+    hi = min(t + w, t_end)
+    pts = [t, hi] if hi > t else [t]
+    pts += [c for c in log.change_times() if t < c <= hi]
+    return sorted(set(pts))
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """State predicate on the world snapshot."""
+
+    fn: Callable[[Snapshot], bool]
+    label: str = "atom"
+
+    def holds(self, log: GroundTruthLog, t: float, t_end: float) -> bool:
+        return bool(self.fn(log.snapshot(t)))
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    f: Formula
+
+    def holds(self, log: GroundTruthLog, t: float, t_end: float) -> bool:
+        return not self.f.holds(log, t, t_end)
+
+    def __str__(self) -> str:
+        return f"¬{self.f}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    a: Formula
+    b: Formula
+
+    def holds(self, log: GroundTruthLog, t: float, t_end: float) -> bool:
+        return self.a.holds(log, t, t_end) and self.b.holds(log, t, t_end)
+
+    def __str__(self) -> str:
+        return f"({self.a} ∧ {self.b})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    a: Formula
+    b: Formula
+
+    def holds(self, log: GroundTruthLog, t: float, t_end: float) -> bool:
+        return self.a.holds(log, t, t_end) or self.b.holds(log, t, t_end)
+
+    def __str__(self) -> str:
+        return f"({self.a} ∨ {self.b})"
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    """F[w] φ — φ holds at some instant within the next w seconds."""
+
+    f: Formula
+    window: float
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise ValueError("window must be non-negative")
+
+    def holds(self, log: GroundTruthLog, t: float, t_end: float) -> bool:
+        return any(
+            self.f.holds(log, u, t_end)
+            for u in _window_points(log, t, self.window, t_end)
+        )
+
+    def __str__(self) -> str:
+        return f"F[{self.window}]{self.f}"
+
+
+@dataclass(frozen=True)
+class Always(Formula):
+    """G[w] φ — φ holds at every instant of the next w seconds."""
+
+    f: Formula
+    window: float
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise ValueError("window must be non-negative")
+
+    def holds(self, log: GroundTruthLog, t: float, t_end: float) -> bool:
+        return all(
+            self.f.holds(log, u, t_end)
+            for u in _window_points(log, t, self.window, t_end)
+        )
+
+    def __str__(self) -> str:
+        return f"G[{self.window}]{self.f}"
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    """φ U[w] ψ — ψ holds within w seconds, and φ holds at every
+    instant before that (strong until)."""
+
+    f: Formula
+    g: Formula
+    window: float
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise ValueError("window must be non-negative")
+
+    def holds(self, log: GroundTruthLog, t: float, t_end: float) -> bool:
+        pts = _window_points(log, t, self.window, t_end)
+        for i, u in enumerate(pts):
+            if self.g.holds(log, u, t_end):
+                return all(self.f.holds(log, v, t_end) for v in pts[:i])
+        return False
+
+    def __str__(self) -> str:
+        return f"({self.f} U[{self.window}] {self.g})"
+
+
+def attr_atom(obj: str, attr: str, test: Callable[[Any], bool], *,
+              default: Any = None, label: str = "") -> Atom:
+    """Convenience: an atom testing one object attribute."""
+    return Atom(
+        lambda snap: bool(test(snap.get((obj, attr), default))),
+        label or f"{obj}.{attr}",
+    )
+
+
+__all__ = [
+    "Formula", "Atom", "Not", "And", "Or",
+    "Eventually", "Always", "Until", "attr_atom",
+]

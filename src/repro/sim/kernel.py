@@ -1,0 +1,248 @@
+"""Heap-based discrete-event simulation kernel.
+
+The kernel is intentionally minimal: a priority queue of
+``(time, priority, seq)``-ordered callbacks and a run loop.  All model
+behaviour (message delivery, sensing, clock protocols) is expressed as
+callbacks scheduled on a :class:`Simulator`.
+
+Determinism contract
+--------------------
+Two events scheduled for the same simulation time fire in order of
+``priority`` (lower first), then in FIFO order of scheduling (the
+monotone sequence number).  Because every source of randomness in the
+repository draws from seeded generators (:mod:`repro.sim.rng`), a run
+is a pure function of its configuration.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, re-running, ...)."""
+
+
+class CancelledError(SimulationError):
+    """Raised when interacting with a cancelled scheduled event."""
+
+
+#: Default priority for model events.
+PRIORITY_NORMAL = 0
+#: Priority for bookkeeping that must run before model events at a time.
+PRIORITY_EARLY = -10
+#: Priority for bookkeeping that must run after model events at a time.
+PRIORITY_LATE = 10
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback registered with the simulator.
+
+    Instances are ordered by ``(time, priority, seq)`` which is exactly
+    the kernel's firing order.  ``cancel()`` marks the entry dead; the
+    heap lazily discards dead entries when they surface.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    _cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock (seconds).
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule_at(1.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.5]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+        #: Hooks invoked after every fired event; used by trace recorders.
+        self._post_hooks: list[Callable[[ScheduledEvent], None]] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current *true physical* simulation time in seconds.
+
+        Model code standing in for real sensor processes must not read
+        this directly; it is the ground-truth axis the paper says is
+        unavailable.  Only the oracle, the world plane, and physical
+        clock models may consult it.
+        """
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks fired so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) entries still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to fire at absolute time ``time``.
+
+        Scheduling strictly in the past raises :class:`SimulationError`;
+        scheduling at exactly ``now`` is allowed and fires after the
+        currently executing event completes.
+        """
+        t = float(time)
+        if t < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={t} (< now={self._now}): {label!r}"
+            )
+        ev = ScheduledEvent(t, priority, next(self._seq), callback, label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for {label!r}")
+        return self.schedule_at(
+            self._now + float(delay), callback, priority=priority, label=label
+        )
+
+    def add_post_hook(self, hook: Callable[[ScheduledEvent], None]) -> None:
+        """Register a hook called after every fired event (tracing)."""
+        self._post_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def _pop_live(self) -> ScheduledEvent | None:
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                return ev
+        return None
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False if queue is empty."""
+        ev = self._pop_live()
+        if ev is None:
+            return False
+        self._now = ev.time
+        ev.callback()
+        self._processed += 1
+        for hook in self._post_hooks:
+            hook(ev)
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` callbacks have fired.
+
+        ``until`` is inclusive: events scheduled exactly at ``until``
+        fire; the clock is left at ``until`` if it is reached.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    return
+                ev = self._pop_live()
+                if ev is None:
+                    if until is not None and until > self._now:
+                        self._now = float(until)
+                    return
+                if until is not None and ev.time > until:
+                    # Put it back; we are done for this horizon.
+                    heapq.heappush(self._heap, ev)
+                    self._now = float(until)
+                    return
+                self._now = ev.time
+                ev.callback()
+                self._processed += 1
+                fired += 1
+                for hook in self._post_hooks:
+                    hook(ev)
+        finally:
+            self._running = False
+
+    def drain(self) -> Iterator[ScheduledEvent]:
+        """Remove and yield all remaining live events without firing them."""
+        while True:
+            ev = self._pop_live()
+            if ev is None:
+                return
+            yield ev
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.6f}, pending={self.pending_events}, "
+            f"processed={self._processed})"
+        )
+
+
+def make_simulator(start_time: float = 0.0) -> Simulator:
+    """Factory kept for symmetry with other subpackages' ``make_*`` helpers."""
+    return Simulator(start_time=start_time)
+
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "SimulationError",
+    "CancelledError",
+    "PRIORITY_NORMAL",
+    "PRIORITY_EARLY",
+    "PRIORITY_LATE",
+    "make_simulator",
+]

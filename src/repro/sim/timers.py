@@ -1,0 +1,135 @@
+"""One-shot and periodic timers on top of the kernel.
+
+Timers are how model components express "do X after d seconds" without
+holding raw :class:`~repro.sim.kernel.ScheduledEvent` handles all over
+the codebase.  ``PeriodicTimer`` supports optional jitter drawn from a
+supplied generator, which the duty-cycle MAC model and the periodic
+clock-sync protocol both use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.kernel import ScheduledEvent, SimulationError, Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``start`` schedules the callback ``delay`` seconds out; ``cancel``
+    stops it; restarting while pending cancels the previous schedule.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None], label: str = "") -> None:
+        self._sim = sim
+        self._callback = callback
+        self._label = label or "timer"
+        self._pending: ScheduledEvent | None = None
+
+    @property
+    def pending(self) -> bool:
+        return self._pending is not None and not self._pending.cancelled
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer ``delay`` seconds from now."""
+        self.cancel()
+        self._pending = self._sim.schedule_after(
+            delay, self._fire, label=self._label
+        )
+
+    def cancel(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _fire(self) -> None:
+        self._pending = None
+        self._callback()
+
+
+class PeriodicTimer:
+    """A self-rescheduling timer with optional uniform jitter.
+
+    Parameters
+    ----------
+    period:
+        Nominal period in seconds; must be positive.
+    jitter:
+        Half-width of a uniform jitter added to each period.  Requires
+        ``rng`` when nonzero.  Effective gaps are clipped to stay
+        positive.
+    rng:
+        Generator used for jitter draws.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        callback: Callable[[], None],
+        period: float,
+        *,
+        jitter: float = 0.0,
+        rng: np.random.Generator | None = None,
+        label: str = "",
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        if jitter < 0:
+            raise SimulationError(f"jitter must be non-negative, got {jitter}")
+        if jitter > 0 and rng is None:
+            raise SimulationError("jitter requires an rng")
+        self._sim = sim
+        self._callback = callback
+        self._period = float(period)
+        self._jitter = float(jitter)
+        self._rng = rng
+        self._label = label or "periodic"
+        self._pending: ScheduledEvent | None = None
+        self._stopped = True
+        self._fires = 0
+
+    @property
+    def fires(self) -> int:
+        """Number of times the callback has run."""
+        return self._fires
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def _next_gap(self) -> float:
+        gap = self._period
+        if self._jitter > 0:
+            assert self._rng is not None
+            gap += float(self._rng.uniform(-self._jitter, self._jitter))
+        return max(gap, 1e-12)
+
+    def start(self, initial_delay: float | None = None) -> None:
+        """Begin firing.  First fire is after ``initial_delay`` if
+        given, else after one (jittered) period."""
+        self.stop()
+        self._stopped = False
+        delay = self._next_gap() if initial_delay is None else float(initial_delay)
+        self._pending = self._sim.schedule_after(delay, self._fire, label=self._label)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _fire(self) -> None:
+        self._pending = None
+        self._fires += 1
+        self._callback()
+        # The callback may have called stop(); only reschedule if not.
+        if not self._stopped:
+            self._pending = self._sim.schedule_after(
+                self._next_gap(), self._fire, label=self._label
+            )
+
+
+__all__ = ["Timer", "PeriodicTimer"]

@@ -1,0 +1,81 @@
+"""Structured trace recording.
+
+A :class:`TraceRecorder` accumulates labelled entries stamped with
+true simulation time.  Detectors never read traces (they only see
+what the network plane delivers); traces exist for the *oracle* and
+for post-hoc analysis/debugging, mirroring the paper's distinction
+between what physically happened and what the observation plane can
+reconstruct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEntry:
+    """One recorded fact: at true time ``t``, ``source`` observed/did
+    ``kind`` with payload ``data``."""
+
+    t: float
+    source: str
+    kind: str
+    data: Any = None
+
+
+class TraceRecorder:
+    """Append-only, time-ordered event trace.
+
+    Entries are appended at the simulator's current time, so the list
+    is non-decreasing in ``t`` by construction.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._entries: list[TraceEntry] = []
+        self._filters: list[Callable[[TraceEntry], bool]] = []
+
+    def record(self, source: str, kind: str, data: Any = None) -> TraceEntry:
+        entry = TraceEntry(self._sim.now, source, kind, data)
+        for f in self._filters:
+            if not f(entry):
+                return entry
+        self._entries.append(entry)
+        return entry
+
+    def add_filter(self, predicate: Callable[[TraceEntry], bool]) -> None:
+        """Only keep entries for which ``predicate`` is true (applied to
+        future records; useful to bound memory in long sweeps)."""
+        self._filters.append(predicate)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, idx: int) -> TraceEntry:
+        return self._entries[idx]
+
+    def entries(self, kind: str | None = None, source: str | None = None) -> list[TraceEntry]:
+        """Entries filtered by kind and/or source."""
+        out = self._entries
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if source is not None:
+            out = [e for e in out if e.source == source]
+        return list(out) if out is self._entries else out
+
+    def between(self, t0: float, t1: float) -> list[TraceEntry]:
+        """Entries with ``t0 <= t <= t1`` (inclusive both ends)."""
+        return [e for e in self._entries if t0 <= e.t <= t1]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+__all__ = ["TraceRecorder", "TraceEntry"]

@@ -1,0 +1,13 @@
+"""Text-based visualization.
+
+No plotting dependencies exist in the offline environment, so the
+repository renders its pictures as text: timeline (Gantt) charts of
+predicate truth intervals and detections, Hasse diagrams of small
+cut lattices, and clock-stamp tables.  Used by examples and handy in
+test failure output.
+"""
+
+from repro.viz.timeline import render_timeline, TimelineRow
+from repro.viz.hasse import render_hasse
+
+__all__ = ["render_timeline", "TimelineRow", "render_hasse"]

@@ -1,0 +1,38 @@
+"""ASCII Hasse diagram of small consistent-cut lattices.
+
+Renders the lattice level by level (level = included-event count),
+one line per level, cuts as tuples::
+
+    L4:                (2,2)
+    L3:          (2,1)   (1,2)
+    L2:    (2,0)   (1,1)   (0,2)
+    ...
+
+Widths beyond ~12 cuts per level are elided with a count — the tool is
+for the small pedagogical lattices of the examples, not for the
+O(pⁿ) monsters (print their stats instead).
+"""
+
+from __future__ import annotations
+
+from repro.lattice.lattice import StateLattice
+
+
+def render_hasse(lattice: StateLattice, *, max_row: int = 12) -> str:
+    """Render the lattice's levels bottom-up (initial cut last)."""
+    levels = lattice.enumerate_levels()
+    total_width = max(
+        len("   ".join(str(c.counts) for c in lv[:max_row])) for lv in levels
+    )
+    lines = []
+    for idx in range(len(levels) - 1, -1, -1):
+        level = levels[idx]
+        shown = level[:max_row]
+        row = "   ".join(str(c.counts) for c in shown)
+        if len(level) > max_row:
+            row += f"   … (+{len(level) - max_row})"
+        lines.append(f"L{idx:<3} {row.center(total_width)}")
+    return "\n".join(lines)
+
+
+__all__ = ["render_hasse"]

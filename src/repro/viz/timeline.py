@@ -1,0 +1,79 @@
+"""ASCII timeline (Gantt) rendering.
+
+Renders labelled rows of intervals and point events against a shared
+time axis::
+
+    truth     |  ████████      ██████                    |
+    vector    |  ^       ^b    ^                         |
+    time      0.0 ------------------------------- 120.0
+
+Intervals fill with ``█``; point events are ``^`` (or ``b`` for
+borderline detections).  Designed for predicate-truth vs detection
+comparisons — see ``examples/timeline_demo.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.world.ground_truth import TrueInterval
+
+
+@dataclass
+class TimelineRow:
+    """One labelled row: intervals (bars) and/or events (markers)."""
+
+    label: str
+    intervals: Sequence[TrueInterval] = field(default_factory=list)
+    events: Sequence[tuple[float, str]] = field(default_factory=list)
+    """(time, marker) pairs; marker is a single character."""
+
+
+def render_timeline(
+    rows: Sequence[TimelineRow],
+    *,
+    t_start: float = 0.0,
+    t_end: float,
+    width: int = 72,
+    bar: str = "█",
+) -> str:
+    """Render rows against [t_start, t_end] in ``width`` columns."""
+    if t_end <= t_start:
+        raise ValueError("t_end must exceed t_start")
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    span = t_end - t_start
+    label_w = max((len(r.label) for r in rows), default=5)
+
+    def col(t: float) -> int:
+        frac = (t - t_start) / span
+        return max(0, min(width - 1, int(frac * width)))
+
+    lines = []
+    for row in rows:
+        cells = [" "] * width
+        for iv in row.intervals:
+            lo = col(max(iv.start, t_start))
+            hi_t = min(iv.end, t_end)
+            hi = col(hi_t) if hi_t > iv.start else lo
+            for c in range(lo, max(hi, lo + 1)):
+                cells[c] = bar
+        for t, marker in row.events:
+            if t_start <= t <= t_end:
+                cells[col(t)] = (marker or "^")[0]
+        lines.append(f"{row.label.ljust(label_w)} |{''.join(cells)}|")
+    axis = f"{'time'.ljust(label_w)}  {t_start:<8.1f}{' ' * max(0, width - 16)}{t_end:>8.1f}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def detection_markers(detections) -> list[tuple[float, str]]:
+    """Markers for a detection list: '^' firm, 'b' borderline."""
+    return [
+        (d.trigger.true_time, "^" if d.firm else "b")
+        for d in detections
+    ]
+
+
+__all__ = ["render_timeline", "TimelineRow", "detection_markers"]

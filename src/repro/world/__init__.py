@@ -1,0 +1,45 @@
+"""World plane ⟨O, C⟩ substrate (paper §2.1).
+
+The world plane is the set of *passive* external objects with
+attributes that sensors observe.  Its defining properties, all
+enforced here:
+
+* objects have **no clock** — world events are stamped with true
+  simulation time only inside the ground-truth log, which model code
+  standing in for real processes never reads;
+* objects may communicate over **covert channels** ``C`` that the
+  network plane cannot observe (§2.1, §4.1) — covert sends create real
+  world-plane causality that detectors cannot see, which is the crux
+  of the paper's argument against partial-order *specification*;
+* objects "need not behave deterministically" — arrival processes are
+  stochastic generators.
+
+The :class:`GroundTruthLog` is the oracle: it can answer, after a run,
+exactly when a predicate on object attributes held in true physical
+time.  All accuracy metrics compare detector output against it.
+"""
+
+from repro.world.objects import AttributeChange, WorldObject, WorldState
+from repro.world.covert import CovertChannel, CovertEvent
+from repro.world.generators import (
+    BurstyProcess,
+    PoissonProcess,
+    TraceReplay,
+)
+from repro.world.mobility import RandomWaypoint, ZoneTransitions
+from repro.world.ground_truth import GroundTruthLog, TrueInterval
+
+__all__ = [
+    "WorldObject",
+    "WorldState",
+    "AttributeChange",
+    "CovertChannel",
+    "CovertEvent",
+    "PoissonProcess",
+    "BurstyProcess",
+    "TraceReplay",
+    "RandomWaypoint",
+    "ZoneTransitions",
+    "GroundTruthLog",
+    "TrueInterval",
+]

@@ -1,0 +1,115 @@
+"""Covert (hidden) channels in the world plane.
+
+§2.1: "The objects in O can communicate with one another over the
+physical world overlay C; such communication may or may not be sensed
+by the processes in P … termed covert or hidden channels."
+
+A :class:`CovertChannel` carries influence between world objects after
+a physical propagation delay (wind spreading fire, a letter in the
+post, a handed-over pen).  Each transmission creates a *true*
+causality edge in the world plane, logged for the oracle; the network
+plane receives no notification — which is exactly why the partial
+order is untrackable as a specification tool (§4.1, experiment E10
+quantifies the consequence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim.kernel import Simulator
+from repro.world.objects import WorldState
+
+
+@dataclass(frozen=True, slots=True)
+class CovertEvent:
+    """One covert transmission: ``src`` influenced ``dst``.
+
+    ``sent_at``/``arrived_at`` are true times; the pair is a causal
+    edge in the world plane's happens-before relation.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any
+    sent_at: float
+    arrived_at: float
+
+
+#: Effect applied at the destination when the influence arrives.
+Effect = Callable[[WorldState, CovertEvent], None]
+
+
+class CovertChannel:
+    """A directed physical influence channel between world objects.
+
+    Parameters
+    ----------
+    sim, world:
+        Kernel and world state.
+    propagation_delay:
+        Physical transport time (seconds) — two days for a letter,
+        fractions of a second for sound.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        world: WorldState,
+        *,
+        propagation_delay: float = 0.0,
+    ) -> None:
+        if propagation_delay < 0:
+            raise ValueError("propagation_delay must be non-negative")
+        self._sim = sim
+        self._world = world
+        self._delay = float(propagation_delay)
+        #: every covert transmission, for the oracle / E10
+        self.log: list[CovertEvent] = []
+
+    @property
+    def propagation_delay(self) -> float:
+        return self._delay
+
+    def transmit(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: Any = None,
+        *,
+        effect: Effect | None = None,
+        delay: float | None = None,
+    ) -> CovertEvent:
+        """Send a covert influence from ``src`` to ``dst``.
+
+        ``effect`` runs at the destination on arrival (e.g. set the
+        destination object's attribute).  Both endpoints must exist.
+        """
+        if src not in self._world or dst not in self._world:
+            raise KeyError(f"both endpoints must be world objects: {src!r}->{dst!r}")
+        d = self._delay if delay is None else float(delay)
+        if d < 0:
+            raise ValueError("delay must be non-negative")
+        ev = CovertEvent(
+            src=src, dst=dst, kind=kind, payload=payload,
+            sent_at=self._sim.now, arrived_at=self._sim.now + d,
+        )
+        self.log.append(ev)
+
+        def arrive() -> None:
+            if effect is not None:
+                effect(self._world, ev)
+
+        self._sim.schedule_after(d, arrive, label=f"covert:{kind}")
+        return ev
+
+    def causal_edges(self) -> list[tuple[str, float, str, float]]:
+        """(src, sent_at, dst, arrived_at) tuples — the hidden causality
+        the network plane cannot see."""
+        return [(e.src, e.sent_at, e.dst, e.arrived_at) for e in self.log]
+
+
+__all__ = ["CovertChannel", "CovertEvent", "Effect"]

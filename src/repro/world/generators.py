@@ -1,0 +1,190 @@
+"""World-event generators: the stochastic drivers of the world plane.
+
+The paper's accuracy argument hinges on the *rate* of world events
+relative to Δ (§3.3: "the rate of occurrence of sensed events is
+comparatively low … events are often rare, compared to Δ").  These
+generators let the E3 sweep set that ratio precisely:
+
+* :class:`PoissonProcess` — memoryless arrivals at a fixed rate,
+  the baseline for human movement through doors.
+* :class:`BurstyProcess` — a 2-state Markov-modulated Poisson process,
+  modelling crowd surges (conference breaks) where races concentrate.
+* :class:`TraceReplay` — fixed (time, action) scripts for the
+  deterministic constructions E1/E6/E8 need.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.sim.kernel import Simulator
+
+Action = Callable[[], None]
+
+
+class PoissonProcess:
+    """Homogeneous Poisson arrivals driving an action callback.
+
+    Parameters
+    ----------
+    rate:
+        Events per second (> 0).
+    action:
+        Called once per arrival.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate: float,
+        action: Action,
+        *,
+        rng: np.random.Generator,
+        label: str = "poisson",
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self._sim = sim
+        self._rate = float(rate)
+        self._action = action
+        self._rng = rng
+        self._label = label
+        self._stopped = True
+        self.arrivals = 0
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def start(self) -> None:
+        self._stopped = False
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        gap = float(self._rng.exponential(1.0 / self._rate))
+        self._sim.schedule_after(gap, self._fire, label=self._label)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.arrivals += 1
+        self._action()
+        if not self._stopped:
+            self._schedule_next()
+
+
+class BurstyProcess:
+    """Two-state MMPP: alternates quiet and burst phases.
+
+    In the quiet state arrivals come at ``base_rate``; in the burst
+    state at ``burst_rate``.  Phase durations are exponential with the
+    given means.  Burstiness concentrates near-simultaneous world
+    events — the "races" that make detection hard (§3.3, §5).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        action: Action,
+        *,
+        base_rate: float,
+        burst_rate: float,
+        mean_quiet: float,
+        mean_burst: float,
+        rng: np.random.Generator,
+        label: str = "bursty",
+    ) -> None:
+        for name, v in (
+            ("base_rate", base_rate), ("burst_rate", burst_rate),
+            ("mean_quiet", mean_quiet), ("mean_burst", mean_burst),
+        ):
+            if v <= 0:
+                raise ValueError(f"{name} must be positive, got {v}")
+        self._sim = sim
+        self._action = action
+        self._base = float(base_rate)
+        self._burst = float(burst_rate)
+        self._mq = float(mean_quiet)
+        self._mb = float(mean_burst)
+        self._rng = rng
+        self._label = label
+        self._in_burst = False
+        self._phase_end = 0.0
+        self._stopped = True
+        self.arrivals = 0
+
+    @property
+    def in_burst(self) -> bool:
+        return self._in_burst
+
+    def _current_rate(self) -> float:
+        return self._burst if self._in_burst else self._base
+
+    def start(self) -> None:
+        self._stopped = False
+        self._in_burst = False
+        self._phase_end = self._sim.now + float(self._rng.exponential(self._mq))
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _maybe_switch_phase(self) -> None:
+        while self._sim.now >= self._phase_end:
+            self._in_burst = not self._in_burst
+            mean = self._mb if self._in_burst else self._mq
+            self._phase_end += float(self._rng.exponential(mean))
+
+    def _schedule_next(self) -> None:
+        self._maybe_switch_phase()
+        gap = float(self._rng.exponential(1.0 / self._current_rate()))
+        self._sim.schedule_after(gap, self._fire, label=self._label)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._maybe_switch_phase()
+        self.arrivals += 1
+        self._action()
+        if not self._stopped:
+            self._schedule_next()
+
+
+class TraceReplay:
+    """Deterministic replay of a scripted (time, action) sequence.
+
+    Times are absolute; actions run in script order at their times.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        script: Sequence[tuple[float, Action]],
+        *,
+        label: str = "trace",
+    ) -> None:
+        self._sim = sim
+        self._script = sorted(script, key=lambda p: p[0])
+        self._label = label
+        self.replayed = 0
+
+    def start(self) -> None:
+        for t, action in self._script:
+            self._sim.schedule_at(
+                t, lambda a=action: self._run(a), label=self._label
+            )
+
+    def _run(self, action: Action) -> None:
+        self.replayed += 1
+        action()
+
+    def __len__(self) -> int:
+        return len(self._script)
+
+
+__all__ = ["PoissonProcess", "BurstyProcess", "TraceReplay", "Action"]

@@ -1,0 +1,154 @@
+"""Ground-truth oracle over world-plane history.
+
+Records every attribute write with its true time and can reconstruct
+(a) the exact attribute values at any instant and (b) the exact set of
+maximal intervals during which an arbitrary predicate on the world
+state held.  Detector accuracy (false positives / negatives, E1–E5,
+E9, E11) is always measured against this oracle.
+
+The oracle is strictly *post-hoc*: nothing in the network plane ever
+queries it during a run.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True, slots=True)
+class TrueInterval:
+    """A maximal interval [start, end) during which a predicate held.
+
+    ``end`` is ``inf`` when the predicate still held at the end of the
+    recorded history.
+    """
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "TrueInterval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+class GroundTruthLog:
+    """Time-ordered log of (t, obj, attr, value) writes with queries."""
+
+    def __init__(self) -> None:
+        # Per (obj, attr): parallel lists of times and values.
+        self._times: dict[tuple[str, str], list[float]] = {}
+        self._values: dict[tuple[str, str], list[Any]] = {}
+        self._all_times: list[float] = []
+
+    def record(self, t: float, obj: str, attr: str, value: Any) -> None:
+        key = (obj, attr)
+        ts = self._times.setdefault(key, [])
+        if ts and t < ts[-1]:
+            raise ValueError(
+                f"ground truth must be recorded in time order; got {t} after {ts[-1]}"
+            )
+        ts.append(float(t))
+        self._values.setdefault(key, []).append(value)
+        self._all_times.append(float(t))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_records(self) -> int:
+        return len(self._all_times)
+
+    def keys(self) -> list[tuple[str, str]]:
+        return sorted(self._times)
+
+    def horizon(self) -> float:
+        """Latest recorded time (0.0 for an empty log)."""
+        return self._all_times[-1] if self._all_times else 0.0
+
+    def value_at(self, obj: str, attr: str, t: float, default: Any = None) -> Any:
+        """Attribute value in force at true time ``t`` (last write ≤ t)."""
+        key = (obj, attr)
+        ts = self._times.get(key)
+        if not ts:
+            return default
+        i = bisect.bisect_right(ts, t) - 1
+        if i < 0:
+            return default
+        return self._values[key][i]
+
+    def change_times(self, obj: str | None = None, attr: str | None = None) -> list[float]:
+        """All write times matching the filters, sorted, deduplicated."""
+        out: list[float] = []
+        for (o, a), ts in self._times.items():
+            if obj is not None and o != obj:
+                continue
+            if attr is not None and a != attr:
+                continue
+            out.extend(ts)
+        return sorted(set(out))
+
+    def snapshot(self, t: float) -> dict[tuple[str, str], Any]:
+        """Complete world state at time ``t`` as {(obj, attr): value}."""
+        return {
+            key: self.value_at(key[0], key[1], t)
+            for key in self._times
+            if self._times[key][0] <= t
+        }
+
+    # ------------------------------------------------------------------
+    def true_intervals(
+        self,
+        predicate: Callable[[dict[tuple[str, str], Any]], bool],
+        *,
+        t_end: float | None = None,
+    ) -> list[TrueInterval]:
+        """Maximal intervals on which ``predicate(snapshot)`` holds.
+
+        The world state is piecewise-constant between writes, so we
+        evaluate the predicate at every distinct write time and merge
+        runs of truth into intervals.  ``t_end`` closes the final open
+        interval (defaults to the log horizon; use the run's end time).
+        """
+        times = sorted(set(self._all_times))
+        if not times:
+            return []
+        end_time = self.horizon() if t_end is None else float(t_end)
+        intervals: list[TrueInterval] = []
+        open_start: float | None = None
+        for t in times:
+            holds = bool(predicate(self.snapshot(t)))
+            if holds and open_start is None:
+                open_start = t
+            elif not holds and open_start is not None:
+                intervals.append(TrueInterval(open_start, t))
+                open_start = None
+        if open_start is not None:
+            intervals.append(TrueInterval(open_start, max(end_time, open_start)))
+        return intervals
+
+    def holds_at(
+        self,
+        predicate: Callable[[dict[tuple[str, str], Any]], bool],
+        t: float,
+    ) -> bool:
+        """Did the predicate hold at instant ``t``?"""
+        return bool(predicate(self.snapshot(t)))
+
+    def occurrence_count(
+        self,
+        predicate: Callable[[dict[tuple[str, str], Any]], bool],
+        *,
+        t_end: float | None = None,
+    ) -> int:
+        """Number of distinct times the predicate *became* true — the
+        quantity the repeated-detection experiment (E8) needs."""
+        return len(self.true_intervals(predicate, t_end=t_end))
+
+
+__all__ = ["GroundTruthLog", "TrueInterval"]

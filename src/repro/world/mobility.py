@@ -1,0 +1,170 @@
+"""Object mobility models.
+
+§2.1: objects "may be static or mobile (e.g., objects with RFID tags,
+animals with embedded chips, humans)."  Two models:
+
+* :class:`RandomWaypoint` — continuous 2-D motion in the unit square;
+  each leg picks a random destination and speed, updating the object's
+  ``position`` attribute at a configurable tick.  Used by habitat-style
+  scenarios and to drive proximity-based sensing.
+* :class:`ZoneTransitions` — discrete room/zone hopping on a zone
+  adjacency graph (exhibition hall doors, hospital wards).  Each hop
+  updates the object's ``zone`` attribute, which is what door sensors
+  observe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.kernel import Simulator
+from repro.world.objects import WorldState
+
+
+class RandomWaypoint:
+    """Random-waypoint motion for one object in the unit square.
+
+    The object's ``position`` attribute is updated every ``tick``
+    seconds while moving.  Speeds are drawn uniformly from
+    ``[v_min, v_max]`` per leg; optional pause between legs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        world: WorldState,
+        oid: str,
+        *,
+        rng: np.random.Generator,
+        v_min: float = 0.5,
+        v_max: float = 1.5,
+        pause: float = 0.0,
+        tick: float = 0.1,
+    ) -> None:
+        if not 0 < v_min <= v_max:
+            raise ValueError("need 0 < v_min <= v_max")
+        if pause < 0 or tick <= 0:
+            raise ValueError("pause must be >= 0 and tick > 0")
+        self._sim = sim
+        self._world = world
+        self._oid = oid
+        self._rng = rng
+        self._v_min, self._v_max = float(v_min), float(v_max)
+        self._pause = float(pause)
+        self._tick = float(tick)
+        obj = world.get(oid)
+        if obj.position is None:
+            obj.position = (float(rng.random()), float(rng.random()))
+        self._pos = np.array(obj.position, dtype=np.float64)
+        self._dest = self._pos.copy()
+        self._speed = 0.0
+        self._stopped = True
+        self.legs = 0
+
+    @property
+    def position(self) -> tuple[float, float]:
+        return (float(self._pos[0]), float(self._pos[1]))
+
+    def start(self) -> None:
+        self._stopped = False
+        self._new_leg()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _new_leg(self) -> None:
+        self._dest = self._rng.random(2)
+        self._speed = float(self._rng.uniform(self._v_min, self._v_max))
+        self.legs += 1
+        self._sim.schedule_after(self._tick, self._step, label="waypoint")
+
+    def _step(self) -> None:
+        if self._stopped:
+            return
+        to_dest = self._dest - self._pos
+        dist = float(np.linalg.norm(to_dest))
+        step = self._speed * self._tick
+        if dist <= step:
+            self._pos = self._dest.copy()
+            self._commit()
+            if self._pause > 0:
+                self._sim.schedule_after(self._pause, self._new_leg, label="waypoint-pause")
+            else:
+                self._new_leg()
+            return
+        self._pos = self._pos + to_dest * (step / dist)
+        self._commit()
+        self._sim.schedule_after(self._tick, self._step, label="waypoint")
+
+    def _commit(self) -> None:
+        pos = (float(self._pos[0]), float(self._pos[1]))
+        self._world.get(self._oid).position = pos
+        self._world.set_attribute(self._oid, "position", pos)
+
+
+class ZoneTransitions:
+    """Discrete zone-hopping mobility for one object.
+
+    ``zones`` maps zone name → list of adjacent zones.  Each dwell time
+    is exponential with mean ``mean_dwell``; on expiry the object moves
+    to a uniformly chosen adjacent zone, updating its ``zone``
+    attribute (the world event a door sensor observes).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        world: WorldState,
+        oid: str,
+        zones: dict[str, list[str]],
+        *,
+        start_zone: str,
+        mean_dwell: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if start_zone not in zones:
+            raise ValueError(f"unknown start zone {start_zone!r}")
+        if mean_dwell <= 0:
+            raise ValueError("mean_dwell must be positive")
+        for z, adj in zones.items():
+            for a in adj:
+                if a not in zones:
+                    raise ValueError(f"zone {z!r} lists unknown neighbor {a!r}")
+        self._sim = sim
+        self._world = world
+        self._oid = oid
+        self._zones = {z: list(adj) for z, adj in zones.items()}
+        self._mean_dwell = float(mean_dwell)
+        self._rng = rng
+        self._stopped = True
+        self.hops = 0
+        world.set_attribute(oid, "zone", start_zone)
+
+    @property
+    def zone(self) -> str:
+        return self._world.get(self._oid).get("zone")
+
+    def start(self) -> None:
+        self._stopped = False
+        self._schedule_hop()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_hop(self) -> None:
+        dwell = float(self._rng.exponential(self._mean_dwell))
+        self._sim.schedule_after(dwell, self._hop, label="zone-hop")
+
+    def _hop(self) -> None:
+        if self._stopped:
+            return
+        adj = self._zones[self.zone]
+        if adj:
+            nxt = adj[int(self._rng.integers(len(adj)))]
+            self._world.set_attribute(self._oid, "zone", nxt)
+            self.hops += 1
+        if not self._stopped:
+            self._schedule_hop()
+
+
+__all__ = ["RandomWaypoint", "ZoneTransitions"]

@@ -1,0 +1,163 @@
+"""World objects and the world state container.
+
+Each object ``o ∈ O`` carries named attributes (``o.a`` in §2.2,
+generalized to multiple attributes).  Attribute writes go through
+:meth:`WorldState.set_attribute`, which
+
+1. appends the change to the ground-truth log (true-time stamped), and
+2. notifies subscribed sensors *if* the change is significant — the
+   paper's "whenever a significant change in the value of an attribute
+   of an object is sensed … it records a sense event n" (§2.2).
+
+Significance is a per-subscription threshold: numeric changes smaller
+than ``min_delta`` are real in the world but below the sensor's
+resolution, a standard sensing-model detail that also matters for the
+false-negative analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.kernel import Simulator
+from repro.world.ground_truth import GroundTruthLog
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeChange:
+    """A world-plane event: object ``obj``'s attribute ``attr`` changed
+    from ``old`` to ``new`` at true time ``t``."""
+
+    t: float
+    obj: str
+    attr: str
+    old: Any
+    new: Any
+
+
+#: A sensor callback: receives the change; must not read true time.
+SensorCallback = Callable[[AttributeChange], None]
+
+
+@dataclass(slots=True)
+class WorldObject:
+    """A passive physical-world object (no clock, no network access)."""
+
+    oid: str
+    attributes: dict = field(default_factory=dict)
+    position: tuple[float, float] | None = None
+
+    def get(self, attr: str, default: Any = None) -> Any:
+        return self.attributes.get(attr, default)
+
+
+class WorldState:
+    """Container for all world objects plus the sensing fabric.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel — used solely to stamp ground truth with
+        true time and to schedule sensing latencies.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._objects: dict[str, WorldObject] = {}
+        self.ground_truth = GroundTruthLog()
+        # (obj, attr) -> list of (callback, min_delta, latency)
+        self._subs: dict[tuple[str, str], list[tuple[SensorCallback, float, float]]] = {}
+        self._wildcard_subs: dict[str, list[tuple[SensorCallback, float, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+    def add_object(self, obj: WorldObject) -> WorldObject:
+        if obj.oid in self._objects:
+            raise ValueError(f"duplicate object id {obj.oid!r}")
+        self._objects[obj.oid] = obj
+        for attr, value in obj.attributes.items():
+            self.ground_truth.record(self._sim.now, obj.oid, attr, value)
+        return obj
+
+    def create(self, oid: str, **attributes: Any) -> WorldObject:
+        """Create and register an object with initial attributes."""
+        return self.add_object(WorldObject(oid, dict(attributes)))
+
+    def get(self, oid: str) -> WorldObject:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise KeyError(f"unknown object {oid!r}") from None
+
+    def objects(self) -> list[WorldObject]:
+        return list(self._objects.values())
+
+    def __contains__(self, oid: str) -> bool:
+        return oid in self._objects
+
+    # ------------------------------------------------------------------
+    # Attribute changes + sensing
+    # ------------------------------------------------------------------
+    def set_attribute(self, oid: str, attr: str, value: Any) -> AttributeChange | None:
+        """Write an attribute; returns the change, or None if the value
+        is unchanged (no world event happened)."""
+        obj = self.get(oid)
+        old = obj.attributes.get(attr)
+        if old == value:
+            return None
+        obj.attributes[attr] = value
+        change = AttributeChange(self._sim.now, oid, attr, old, value)
+        self.ground_truth.record(change.t, oid, attr, value)
+        self._notify(change)
+        return change
+
+    def increment(self, oid: str, attr: str, delta: float = 1) -> AttributeChange | None:
+        """Numeric convenience: ``attr += delta``."""
+        cur = self.get(oid).attributes.get(attr, 0)
+        return self.set_attribute(oid, attr, cur + delta)
+
+    def subscribe(
+        self,
+        callback: SensorCallback,
+        *,
+        obj: str | None = None,
+        attr: str,
+        min_delta: float = 0.0,
+        latency: float = 0.0,
+    ) -> None:
+        """Register a sensor for changes of ``attr``.
+
+        ``obj=None`` subscribes to that attribute on every object.
+        ``min_delta`` suppresses numeric changes below the sensor's
+        resolution; ``latency`` delays the callback by a fixed sensing
+        lag (scheduled on the kernel).
+        """
+        if min_delta < 0 or latency < 0:
+            raise ValueError("min_delta and latency must be non-negative")
+        entry = (callback, float(min_delta), float(latency))
+        if obj is None:
+            self._wildcard_subs.setdefault(attr, []).append(entry)
+        else:
+            self._subs.setdefault((obj, attr), []).append(entry)
+
+    def _notify(self, change: AttributeChange) -> None:
+        entries = list(self._subs.get((change.obj, change.attr), ()))
+        entries += self._wildcard_subs.get(change.attr, ())
+        for callback, min_delta, latency in entries:
+            if min_delta > 0.0:
+                try:
+                    if abs(change.new - change.old) < min_delta:
+                        continue
+                except TypeError:
+                    pass  # non-numeric change: always significant
+            if latency > 0.0:
+                self._sim.schedule_after(
+                    latency, lambda cb=callback, c=change: cb(c), label="sense-latency"
+                )
+            else:
+                callback(change)
+
+
+__all__ = ["WorldObject", "WorldState", "AttributeChange", "SensorCallback"]

@@ -1,0 +1,166 @@
+"""Tests for energy model, race analysis, and sweep utilities."""
+
+import pytest
+
+from repro.analysis.energy import RadioEnergyModel
+from repro.analysis.races import count_races, intervals_shorter_than, race_fraction
+from repro.analysis.sweep import Sweep, format_table
+from repro.core.records import SensedEventRecord
+from repro.net.transport import NetworkStats
+from repro.world.ground_truth import TrueInterval
+
+
+# ---------------------------------------------------------------------------
+# Energy
+# ---------------------------------------------------------------------------
+
+def test_message_energy_additive():
+    m = RadioEnergyModel(e_tx_msg=1.0, e_rx_msg=2.0, e_tx_unit=0.1, e_rx_unit=0.2, p_listen=0.0)
+    # 2 sent (3 units total), 2 delivered (3 units).
+    assert m.message_energy(2, 2, 3, 3) == pytest.approx(2 + 4 + 0.3 + 0.6)
+
+
+def test_network_energy_prorates_dropped():
+    m = RadioEnergyModel(e_tx_msg=1.0, e_rx_msg=1.0, e_tx_unit=0.0, e_rx_unit=0.0, p_listen=0.0)
+    stats = NetworkStats(sent=4, delivered=2, app_messages=4, app_units=8)
+    # TX for 4, RX for 2.
+    assert m.network_energy(stats) == pytest.approx(6.0)
+
+
+def test_listening_energy():
+    m = RadioEnergyModel(p_listen=0.5)
+    assert m.listening_energy(10.0) == pytest.approx(5.0)
+
+
+def test_zero_traffic():
+    m = RadioEnergyModel()
+    assert m.network_energy(NetworkStats()) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Races
+# ---------------------------------------------------------------------------
+
+def rec(pid, t, seq):
+    return SensedEventRecord(pid=pid, seq=seq, var="x", value=1, true_time=t)
+
+
+def test_count_races_cross_process_only():
+    rs = [rec(0, 0.0, 1), rec(0, 0.01, 2), rec(1, 0.02, 1)]
+    # window 0.05: pairs (p0@0, p1@.02) and (p0@.01, p1@.02) race;
+    # the same-process pair does not.
+    assert count_races(rs, 0.05) == 2
+
+
+def test_count_races_window_boundary():
+    rs = [rec(0, 0.0, 1), rec(1, 0.1, 1)]
+    assert count_races(rs, 0.1) == 0      # >= window: ordered
+    assert count_races(rs, 0.11) == 1
+
+
+def test_count_races_zero_window():
+    rs = [rec(0, 1.0, 1), rec(1, 1.0, 1)]
+    assert count_races(rs, 0.0) == 0      # zero window: nothing races
+
+
+def test_race_fraction():
+    rs = [rec(0, 0.0, 1), rec(1, 0.01, 1), rec(0, 10.0, 2)]
+    assert race_fraction(rs, 0.05) == pytest.approx(2 / 3)
+    assert race_fraction([], 0.05) == 0.0
+
+
+def test_race_validation():
+    with pytest.raises(ValueError):
+        count_races([], -1.0)
+    with pytest.raises(ValueError):
+        race_fraction([], -1.0)
+
+
+def test_intervals_shorter_than():
+    ivs = [TrueInterval(0, 1), TrueInterval(2, 2.05), TrueInterval(3, 3.2)]
+    short = intervals_shorter_than(ivs, 0.25)
+    assert short == [TrueInterval(2, 2.05), TrueInterval(3, 3.2)]
+
+
+# ---------------------------------------------------------------------------
+# Sweep + tables
+# ---------------------------------------------------------------------------
+
+def test_sweep_runs_grid_with_distinct_seeds():
+    calls = []
+    def fn(point, seed):
+        calls.append((point, seed))
+        return {"metric": point * 2.0}
+    rows = Sweep(fn, points=[1, 2], reps=3, seed=7).run()
+    assert len(rows) == 2
+    assert rows[0]["point"] == 1 and rows[0]["metric"] == 2.0
+    assert rows[1]["metric"] == 4.0
+    seeds = [s for _, s in calls]
+    assert len(set(seeds)) == 6            # all distinct
+
+
+def test_sweep_seed_stability_per_point():
+    """Adding a point must not change other points' seeds."""
+    def record_seeds(points):
+        seen = {}
+        def fn(point, seed):
+            seen.setdefault(point, []).append(seed)
+            return {"m": 0.0}
+        Sweep(fn, points=points, reps=2, seed=1).run()
+        return seen
+    a = record_seeds([1, 2])
+    b = record_seeds([1, 2, 3])
+    assert a[1] == b[1] and a[2] == b[2]
+
+
+def test_sweep_with_std():
+    import itertools
+    counter = itertools.count()
+    def fn(point, seed):
+        return {"m": float(next(counter))}
+    rows = Sweep(fn, points=[0], reps=4, seed=0).run(with_std=True)
+    assert rows[0]["m"] == pytest.approx(1.5)
+    assert rows[0]["m_std"] > 0
+
+
+def test_format_table_alignment_and_title():
+    rows = [{"point": 0.1, "fp": 1.23456, "fn": 0.0}]
+    out = format_table(rows, title="E2")
+    lines = out.splitlines()
+    assert lines[0] == "E2"
+    assert "point" in lines[1] and "fp" in lines[1]
+    assert "-+-" in lines[2]
+    assert "1.235" in lines[3]
+
+
+def test_format_table_column_selection_and_headers():
+    rows = [{"a": 1, "b": 2}]
+    out = format_table(rows, columns=["b"], headers={"b": "Bee"})
+    assert "Bee" in out and "a" not in out.splitlines()[0]
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], title="x")
+
+
+def test_format_table_scientific_for_tiny_values():
+    out = format_table([{"v": 1.5e-7}])
+    assert "e-07" in out
+
+
+def test_sweep_with_ci():
+    import numpy as np
+    rng_values = iter([1.0, 2.0, 3.0, 4.0])
+    def fn(point, seed):
+        return {"m": next(rng_values)}
+    rows = Sweep(fn, points=[0], reps=4, seed=0).run(with_ci=True)
+    # mean 2.5, sd 1.29, sem 0.645, t(3, .975)=3.182 -> ci ~2.05
+    assert rows[0]["m"] == pytest.approx(2.5)
+    assert rows[0]["m_ci"] == pytest.approx(2.054, abs=0.01)
+
+
+def test_sweep_ci_zero_for_constant_or_single():
+    rows = Sweep(lambda p, s: {"m": 7.0}, points=[0], reps=3, seed=0).run(with_ci=True)
+    assert rows[0]["m_ci"] == 0.0
+    rows1 = Sweep(lambda p, s: {"m": 7.0}, points=[0], reps=1, seed=0).run(with_ci=True)
+    assert rows1[0]["m_ci"] == 0.0

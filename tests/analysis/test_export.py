@@ -1,0 +1,98 @@
+"""Tests for run-artifact export/import."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    export_run,
+    load_run,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.clocks.scalar import ScalarTimestamp
+from repro.clocks.vector import VectorTimestamp
+from repro.core.records import SensedEventRecord
+from repro.detect.base import Detection, DetectionLabel
+from repro.world.ground_truth import TrueInterval
+
+
+def full_record():
+    return SensedEventRecord(
+        pid=1, seq=3, var="x", value=42,
+        lamport=ScalarTimestamp(7, 1),
+        vector=VectorTimestamp([1, 3]),
+        strobe_scalar=ScalarTimestamp(9, 1),
+        strobe_vector=VectorTimestamp([2, 5]),
+        physical=12.34,
+        true_time=12.3,
+    )
+
+
+def test_record_roundtrip_full():
+    r = full_record()
+    assert record_from_dict(record_to_dict(r)) == r
+
+
+def test_record_roundtrip_sparse():
+    r = SensedEventRecord(pid=0, seq=1, var="y", value=None, true_time=1.0)
+    back = record_from_dict(record_to_dict(r))
+    assert back == r
+    assert back.vector is None and back.physical is None
+
+
+def test_export_and_load_run(tmp_path):
+    r = full_record()
+    det = Detection("vector", r, {"x": 42}, DetectionLabel.BORDERLINE)
+    path = export_run(
+        tmp_path / "run.json",
+        records=[r],
+        truth=[TrueInterval(1.0, 2.0)],
+        detections=[det],
+        meta={"seed": 5, "delta": 0.3},
+    )
+    loaded = load_run(path)
+    assert loaded["meta"] == {"seed": 5, "delta": 0.3}
+    assert loaded["records"] == [r]
+    assert loaded["truth"] == [TrueInterval(1.0, 2.0)]
+    d = loaded["detections"][0]
+    assert d["detector"] == "vector"
+    assert d["trigger"] == [1, 3]
+    assert d["label"] == "borderline"
+    assert d["env"] == {"x": 42}
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps({"format_version": 99}))
+    with pytest.raises(ValueError):
+        load_run(p)
+
+
+def test_exported_json_is_plain(tmp_path):
+    path = export_run(tmp_path / "r.json", records=[full_record()])
+    data = json.loads(path.read_text())
+    assert data["records"][0]["strobe_vector"] == [2, 5]
+
+
+def test_rescoring_from_bundle(tmp_path):
+    """The promised workflow: re-score a stored run without re-running."""
+    from repro.analysis.metrics import BorderlinePolicy, match_detections
+    from repro.detect.strobe_vector import VectorStrobeDetector
+    from repro.predicates.relational import SumThresholdPredicate
+
+    records = [
+        SensedEventRecord(pid=0, seq=1, var="x", value=2,
+                          strobe_vector=VectorTimestamp([1, 0]), true_time=1.0),
+        SensedEventRecord(pid=1, seq=1, var="y", value=1,
+                          strobe_vector=VectorTimestamp([1, 1]), true_time=2.0),
+    ]
+    path = export_run(tmp_path / "run.json", records=records,
+                      truth=[TrueInterval(2.0, 5.0)])
+    loaded = load_run(path)
+    phi = SumThresholdPredicate([("x", 0, 1.0), ("y", 1, 1.0)], 2)
+    det = VectorStrobeDetector(phi, {"x": 0, "y": 0})
+    det.feed_many(loaded["records"])
+    report = match_detections(loaded["truth"], det.finalize(),
+                              policy=BorderlinePolicy.AS_POSITIVE)
+    assert report.tp == 1 and report.fp == 0

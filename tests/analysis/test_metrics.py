@@ -1,0 +1,88 @@
+"""Tests for detection-accuracy scoring."""
+
+import pytest
+
+from repro.analysis.metrics import BorderlinePolicy, match_detections
+from repro.core.records import SensedEventRecord
+from repro.detect.base import Detection, DetectionLabel
+from repro.world.ground_truth import TrueInterval
+
+
+def det(t, label=DetectionLabel.FIRM):
+    rec = SensedEventRecord(pid=0, seq=int(t * 1000) % 100000, var="x", value=1, true_time=t)
+    return Detection("d", rec, {}, label)
+
+
+IVS = [TrueInterval(1.0, 2.0), TrueInterval(5.0, 6.0)]
+
+
+def test_perfect_detection():
+    r = match_detections(IVS, [det(1.0), det(5.5)])
+    assert (r.tp, r.fp, r.fn) == (2, 0, 0)
+    assert r.precision == 1.0 and r.recall == 1.0 and r.f1 == 1.0
+
+
+def test_false_negative():
+    r = match_detections(IVS, [det(1.0)])
+    assert (r.tp, r.fp, r.fn) == (1, 0, 1)
+    assert r.recall == 0.5
+
+
+def test_false_positive():
+    r = match_detections(IVS, [det(1.0), det(3.0), det(5.5)])
+    assert (r.tp, r.fp, r.fn) == (2, 1, 0)
+    assert r.precision == pytest.approx(2 / 3)
+
+
+def test_duplicate_detections_single_interval():
+    """Two detections in one interval: one TP, no FP."""
+    r = match_detections(IVS, [det(1.1), det(1.9)])
+    assert (r.tp, r.fp, r.fn) == (1, 0, 1)
+
+
+def test_interval_end_exclusive():
+    r = match_detections([TrueInterval(1.0, 2.0)], [det(2.0)])
+    assert r.fp == 1 and r.tp == 0
+
+
+def test_tolerance_widens_matching():
+    r = match_detections([TrueInterval(1.0, 2.0)], [det(2.05)], tol=0.1)
+    assert r.tp == 1 and r.fp == 0
+
+
+def test_borderline_as_negative_discards():
+    dets = [det(3.0, DetectionLabel.BORDERLINE)]
+    r = match_detections(IVS, dets, policy=BorderlinePolicy.AS_NEGATIVE)
+    assert r.fp == 0
+    assert r.n_detections == 0
+    assert r.borderline_total == 1
+
+
+def test_borderline_as_positive_counts():
+    dets = [det(1.5, DetectionLabel.BORDERLINE), det(3.0, DetectionLabel.BORDERLINE)]
+    r = match_detections(IVS, dets, policy=BorderlinePolicy.AS_POSITIVE)
+    assert r.tp == 1 and r.fp == 1
+
+
+def test_separate_policy_reports_bin_contents():
+    dets = [
+        det(1.5, DetectionLabel.BORDERLINE),    # matched borderline
+        det(3.0, DetectionLabel.BORDERLINE),    # borderline FP
+        det(4.0),                                # firm FP
+        det(5.5),                                # firm TP
+    ]
+    r = match_detections(IVS, dets, policy=BorderlinePolicy.SEPARATE)
+    assert (r.tp, r.fp, r.fn) == (2, 2, 0)
+    assert r.borderline_fp == 1
+    assert r.borderline_tp_matches == 1
+    assert r.fp_absorbed_by_bin == 0.5
+
+
+def test_empty_cases():
+    r = match_detections([], [])
+    assert r.precision == 1.0 and r.recall == 1.0
+    assert r.fp_absorbed_by_bin == 1.0
+    r2 = match_detections([], [det(1.0)])
+    assert r2.fp == 1 and r2.precision == 0.0
+    r3 = match_detections(IVS, [])
+    assert r3.fn == 2 and r3.recall == 0.0

@@ -1,0 +1,128 @@
+"""Cross-cutting hypothesis properties of the clock suite."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks.hlc import HybridLogicalClock
+from repro.clocks.matrix import MatrixClock
+from repro.clocks.physical import DriftModel, PhysicalClock
+from repro.clocks.strobe import StrobeScalarClock, StrobeVectorClock
+from repro.clocks.sync import PeriodicSyncProtocol
+from repro.clocks.vector import VectorClock
+from repro.sim.kernel import Simulator
+
+
+# ---------------------------------------------------------------------------
+# HLC boundedness: |l − pt| never exceeds the max observed clock skew.
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1), st.floats(min_value=0.01, max_value=2.0)),
+        min_size=1, max_size=25,
+    ),
+    st.floats(min_value=0.0, max_value=0.5),
+)
+def test_hlc_logical_drift_bounded_by_offset_spread(script, offset):
+    """The HLC invariant: l lags local physical time by at most the
+    offset difference between the two clocks (here: |offset|)."""
+    clocks = [
+        HybridLogicalClock(0, PhysicalClock(DriftModel(offset=0.0))),
+        HybridLogicalClock(1, PhysicalClock(DriftModel(offset=offset))),
+    ]
+    t = 0.0
+    last_ts = [None, None]
+    for pid, gap in script:
+        t += gap
+        # Alternate: local event, then message to the other process.
+        ts = clocks[pid].on_local_or_send(t)
+        last_ts[pid] = ts
+        other = 1 - pid
+        clocks[other].on_receive(t, ts)
+        for i, c in enumerate(clocks):
+            assert c.logical_drift(t) <= offset + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Matrix clock dominates its own vector clock view.
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40)
+@given(st.lists(st.sampled_from(["e0", "e1", "m01", "m10"]), min_size=1, max_size=25))
+def test_matrix_clock_vector_row_matches_vector_clock(ops):
+    """Running a matrix clock and a vector clock side by side: the
+    matrix's own row equals the vector clock at every step, and
+    min_row never exceeds it."""
+    m = [MatrixClock(0, 2), MatrixClock(1, 2)]
+    v = [VectorClock(0, 2), VectorClock(1, 2)]
+    for op in ops:
+        if op == "e0":
+            m[0].on_local_event(); v[0].on_local_event()
+        elif op == "e1":
+            m[1].on_local_event(); v[1].on_local_event()
+        elif op == "m01":
+            payload = m[0].on_send(); ts = v[0].on_send()
+            m[1].on_receive(0, payload); v[1].on_receive(ts)
+        else:
+            payload = m[1].on_send(); ts = v[1].on_send()
+            m[0].on_receive(1, payload); v[0].on_receive(ts)
+        for i in (0, 1):
+            assert m[i].vector() == v[i].read()
+            assert m[i].min_row() <= m[i].vector()
+
+
+# ---------------------------------------------------------------------------
+# Periodic sync keeps skew bounded forever (sampled drift).
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 1000), st.integers(2, 6))
+def test_periodic_sync_skew_bounded_at_all_round_boundaries(seed, n):
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    clocks = [
+        PhysicalClock(DriftModel.sample(rng, max_offset=0.1, max_drift_ppm=100.0))
+        for _ in range(n)
+    ]
+    eps = 0.001
+    period = 10.0
+    proto = PeriodicSyncProtocol(sim, clocks, period=period, epsilon=eps, rng=rng)
+    proto.start()
+    for k in range(1, 6):
+        sim.run(until=k * period)
+        # Right after each round: pairwise skew <= 2 eps.
+        assert proto.max_pairwise_skew(sim.now) <= 2 * eps + 1e-12
+        # Worst case between rounds: bounded by 2 eps + drift accumulation.
+        max_drift_rate = max(abs(c.model.drift_ppm) for c in clocks) * 1e-6
+        bound = 2 * eps + 2 * max_drift_rate * period
+        assert proto.max_pairwise_skew(sim.now + period - 1e-9) <= bound + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Strobe clocks: scalar reading always >= max component seen; vector
+# dominates scalar count per process.
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40)
+@given(st.lists(st.integers(0, 2), min_size=1, max_size=30))
+def test_strobe_scalar_dominates_own_event_count(event_pids):
+    """Each process's scalar strobe value ≥ its own event count, and at
+    Δ=0 (instant strobes) equals the global event count."""
+    n = 3
+    scalars = [StrobeScalarClock(i) for i in range(n)]
+    vectors = [StrobeVectorClock(i, n) for i in range(n)]
+    counts = [0] * n
+    for pid in event_pids:
+        counts[pid] += 1
+        s = scalars[pid].on_relevant_event()
+        vts = vectors[pid].on_relevant_event()
+        for j in range(n):
+            if j != pid:
+                scalars[j].on_strobe(s)
+                vectors[j].on_strobe(vts)
+    total = sum(counts)
+    for i in range(n):
+        assert scalars[i].read().value == total
+        assert vectors[i].read().as_tuple() == tuple(counts)
+        assert scalars[i].read().value >= counts[i]

@@ -1,0 +1,83 @@
+"""Tests for the hybrid logical clock extension."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clocks.base import ClockError
+from repro.clocks.hlc import HlcTimestamp, HybridLogicalClock
+from repro.clocks.physical import DriftModel, PhysicalClock
+
+
+def make(pid=0, offset=0.0, drift=0.0):
+    return HybridLogicalClock(pid, PhysicalClock(DriftModel(offset=offset, drift_ppm=drift)))
+
+
+def test_local_event_tracks_physical_time():
+    c = make()
+    t = c.on_local_or_send(5.0)
+    assert t.l == pytest.approx(5.0)
+    assert t.c == 0
+
+
+def test_counter_increments_when_physical_stalls():
+    """If local physical time hasn't advanced past l, the counter ticks."""
+    c = make()
+    c.on_local_or_send(5.0)
+    t = c.on_local_or_send(5.0)
+    assert t.l == pytest.approx(5.0)
+    assert t.c == 1
+
+
+def test_receive_merges_remote_ahead():
+    a = make(0)
+    b = make(1, offset=10.0)          # b's wall clock is far ahead
+    tb = b.on_local_or_send(1.0)      # l = 11
+    ta = a.on_receive(1.0, tb)
+    assert ta.l == pytest.approx(11.0)
+    assert ta.c == tb.c + 1
+
+
+def test_receive_local_physical_ahead_resets_counter():
+    a = make(0)
+    t = a.on_receive(100.0, HlcTimestamp(5.0, 9, 1))
+    assert t.l == pytest.approx(100.0)
+    assert t.c == 0
+
+
+def test_happens_before_implies_hlc_order():
+    a, b = make(0), make(1)
+    ts = a.on_local_or_send(1.0)
+    tr = b.on_receive(1.2, ts)
+    assert ts < tr
+
+
+def test_logical_drift_bounded_by_remote_skew():
+    """l never exceeds the max physical reading witnessed."""
+    a = make(0)
+    a.on_receive(1.0, HlcTimestamp(3.0, 0, 1))
+    assert a.logical_drift(1.0) == pytest.approx(2.0)
+    # After local physical time catches up, drift returns to zero.
+    a.on_local_or_send(4.0)
+    assert a.logical_drift(4.0) == pytest.approx(0.0)
+
+
+def test_ordering_is_total_with_pid_tiebreak():
+    assert HlcTimestamp(1.0, 0, 0) < HlcTimestamp(1.0, 0, 1)
+    assert HlcTimestamp(1.0, 1, 0) < HlcTimestamp(1.0, 2, 0)
+    assert HlcTimestamp(1.0, 5, 3) < HlcTimestamp(2.0, 0, 0)
+
+
+def test_invalid_pid():
+    with pytest.raises(ClockError):
+        HybridLogicalClock(-1, PhysicalClock())
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+def test_hlc_monotone_under_any_local_schedule(times):
+    c = make()
+    prev = None
+    for t in sorted(times):
+        cur = c.on_local_or_send(t)
+        if prev is not None:
+            assert prev < cur
+        prev = cur

@@ -1,0 +1,64 @@
+"""Tests for the matrix clock extension."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.base import ClockError
+from repro.clocks.matrix import MatrixClock
+from repro.clocks.vector import VectorTimestamp
+
+
+def test_local_event_ticks_diagonal():
+    m = MatrixClock(0, 2)
+    m.on_local_event()
+    assert m.vector() == VectorTimestamp([1, 0])
+
+
+def test_send_receive_transfers_knowledge():
+    a, b = MatrixClock(0, 2), MatrixClock(1, 2)
+    payload = a.on_send()
+    b.on_receive(0, payload)
+    # b's own row now dominates a's send row.
+    assert b.vector() == VectorTimestamp([1, 1])
+    # b's row for a records what a knew.
+    assert b.read()[0, 0] == 1
+
+
+def test_min_row_is_gc_horizon():
+    a, b = MatrixClock(0, 2), MatrixClock(1, 2)
+    # a does an event and tells b; b tells a back -> a knows b knows.
+    pa = a.on_send()
+    b.on_receive(0, pa)
+    pb = b.on_send()
+    a.on_receive(1, pb)
+    mr = a.min_row()
+    # Everyone (per a's knowledge) has seen a's first event.
+    assert mr[0] >= 1
+
+
+def test_receive_validates_inputs():
+    m = MatrixClock(0, 2)
+    with pytest.raises(ClockError):
+        m.on_receive(0, np.zeros((3, 3)))
+    with pytest.raises(ClockError):
+        m.on_receive(5, np.zeros((2, 2)))
+
+
+def test_invalid_pid():
+    with pytest.raises(ClockError):
+        MatrixClock(4, 2)
+
+
+def test_vector_matches_vector_clock_semantics():
+    """The diagonal row of a matrix clock behaves like a vector clock."""
+    from repro.clocks.vector import VectorClock
+
+    ma, mb = MatrixClock(0, 2), MatrixClock(1, 2)
+    va, vb = VectorClock(0, 2), VectorClock(1, 2)
+
+    ma.on_local_event(); va.on_local_event()
+    pa = ma.on_send(); ta = va.on_send()
+    mb.on_receive(0, pa); vb.on_receive(ta)
+
+    assert ma.vector() == va.read()
+    assert mb.vector() == vb.read()

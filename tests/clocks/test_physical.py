@@ -1,0 +1,116 @@
+"""Tests for physical clock models and physical vector clocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clocks.base import ClockError
+from repro.clocks.physical import DriftModel, PhysicalClock, PhysicalVectorClock
+
+
+def test_ideal_clock_reads_true_time():
+    c = PhysicalClock(DriftModel.ideal())
+    for t in (0.0, 1.5, 100.0):
+        assert c.read(t) == pytest.approx(t)
+        assert c.error(t) == pytest.approx(0.0)
+
+
+def test_offset_shifts_reading():
+    c = PhysicalClock(DriftModel(offset=0.25))
+    assert c.read(10.0) == pytest.approx(10.25)
+    assert c.error(10.0) == pytest.approx(0.25)
+
+
+def test_drift_accumulates_linearly():
+    c = PhysicalClock(DriftModel(drift_ppm=100.0))  # 1e-4 rate error
+    assert c.error(0.0) == pytest.approx(0.0)
+    assert c.error(1000.0) == pytest.approx(0.1)
+    assert c.read(1000.0) == pytest.approx(1000.1)
+
+
+def test_epoch_anchors_drift():
+    c = PhysicalClock(DriftModel(drift_ppm=100.0), epoch=500.0)
+    assert c.error(500.0) == pytest.approx(0.0)
+    assert c.error(1500.0) == pytest.approx(0.1)
+
+
+def test_adjust_applies_correction():
+    c = PhysicalClock(DriftModel(offset=0.5))
+    c.adjust(-0.5)
+    assert c.error(7.0) == pytest.approx(0.0)
+    assert c.adjustments == 1
+
+
+def test_drift_reaccumulates_after_adjust():
+    """§3.3 item 2: sync bounds but does not eliminate error."""
+    c = PhysicalClock(DriftModel(drift_ppm=50.0))
+    c.adjust(-c.error(100.0))
+    assert c.error(100.0) == pytest.approx(0.0)
+    assert abs(c.error(200.0)) > 0.0
+
+
+def test_noise_requires_rng():
+    with pytest.raises(ClockError):
+        PhysicalClock(DriftModel(noise_std=0.001))
+
+
+def test_noise_perturbs_reads():
+    rng = np.random.default_rng(0)
+    c = PhysicalClock(DriftModel(noise_std=0.01), rng=rng)
+    reads = [c.read(5.0) for _ in range(50)]
+    assert np.std(reads) > 0.0
+    assert abs(np.mean(reads) - 5.0) < 0.01
+
+
+def test_sample_respects_bounds():
+    rng = np.random.default_rng(1)
+    for _ in range(100):
+        m = DriftModel.sample(rng, max_offset=0.02, max_drift_ppm=30.0)
+        assert abs(m.offset) <= 0.02
+        assert abs(m.drift_ppm) <= 30.0
+
+
+def test_rate():
+    assert PhysicalClock(DriftModel(drift_ppm=20.0)).rate() == pytest.approx(1.00002)
+
+
+@given(st.floats(min_value=0.0, max_value=1e4), st.floats(min_value=0.0, max_value=1e4))
+def test_monotone_in_true_time(t1, t2):
+    """Physical clocks with sane drift never run backwards."""
+    c = PhysicalClock(DriftModel(offset=0.3, drift_ppm=80.0))
+    lo, hi = min(t1, t2), max(t1, t2)
+    assert c.read(lo) <= c.read(hi) + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# PhysicalVectorClock
+# ---------------------------------------------------------------------------
+
+def test_pvc_local_event_sets_own_component():
+    c = PhysicalVectorClock(0, 2, PhysicalClock(DriftModel(offset=0.1)))
+    v = c.on_local_event(5.0)
+    assert v[0] == pytest.approx(5.1)
+    assert v[1] == -np.inf
+
+
+def test_pvc_receive_merges_and_refreshes_own():
+    pc0 = PhysicalClock(DriftModel.ideal())
+    c = PhysicalVectorClock(0, 2, pc0)
+    c.on_local_event(1.0)
+    v = c.on_receive(2.0, np.array([0.5, 1.7]))
+    assert v[0] == pytest.approx(2.0)   # refreshed, not the stale max
+    assert v[1] == pytest.approx(1.7)
+
+
+def test_pvc_receive_shape_mismatch():
+    c = PhysicalVectorClock(0, 2, PhysicalClock())
+    with pytest.raises(ClockError):
+        c.on_receive(1.0, np.zeros(3))
+
+
+def test_pvc_read_returns_copy():
+    c = PhysicalVectorClock(0, 2, PhysicalClock())
+    c.on_local_event(1.0)
+    r = c.read()
+    r[0] = 999.0
+    assert c.read()[0] != 999.0

@@ -1,0 +1,108 @@
+"""Tests for periodic and on-demand clock synchronization protocols."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.base import ClockError
+from repro.clocks.physical import DriftModel, PhysicalClock
+from repro.clocks.sync import OnDemandSyncProtocol, PeriodicSyncProtocol
+from repro.sim.kernel import Simulator
+
+
+def make_clocks(n, rng, max_offset=0.05, max_drift_ppm=50.0):
+    return [
+        PhysicalClock(DriftModel.sample(rng, max_offset, max_drift_ppm))
+        for _ in range(n)
+    ]
+
+
+def test_periodic_sync_bounds_skew():
+    rng = np.random.default_rng(0)
+    sim = Simulator()
+    clocks = make_clocks(5, rng)
+    proto = PeriodicSyncProtocol(
+        sim, clocks, period=10.0, epsilon=0.001, rng=rng
+    )
+    pre = proto.max_pairwise_skew(0.0)
+    assert pre > 0.001           # unsynchronized clocks are far apart
+    proto.start()
+    sim.run(until=10.0)          # one round at t=10
+    # Right after a round, pairwise skew <= 2*epsilon (each within ±ε of ref).
+    assert proto.max_pairwise_skew(10.0) <= 2 * 0.001 + 1e-12
+
+
+def test_skew_reaccumulates_between_rounds():
+    rng = np.random.default_rng(1)
+    sim = Simulator()
+    clocks = make_clocks(4, rng, max_drift_ppm=100.0)
+    proto = PeriodicSyncProtocol(sim, clocks, period=10.0, epsilon=0.0, rng=rng)
+    proto.start()
+    sim.run(until=10.0)
+    just_after = proto.max_pairwise_skew(10.0)
+    later = proto.max_pairwise_skew(19.9)
+    assert just_after == pytest.approx(0.0, abs=1e-12)
+    assert later > just_after
+
+
+def test_message_accounting():
+    rng = np.random.default_rng(2)
+    sim = Simulator()
+    clocks = make_clocks(6, rng)
+    proto = PeriodicSyncProtocol(sim, clocks, period=5.0, epsilon=0.001, rng=rng)
+    proto.start()
+    sim.run(until=20.0)   # rounds at 5,10,15,20
+    assert proto.stats.rounds == 4
+    # (n-1) pairs * 2 messages per round
+    assert proto.stats.messages == 4 * 5 * 2
+    assert proto.stats.per_round == [10, 10, 10, 10]
+
+
+def test_stop_halts_rounds():
+    rng = np.random.default_rng(3)
+    sim = Simulator()
+    proto = PeriodicSyncProtocol(sim, make_clocks(3, rng), period=1.0, epsilon=0.0, rng=rng)
+    proto.start()
+    sim.schedule_at(2.5, proto.stop)
+    sim.run(until=10.0)
+    assert proto.stats.rounds == 2
+
+
+def test_invalid_configs():
+    sim = Simulator()
+    rng = np.random.default_rng(0)
+    clocks = make_clocks(2, rng)
+    with pytest.raises(ClockError):
+        PeriodicSyncProtocol(sim, [], period=1.0, epsilon=0.0, rng=rng)
+    with pytest.raises(ClockError):
+        PeriodicSyncProtocol(sim, clocks, period=0.0, epsilon=0.0, rng=rng)
+    with pytest.raises(ClockError):
+        PeriodicSyncProtocol(sim, clocks, period=1.0, epsilon=-1.0, rng=rng)
+    with pytest.raises(ClockError):
+        PeriodicSyncProtocol(sim, clocks, period=1.0, epsilon=0.0, rng=rng, reference=5)
+
+
+def test_residual_within_epsilon():
+    rng = np.random.default_rng(4)
+    sim = Simulator()
+    clocks = make_clocks(10, rng)
+    eps = 0.002
+    proto = PeriodicSyncProtocol(sim, clocks, period=1.0, epsilon=eps, rng=rng)
+    proto.start()
+    sim.run(until=1.0)
+    ref = clocks[0]
+    for c in clocks[1:]:
+        assert abs(c.error(1.0) - ref.error(1.0)) <= eps + 1e-12
+
+
+def test_on_demand_sync_only_when_asked():
+    rng = np.random.default_rng(5)
+    sim = Simulator()
+    clocks = make_clocks(4, rng)
+    proto = OnDemandSyncProtocol(sim, clocks, epsilon=0.0, rng=rng)
+    sim.run(until=100.0)
+    assert proto.stats.rounds == 0           # silent network
+    assert proto.max_pairwise_skew(100.0) > 0.0
+    proto.sync_now()
+    assert proto.stats.rounds == 1
+    assert proto.stats.messages == 3 * 2
+    assert proto.max_pairwise_skew(100.0) == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,66 @@
+"""Tests for the physical-async-vector clock wired into processes
+(§3.2.1.b.ii)."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.physical import DriftModel
+from repro.core.process import ClockConfig
+from repro.core.system import PervasiveSystem, SystemConfig
+
+
+def build(drift=None):
+    return PervasiveSystem(SystemConfig(
+        n_processes=2,
+        clocks=ClockConfig(physical=True, physical_vector=True,
+                           vector=True, strobe_vector=True, strobe_scalar=True),
+        drift=drift or DriftModel.ideal(),
+    ))
+
+
+def test_physical_vector_requires_physical():
+    with pytest.raises(ValueError):
+        ClockConfig(physical_vector=True)
+    # OK with physical:
+    ClockConfig(physical=True, physical_vector=True)
+
+
+def test_everything_includes_physical_vector():
+    assert ClockConfig.everything().physical_vector
+
+
+def test_local_event_stamps_physical_vector():
+    s = build()
+    p = s.processes[0]
+    s.sim.schedule_at(3.0, lambda: p.compute())
+    s.run()
+    pv = p.events[-1].stamp("physical_vector")
+    assert pv[0] == pytest.approx(3.0)
+    assert pv[1] == -np.inf      # never heard from p1
+
+
+def test_app_message_carries_and_merges_physical_vector():
+    """After a message exchange, the receiver knows the sender's local
+    wall time at the send — 'relating the locally observed wall times
+    at different locations' (§3.2.1.b.ii)."""
+    s = build(drift=DriftModel(offset=0.5))   # both clocks offset +0.5
+    p0, p1 = s.processes
+    s.sim.schedule_at(2.0, lambda: p0.send_app(1, "ping"))
+    s.run()
+    pv1 = p1.physical_vector.read()
+    # p1's view of p0 = p0's local wall time at the send = 2.5.
+    assert pv1[0] == pytest.approx(2.5)
+    # Own component refreshed at the receive (t=2.0 delivery, +offset).
+    assert pv1[1] == pytest.approx(2.5)
+
+
+def test_strobes_do_not_drive_physical_vector():
+    """Physical vectors ride computation messages only (a causality-
+    style clock), never strobes."""
+    s = build()
+    p0, p1 = s.processes
+    s.world.create("obj", v=0)
+    p0.track("v", "obj", "v", initial=0)
+    s.world.set_attribute("obj", "v", 1)   # p0 strobes p1
+    s.run()
+    assert p1.physical_vector.read()[0] == -np.inf

@@ -1,0 +1,209 @@
+"""Tests for SensorProcess: event kinds, clock rules per kind, strobes."""
+
+import pytest
+
+from repro.core.events import EventKind
+from repro.core.process import ClockConfig, SensorProcess
+from repro.core.system import PervasiveSystem, SystemConfig
+from repro.net.delay import DeltaBoundedDelay
+
+
+def make_system(n=2, clocks=ClockConfig.everything(), delay=None, seed=0):
+    cfg = SystemConfig(
+        n_processes=n, seed=seed, clocks=clocks,
+        **({"delay": delay} if delay else {}),
+    )
+    return PervasiveSystem(cfg)
+
+
+def test_track_initial_value():
+    s = make_system()
+    s.world.create("room", temp=20)
+    s.processes[0].track("temp", "room", "temp", initial=20)
+    assert s.processes[0].variables["temp"] == 20
+
+
+def test_sense_event_updates_variable_and_logs():
+    s = make_system()
+    p = s.processes[0]
+    s.world.create("room", temp=20)
+    p.track("temp", "room", "temp", initial=20)
+    s.world.set_attribute("room", "temp", 31)
+    s.run()
+    assert p.variables["temp"] == 31
+    senses = p.sense_events()
+    assert len(senses) == 1
+    assert senses[0].kind == EventKind.SENSE
+    rec = senses[0].detail
+    assert rec.var == "temp" and rec.value == 31 and rec.seq == 1
+
+
+def test_sense_ticks_all_clocks():
+    s = make_system()
+    p = s.processes[0]
+    s.world.create("room", temp=20)
+    p.track("temp", "room", "temp", initial=20)
+    s.world.set_attribute("room", "temp", 31)
+    s.run()
+    rec = p.sense_events()[0].detail
+    assert rec.lamport.value == 1
+    assert rec.vector[0] == 1
+    assert rec.strobe_scalar.value == 1
+    assert rec.strobe_vector[0] == 1
+    assert rec.physical is not None
+
+
+def test_transform_turns_changes_into_counts():
+    s = make_system()
+    p = s.processes[0]
+    s.world.create("door", crossings=0)
+    count = {"n": 0}
+    def transform(change):
+        count["n"] += 1
+        return count["n"]
+    p.track("x", "door", "crossings", initial=0, transform=transform)
+    s.world.set_attribute("door", "crossings", 5)    # value irrelevant
+    s.world.set_attribute("door", "crossings", 9)
+    s.run()
+    assert p.variables["x"] == 2
+
+
+def test_strobe_broadcast_merges_at_receivers():
+    """A sense at p0 strobes p1: p1's strobe clocks catch up without
+    ticking (SVC2/SSC2); p1's causality clocks are untouched."""
+    s = make_system()
+    p0, p1 = s.processes
+    s.world.create("room", temp=20)
+    p0.track("temp", "room", "temp", initial=20)
+    s.world.set_attribute("room", "temp", 31)
+    s.run()
+    assert p1.strobe_vector.read().as_tuple() == (1, 0)
+    assert p1.strobe_scalar.read().value == 1
+    assert p1.vector.read().as_tuple() == (0, 0)       # untouched
+    assert p1.lamport.read().value == 0                # untouched
+
+
+def test_strobe_listener_sees_remote_records():
+    s = make_system()
+    p0, p1 = s.processes
+    seen = []
+    p1.add_strobe_listener(seen.append)
+    s.world.create("room", temp=20)
+    p0.track("temp", "room", "temp", initial=20)
+    s.world.set_attribute("room", "temp", 31)
+    s.run()
+    assert len(seen) == 1
+    assert seen[0].pid == 0 and seen[0].value == 31
+
+
+def test_record_listener_is_local_tap():
+    s = make_system()
+    p0, p1 = s.processes
+    local, remote = [], []
+    p0.add_record_listener(local.append)
+    p1.add_record_listener(remote.append)
+    s.world.create("room", temp=20)
+    p0.track("temp", "room", "temp", initial=20)
+    s.world.set_attribute("room", "temp", 31)
+    s.run()
+    assert len(local) == 1
+    assert remote == []
+
+
+def test_app_message_roundtrip_ticks_causality_clocks():
+    s = make_system()
+    p0, p1 = s.processes
+    got = []
+    p1.on_app_message("ping", lambda proc, msg: got.append(msg.payload["data"]))
+    p0.send_app(1, "ping", payload=42)
+    s.run()
+    assert got == [42]
+    # p0 sent (VC2): vector (1,0); p1 received (VC3): (1,1).
+    assert p0.vector.read().as_tuple() == (1, 0)
+    assert p1.vector.read().as_tuple() == (1, 1)
+    assert p1.lamport.read().value == 2
+    # Receive event logged at p1.
+    kinds = [e.kind for e in p1.events]
+    assert EventKind.RECEIVE in kinds
+
+
+def test_app_message_does_not_touch_strobe_clocks():
+    s = make_system()
+    p0, p1 = s.processes
+    p0.send_app(1, "ping")
+    s.run()
+    assert p1.strobe_vector.read().as_tuple() == (0, 0)
+    assert p0.strobe_scalar.read().value == 0
+
+
+def test_actuate_writes_world_and_logs_a_event():
+    s = make_system()
+    p = s.processes[0]
+    s.world.create("thermostat", setpoint=22)
+    p.actuate("thermostat", "setpoint", 28)
+    assert s.world.get("thermostat").get("setpoint") == 28
+    assert [e.kind for e in p.events] == [EventKind.ACTUATE]
+    assert s.world.ground_truth.value_at("thermostat", "setpoint", 0.0) == 28
+
+
+def test_compute_event():
+    s = make_system()
+    p = s.processes[0]
+    ev = p.compute(detail="rule-eval")
+    assert ev.kind == EventKind.COMPUTE
+    assert ev.kind.is_internal
+    assert not EventKind.SEND.is_internal
+    assert p.lamport.read().value == 1
+
+
+def test_physical_clock_required_when_configured():
+    s = make_system()
+    with pytest.raises(ValueError):
+        SensorProcess(
+            5, 6, s.sim, s.net, s.world,
+            clocks=ClockConfig(physical=True), physical_clock=None,
+        )
+
+
+def test_event_log_can_be_disabled():
+    cfg = SystemConfig(n_processes=1, keep_event_logs=False)
+    s = PervasiveSystem(cfg)
+    p = s.processes[0]
+    p.compute()
+    assert p.events == []
+
+
+def test_no_strobe_broadcast_without_strobe_clocks():
+    s = make_system(clocks=ClockConfig(lamport=True))
+    p = s.processes[0]
+    s.world.create("room", temp=20)
+    p.track("temp", "room", "temp", initial=20)
+    s.world.set_attribute("room", "temp", 31)
+    s.run()
+    assert s.net.stats.control_messages == 0
+
+
+def test_strobe_size_accounting():
+    """Strobe message size = scalar O(1) + vector O(n) when both run."""
+    s = make_system(n=4)
+    p = s.processes[1]
+    s.world.create("room", temp=20)
+    p.track("temp", "room", "temp", initial=20)
+    s.world.set_attribute("room", "temp", 31)
+    s.run()
+    # one broadcast -> 3 copies, each of size 1 + 4.
+    assert s.net.stats.control_messages == 3
+    assert s.net.stats.control_units == 3 * 5
+
+
+def test_delta_bounded_strobe_arrival_within_delta():
+    s = make_system(delay=DeltaBoundedDelay(0.5))
+    p0, p1 = s.processes
+    arrivals = []
+    p1.add_strobe_listener(lambda r: arrivals.append(s.sim.now))
+    s.world.create("room", temp=20)
+    p0.track("temp", "room", "temp", initial=20)
+    s.sim.schedule_at(1.0, lambda: s.world.set_attribute("room", "temp", 31))
+    s.run()
+    assert len(arrivals) == 1
+    assert 1.0 <= arrivals[0] <= 1.5

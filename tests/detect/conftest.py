@@ -1,0 +1,52 @@
+"""Shared fixtures: record builders for detector tests.
+
+Builders create records directly (no simulation) so tests control the
+exact stamps — and scenario-driven integration tests live separately
+in tests/integration/.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks.scalar import ScalarTimestamp
+from repro.clocks.vector import VectorTimestamp
+from repro.core.records import SensedEventRecord
+
+
+@pytest.fixture
+def rec():
+    """Factory for records with precise stamps."""
+    counters = {}
+
+    def make(
+        pid,
+        var,
+        value,
+        *,
+        true_time,
+        scalar=None,
+        vector=None,
+        physical=None,
+        lamport=None,
+    ):
+        # `vector` populates BOTH the Mattern and the strobe vector
+        # fields — unit tests construct whichever partial order they
+        # want to exercise and select it via the detector's `stamp`.
+        seq = counters.get(pid, 0) + 1
+        counters[pid] = seq
+        vts = VectorTimestamp(vector) if vector is not None else None
+        return SensedEventRecord(
+            pid=pid,
+            seq=seq,
+            var=var,
+            value=value,
+            lamport=ScalarTimestamp(lamport, pid) if lamport is not None else None,
+            vector=vts,
+            strobe_scalar=ScalarTimestamp(scalar, pid) if scalar is not None else None,
+            strobe_vector=vts,
+            physical=physical,
+            true_time=true_time,
+        )
+
+    return make

@@ -1,0 +1,91 @@
+"""Tests for Detector base machinery and RecordStore."""
+
+import pytest
+
+from repro.detect.base import Detection, DetectionLabel, Detector, RecordStore
+from repro.predicates.relational import RelationalPredicate
+
+
+def phi():
+    return RelationalPredicate({"x": 0, "y": 1}, lambda e: e["x"] + e["y"] > 5)
+
+
+def test_store_dedupes_by_key(rec):
+    store = RecordStore()
+    r = rec(0, "x", 1, true_time=0.0)
+    assert store.add(r)
+    assert not store.add(r)
+    assert len(store) == 1
+    assert store.duplicates == 1
+
+
+def test_store_all_sorted_by_pid_seq(rec):
+    store = RecordStore()
+    r1 = rec(1, "y", 1, true_time=0.0)
+    r0 = rec(0, "x", 1, true_time=1.0)
+    store.add(r1)
+    store.add(r0)
+    assert [r.pid for r in store.all()] == [0, 1]
+
+
+def test_store_by_process(rec):
+    store = RecordStore()
+    store.add(rec(1, "y", 1, true_time=0.0))
+    store.add(rec(1, "y", 2, true_time=1.0))
+    store.add(rec(0, "x", 1, true_time=2.0))
+    per = store.by_process(3)
+    assert [len(q) for q in per] == [1, 2, 0]
+    assert [r.seq for r in per[1]] == [1, 2]
+
+
+def test_detector_requires_initials():
+    with pytest.raises(ValueError):
+        class D(Detector):
+            pass
+        D(phi(), {"x": 0})     # y missing
+
+
+def test_feed_many(rec):
+    class D(Detector):
+        def finalize(self):
+            return []
+    d = D(phi(), {"x": 0, "y": 0})
+    d.feed_many([rec(0, "x", 1, true_time=0.0), rec(1, "y", 1, true_time=1.0)])
+    assert len(d.store) == 2
+
+
+def test_replay_tracks_previous_values(rec):
+    class D(Detector):
+        def finalize(self):
+            return []
+    d = D(phi(), {"x": 0, "y": 0})
+    r1 = rec(0, "x", 3, true_time=0.0)
+    r2 = rec(0, "x", 7, true_time=1.0)
+    out = d._replay([r1, r2])
+    assert out[0][1]["x"] == 3 and out[0][2] == 0
+    assert out[1][1]["x"] == 7 and out[1][2] == 3
+
+
+def test_detection_firm_property(rec):
+    r = rec(0, "x", 1, true_time=0.0)
+    d1 = Detection("d", r, {}, DetectionLabel.FIRM)
+    d2 = Detection("d", r, {}, DetectionLabel.BORDERLINE)
+    assert d1.firm and not d2.firm
+
+
+def test_attach_taps_process_streams():
+    from repro.core.process import ClockConfig
+    from repro.core.system import PervasiveSystem, SystemConfig
+
+    s = PervasiveSystem(SystemConfig(n_processes=2, clocks=ClockConfig.strobes()))
+    s.world.create("room", temp=20)
+    s.processes[1].track("temp", "room", "temp", initial=20)
+
+    class D(Detector):
+        def finalize(self):
+            return []
+    d = D(RelationalPredicate({"temp": 1}, lambda e: e["temp"] > 30), {"temp": 20})
+    d.attach(s.processes[0])           # root taps local + strobes
+    s.world.set_attribute("room", "temp", 31)
+    s.run()
+    assert len(d.store) == 1           # arrived via strobe at p0

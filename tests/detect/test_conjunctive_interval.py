@@ -1,0 +1,151 @@
+"""Tests for Possibly/Definitely conjunctive interval detection."""
+
+import pytest
+
+from repro.detect.conjunctive_interval import ConjunctiveIntervalDetector
+from repro.predicates.base import Modality
+from repro.predicates.conjunctive import Conjunct, ConjunctivePredicate
+from repro.predicates.relational import RelationalPredicate
+
+
+def phi():
+    """motion@p0 ∧ hot@p1."""
+    return ConjunctivePredicate([
+        Conjunct("motion", 0, lambda v: bool(v), "motion"),
+        Conjunct("temp", 1, lambda v: v > 30, "temp>30"),
+    ])
+
+
+INIT = {"motion": False, "temp": 20}
+
+
+def test_requires_conjunctive_predicate():
+    with pytest.raises(TypeError):
+        ConjunctiveIntervalDetector(
+            RelationalPredicate({"x": 0}, lambda e: True), {"x": 0}
+        )
+
+
+def test_rejects_instantaneous_modality():
+    with pytest.raises(ValueError):
+        ConjunctiveIntervalDetector(phi(), INIT, modality=Modality.INSTANTANEOUS)
+
+
+def test_rejects_unknown_stamp():
+    with pytest.raises(ValueError):
+        ConjunctiveIntervalDetector(phi(), INIT, stamp="banana")
+
+
+def test_rejects_two_conjuncts_same_process():
+    bad = ConjunctivePredicate([
+        Conjunct("a", 0, bool), Conjunct("b", 0, bool),
+    ])
+    with pytest.raises(ValueError):
+        ConjunctiveIntervalDetector(bad, {"a": 0, "b": 0})
+
+
+def test_definitely_detected_with_causally_overlapping_intervals(rec):
+    """Interval starts happen-before the other's ends (via strobes)."""
+    d = ConjunctiveIntervalDetector(phi(), INIT, modality=Modality.DEFINITELY)
+    # p0: motion True @(1,0); p1 saw that strobe, temp 35 @(1,1);
+    # p0 saw p1's strobe, motion False @(2,1); p1 temp 20 @(2,2).
+    d.feed(rec(0, "motion", True, true_time=1.0, vector=(1, 0)))
+    d.feed(rec(1, "temp", 35, true_time=2.0, vector=(1, 1)))
+    d.feed(rec(0, "motion", False, true_time=3.0, vector=(2, 1)))
+    d.feed(rec(1, "temp", 20, true_time=4.0, vector=(2, 2)))
+    out = d.finalize()
+    assert len(out) == 1
+    assert out[0].env == {"motion": True, "temp": 35}
+
+
+def test_definitely_not_detected_for_concurrent_intervals(rec):
+    """Pure Mattern stamps in a sensing-only run: everything concurrent
+    across processes -> Definitely never holds (the §4.1 point)."""
+    d = ConjunctiveIntervalDetector(phi(), INIT, modality=Modality.DEFINITELY)
+    d.feed(rec(0, "motion", True, true_time=1.0, vector=(1, 0)))
+    d.feed(rec(1, "temp", 35, true_time=1.1, vector=(0, 1)))
+    d.feed(rec(0, "motion", False, true_time=2.0, vector=(2, 0)))
+    d.feed(rec(1, "temp", 20, true_time=2.1, vector=(0, 2)))
+    assert d.finalize() == []
+
+
+def test_possibly_detected_for_concurrent_intervals(rec):
+    d = ConjunctiveIntervalDetector(phi(), INIT, modality=Modality.POSSIBLY)
+    d.feed(rec(0, "motion", True, true_time=1.0, vector=(1, 0)))
+    d.feed(rec(1, "temp", 35, true_time=1.1, vector=(0, 1)))
+    d.feed(rec(0, "motion", False, true_time=2.0, vector=(2, 0)))
+    d.feed(rec(1, "temp", 20, true_time=2.1, vector=(0, 2)))
+    out = d.finalize()
+    assert len(out) == 1
+
+
+def test_possibly_not_detected_when_intervals_fully_ordered(rec):
+    """motion interval causally ends before temp interval starts."""
+    d = ConjunctiveIntervalDetector(phi(), INIT, modality=Modality.POSSIBLY)
+    d.feed(rec(0, "motion", True, true_time=1.0, vector=(1, 0)))
+    d.feed(rec(0, "motion", False, true_time=2.0, vector=(2, 0)))
+    # temp events saw p0's closing strobe.
+    d.feed(rec(1, "temp", 35, true_time=3.0, vector=(2, 1)))
+    d.feed(rec(1, "temp", 20, true_time=4.0, vector=(2, 2)))
+    assert d.finalize() == []
+
+
+def test_repeated_detection_multiple_occurrences(rec):
+    """Two rounds of overlapping intervals -> two detections (no hang)."""
+    d = ConjunctiveIntervalDetector(phi(), INIT, modality=Modality.DEFINITELY)
+    # Round 1
+    d.feed(rec(0, "motion", True, true_time=1.0, vector=(1, 0)))
+    d.feed(rec(1, "temp", 35, true_time=2.0, vector=(1, 1)))
+    d.feed(rec(0, "motion", False, true_time=3.0, vector=(2, 1)))
+    d.feed(rec(1, "temp", 20, true_time=4.0, vector=(2, 2)))
+    # Round 2
+    d.feed(rec(0, "motion", True, true_time=5.0, vector=(3, 2)))
+    d.feed(rec(1, "temp", 40, true_time=6.0, vector=(3, 3)))
+    d.feed(rec(0, "motion", False, true_time=7.0, vector=(4, 3)))
+    d.feed(rec(1, "temp", 18, true_time=8.0, vector=(4, 4)))
+    out = d.finalize()
+    assert len(out) == 2
+
+
+def test_open_intervals_can_match(rec):
+    """Conjuncts still true at end of run (open intervals) match."""
+    d = ConjunctiveIntervalDetector(phi(), INIT, modality=Modality.DEFINITELY)
+    d.feed(rec(0, "motion", True, true_time=1.0, vector=(1, 0)))
+    d.feed(rec(1, "temp", 35, true_time=2.0, vector=(1, 1)))
+    out = d.finalize()
+    assert len(out) == 1
+
+
+def test_strobe_vector_stamp_source(rec):
+    """stamp='strobe_vector' reads the strobe_vector field."""
+    from repro.core.records import SensedEventRecord
+    from repro.clocks.vector import VectorTimestamp
+
+    d = ConjunctiveIntervalDetector(
+        phi(), INIT, modality=Modality.DEFINITELY, stamp="strobe_vector"
+    )
+    def sv(pid, seq, var, value, vec, t):
+        return SensedEventRecord(
+            pid=pid, seq=seq, var=var, value=value,
+            strobe_vector=VectorTimestamp(vec), true_time=t,
+        )
+    d.feed(sv(0, 1, "motion", True, (1, 0), 1.0))
+    d.feed(sv(1, 1, "temp", 35, (1, 1), 2.0))
+    d.feed(sv(0, 2, "motion", False, (2, 1), 3.0))
+    d.feed(sv(1, 2, "temp", 20, (2, 2), 4.0))
+    assert len(d.finalize()) == 1
+
+
+def test_missing_stamp_raises(rec):
+    d = ConjunctiveIntervalDetector(phi(), INIT, stamp="vector")
+    d.feed(rec(0, "motion", True, true_time=1.0))    # no vector stamp
+    d.feed(rec(1, "temp", 35, true_time=2.0))
+    with pytest.raises(ValueError):
+        d.finalize()
+
+
+def test_never_true_conjunct_no_detection(rec):
+    d = ConjunctiveIntervalDetector(phi(), INIT, modality=Modality.POSSIBLY)
+    d.feed(rec(0, "motion", True, true_time=1.0, vector=(1, 0)))
+    d.feed(rec(1, "temp", 25, true_time=1.1, vector=(0, 1)))   # never > 30
+    assert d.finalize() == []

@@ -1,0 +1,135 @@
+"""Tests for truth-interval extraction and causal pattern matching."""
+
+import pytest
+
+from repro.detect.interval_extract import extract_truth_intervals, find_causal_matches
+from repro.intervals.finegrained import definitely_overlaps, possibly_overlaps
+
+
+def test_extract_basic_intervals(rec):
+    records = [
+        rec(0, "temp", 35, true_time=1.0, vector=(1, 0)),   # becomes hot
+        rec(0, "temp", 20, true_time=3.0, vector=(2, 0)),   # cools
+        rec(0, "temp", 40, true_time=5.0, vector=(3, 0)),   # hot again (open)
+    ]
+    ivs = extract_truth_intervals(
+        records, pid=0, var="temp", test=lambda v: v > 30,
+        initial=20, stamp="strobe_vector",
+    )
+    assert len(ivs) == 2
+    first, second = ivs
+    assert (first.t_start, first.t_end) == (1.0, 3.0)
+    assert first.v_start.as_tuple() == (1, 0)
+    assert first.v_end.as_tuple() == (2, 0)
+    assert second.open
+    assert second.t_start == 5.0
+
+
+def test_extract_initially_true_closes_on_first_false(rec):
+    records = [rec(0, "x", 0, true_time=2.0, vector=(1, 0))]
+    ivs = extract_truth_intervals(
+        records, pid=0, var="x", test=lambda v: v == 1, initial=1,
+    )
+    # Initially true but no start record exists: the detector-side
+    # convention (no interval without an observable start) applies.
+    assert ivs == []
+
+
+def test_extract_filters_by_pid_and_var(rec):
+    records = [
+        rec(0, "x", 5, true_time=1.0, vector=(1, 0)),
+        rec(1, "x", 5, true_time=1.5, vector=(0, 1)),
+        rec(0, "y", 5, true_time=2.0, vector=(2, 0)),
+    ]
+    ivs = extract_truth_intervals(
+        records, pid=0, var="x", test=lambda v: v > 0, initial=0,
+    )
+    assert len(ivs) == 1
+    assert ivs[0].pid == 0 and ivs[0].var == "x"
+
+
+def test_extract_validates(rec):
+    with pytest.raises(ValueError):
+        extract_truth_intervals([], pid=0, var="x", test=bool, initial=0, stamp="nope")
+    bad = [rec(0, "x", 1, true_time=0.0, scalar=1)]   # no vector stamps
+    with pytest.raises(ValueError):
+        extract_truth_intervals(bad, pid=0, var="x", test=bool, initial=0)
+
+
+def test_causal_matches_by_code(rec):
+    # X at p0 fully precedes Y at p1 (p1 saw p0's strobes).
+    records = [
+        rec(0, "x", 1, true_time=1.0, vector=(1, 0)),
+        rec(0, "x", 0, true_time=2.0, vector=(2, 0)),
+        rec(1, "y", 1, true_time=3.0, vector=(2, 1)),
+        rec(1, "y", 0, true_time=4.0, vector=(2, 2)),
+    ]
+    xs = extract_truth_intervals(records, pid=0, var="x", test=bool, initial=0)
+    ys = extract_truth_intervals(records, pid=1, var="y", test=bool, initial=0)
+    fully_precedes = [("<", "<", "<", "<")]
+    matches = find_causal_matches(fully_precedes, xs, ys)
+    assert len(matches) == 1
+    x, y, code = matches[0]
+    assert code.x_fully_precedes_y
+    assert not possibly_overlaps(x, y)
+
+
+def test_causal_matches_concurrent_code(rec):
+    records = [
+        rec(0, "x", 1, true_time=1.0, vector=(1, 0)),
+        rec(0, "x", 0, true_time=2.0, vector=(2, 0)),
+        rec(1, "y", 1, true_time=1.1, vector=(0, 1)),
+        rec(1, "y", 0, true_time=2.1, vector=(0, 2)),
+    ]
+    xs = extract_truth_intervals(records, pid=0, var="x", test=bool, initial=0)
+    ys = extract_truth_intervals(records, pid=1, var="y", test=bool, initial=0)
+    concurrent = [("||", "||", "||", "||")]
+    matches = find_causal_matches(concurrent, xs, ys)
+    assert len(matches) == 1
+    x, y, _ = matches[0]
+    assert possibly_overlaps(x, y)
+    assert not definitely_overlaps(x, y)
+
+
+def test_causal_matches_skips_open_intervals(rec):
+    records = [
+        rec(0, "x", 1, true_time=1.0, vector=(1, 0)),   # open
+        rec(1, "y", 1, true_time=1.1, vector=(0, 1)),   # open
+    ]
+    xs = extract_truth_intervals(records, pid=0, var="x", test=bool, initial=0)
+    ys = extract_truth_intervals(records, pid=1, var="y", test=bool, initial=0)
+    assert xs[0].open and ys[0].open
+    assert find_causal_matches([("||", "||", "||", "||")], xs, ys) == []
+
+
+def test_round_trip_with_conjunctive_detector(rec):
+    """extract_truth_intervals + definitely_overlaps reproduces the
+    ConjunctiveIntervalDetector's verdict on the same records."""
+    from repro.detect.conjunctive_interval import ConjunctiveIntervalDetector
+    from repro.predicates.base import Modality
+    from repro.predicates.conjunctive import Conjunct, ConjunctivePredicate
+
+    records = [
+        rec(0, "motion", True, true_time=1.0, vector=(1, 0)),
+        rec(1, "temp", 35, true_time=2.0, vector=(1, 1)),
+        rec(0, "motion", False, true_time=3.0, vector=(2, 1)),
+        rec(1, "temp", 20, true_time=4.0, vector=(2, 2)),
+    ]
+    phi = ConjunctivePredicate([
+        Conjunct("motion", 0, bool), Conjunct("temp", 1, lambda v: v > 30),
+    ])
+    det = ConjunctiveIntervalDetector(
+        phi, {"motion": False, "temp": 20},
+        modality=Modality.DEFINITELY, stamp="strobe_vector",
+    )
+    det.feed_many(records)
+    detector_found = len(det.finalize()) > 0
+
+    xs = extract_truth_intervals(records, pid=0, var="motion", test=bool, initial=False)
+    ys = extract_truth_intervals(records, pid=1, var="temp",
+                                 test=lambda v: v > 30, initial=20)
+    manual_found = any(
+        definitely_overlaps(x, y) for x in xs for y in ys
+        if not x.open and not y.open
+    )
+    assert detector_found == manual_found == True  # noqa: E712

@@ -1,0 +1,66 @@
+"""Tests for the ground-truth oracle detector."""
+
+import pytest
+
+from repro.detect.oracle import OracleDetector
+from repro.predicates.relational import RelationalPredicate, SumThresholdPredicate
+from repro.world.ground_truth import GroundTruthLog
+
+
+def test_static_var_map():
+    phi = SumThresholdPredicate([("x", 0, 1.0), ("y", 1, 1.0)], 5)
+    oracle = OracleDetector(
+        phi, {"x": ("hall", "entered"), "y": ("hall", "exited")},
+        initials={"x": 0, "y": 0},
+    )
+    log = GroundTruthLog()
+    log.record(0.0, "hall", "entered", 0)
+    log.record(0.0, "hall", "exited", 0)
+    log.record(1.0, "hall", "entered", 6)      # x+y = 6 > 5
+    log.record(2.0, "hall", "entered", 3)      # back below
+    ivs = oracle.true_intervals(log, t_end=3.0)
+    assert len(ivs) == 1
+    assert ivs[0].start == 1.0 and ivs[0].end == 2.0
+    assert oracle.occurrences(log, t_end=3.0) == 1
+
+
+def test_var_map_missing_variable_rejected():
+    phi = RelationalPredicate({"x": 0, "y": 1}, lambda e: True)
+    with pytest.raises(ValueError):
+        OracleDetector(phi, {"x": ("a", "b")})
+
+
+def test_custom_env_mapper_for_derived_variables():
+    """Derived variable: occupancy = entered - exited computed in the mapper."""
+    phi = RelationalPredicate({"occ": 0}, lambda e: e["occ"] > 2)
+    def mapper(snapshot):
+        ent = snapshot.get(("hall", "entered"), 0)
+        ext = snapshot.get(("hall", "exited"), 0)
+        return {"occ": ent - ext}
+    oracle = OracleDetector(phi, mapper)
+    log = GroundTruthLog()
+    log.record(0.0, "hall", "entered", 0)
+    log.record(1.0, "hall", "entered", 5)
+    log.record(2.0, "hall", "exited", 4)
+    ivs = oracle.true_intervals(log, t_end=3.0)
+    assert len(ivs) == 1
+    assert ivs[0].start == 1.0 and ivs[0].end == 2.0
+
+
+def test_incomplete_snapshot_counts_as_false():
+    phi = RelationalPredicate({"x": 0}, lambda e: e["x"] > 0)
+    oracle = OracleDetector(phi, {"x": ("obj", "attr")})    # no initials
+    log = GroundTruthLog()
+    log.record(0.0, "other", "thing", 99)
+    assert oracle.true_intervals(log, t_end=1.0) == []
+
+
+def test_initials_fill_unwritten_attributes():
+    phi = SumThresholdPredicate([("x", 0, 1.0), ("y", 1, 1.0)], 5)
+    oracle = OracleDetector(
+        phi, {"x": ("a", "v"), "y": ("b", "v")}, initials={"x": 0, "y": 3},
+    )
+    log = GroundTruthLog()
+    log.record(1.0, "a", "v", 4)       # 4 + 3(initial) > 5
+    ivs = oracle.true_intervals(log, t_end=2.0)
+    assert len(ivs) == 1

@@ -1,0 +1,42 @@
+"""Integration: duty-cycle alignment improves habitat strobe latency.
+
+Closes the loop on the §5 claim: aligning duty cycles via send/receive
+events makes the MAC-inflated delivery waits shrink, which tightens
+the effective Δ the habitat's detectors live with.
+"""
+
+from repro.net.alignment import DutyCycleAlignment
+from repro.scenarios.habitat import Habitat, HabitatConfig
+
+
+def run(aligned: bool, seed: int = 11, duration: float = 200.0):
+    hab = Habitat(HabitatConfig(
+        seed=seed, n_prey=3, n_predators=2, region_radius=0.45,
+        mac_period=2.0, mac_duty=0.25,
+    ))
+    align = None
+    if aligned:
+        align = DutyCycleAlignment(
+            hab.system.processes, hab.mac, exchange_period=1.0, alpha=0.4,
+        )
+        align.start()
+    # Awake-overlap is the clean proxy for MAC-induced delivery waits:
+    # perfectly aligned schedules deliver within the in-air bound.
+    hab.run(duration)
+    if align:
+        align.stop()
+    overlap = hab.mac.awake_fraction_overlap(0, 1)
+    return overlap, hab
+
+
+def test_alignment_raises_awake_overlap_in_habitat():
+    overlap_plain, hab_plain = run(aligned=False)
+    overlap_aligned, hab_aligned = run(aligned=True)
+    assert overlap_aligned >= overlap_plain
+    # Aligned schedules approach the full duty window.
+    assert overlap_aligned > 0.2
+
+
+def test_alignment_messages_are_app_traffic_in_habitat():
+    _, hab = run(aligned=True)
+    assert hab.system.net.stats.app_messages > 0

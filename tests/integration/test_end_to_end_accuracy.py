@@ -1,0 +1,147 @@
+"""End-to-end integration: scenario → clock protocols → detectors →
+oracle scoring.  These tests assert the *directional* claims of the
+paper on full simulated runs (benchmarks measure magnitudes)."""
+
+import pytest
+
+from repro.analysis.metrics import BorderlinePolicy, match_detections
+from repro.core.process import ClockConfig
+from repro.detect.physical import PhysicalClockDetector
+from repro.detect.strobe_scalar import ScalarStrobeDetector
+from repro.detect.strobe_vector import VectorStrobeDetector
+from repro.net.delay import DeltaBoundedDelay, SynchronousDelay
+from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+
+
+def run_hall(delay, seed=0, duration=120.0, doors=3, capacity=8,
+             arrival_rate=2.0, mean_dwell=4.0):
+    cfg = ExhibitionHallConfig(
+        doors=doors, capacity=capacity, arrival_rate=arrival_rate,
+        mean_dwell=mean_dwell, seed=seed, delay=delay,
+        clocks=ClockConfig.everything(),
+    )
+    hall = ExhibitionHall(cfg)
+    detectors = {
+        "vector": VectorStrobeDetector(hall.predicate, hall.initials),
+        "scalar": ScalarStrobeDetector(hall.predicate, hall.initials),
+        "physical": PhysicalClockDetector(hall.predicate, hall.initials),
+    }
+    for d in detectors.values():
+        hall.attach_detector(d)
+    hall.run(duration)
+    truth = hall.oracle().true_intervals(
+        hall.system.world.ground_truth, t_end=duration
+    )
+    return hall, truth, {k: d.finalize() for k, d in detectors.items()}
+
+
+def test_synchronous_delta_zero_everything_exact():
+    """Δ=0 with ideal physical clocks: all three detectors are exact."""
+    from repro.clocks.physical import DriftModel
+    cfg = ExhibitionHallConfig(
+        doors=3, capacity=8, seed=1, delay=SynchronousDelay(0.0),
+        clocks=ClockConfig.everything(), drift=DriftModel.ideal(),
+    )
+    hall = ExhibitionHall(cfg)
+    dets = {
+        "vector": VectorStrobeDetector(hall.predicate, hall.initials),
+        "scalar": ScalarStrobeDetector(hall.predicate, hall.initials),
+        "physical": PhysicalClockDetector(hall.predicate, hall.initials),
+    }
+    for d in dets.values():
+        hall.attach_detector(d)
+    hall.run(120.0)
+    truth = hall.oracle().true_intervals(hall.system.world.ground_truth, t_end=120.0)
+    assert len(truth) >= 1
+    for name, det in dets.items():
+        report = match_detections(truth, det.finalize(),
+                                  policy=BorderlinePolicy.AS_POSITIVE)
+        assert report.fp == 0, f"{name} produced false positives at Δ=0"
+        assert report.fn == 0, f"{name} missed occurrences at Δ=0"
+
+
+def test_delta_zero_scalar_equals_vector_detections():
+    """§4.2.3 item 5: at Δ=0 strobe scalars match strobe vectors."""
+    _, truth, outs = run_hall(SynchronousDelay(0.0), seed=2)
+    scalar_triggers = [d.trigger.key() for d in outs["scalar"]]
+    vector_triggers = [d.trigger.key() for d in outs["vector"]]
+    assert scalar_triggers == vector_triggers
+    assert all(d.firm for d in outs["vector"])
+
+
+def test_delta_bounded_vector_races_become_borderline():
+    """With Δ > 0 under racing traffic, the vector detector labels
+    race-dependent detections borderline rather than asserting them."""
+    _, truth, outs = run_hall(DeltaBoundedDelay(0.3), seed=3,
+                              arrival_rate=4.0, mean_dwell=2.0)
+    labels = [d.label.value for d in outs["vector"]]
+    assert "borderline" in labels
+
+
+def test_borderline_bin_absorbs_vector_false_positives():
+    """§5: the consensus algorithm places false positives in the
+    borderline bin — firm detections should be (nearly) FP-free while
+    the borderline bin soaks the uncertainty."""
+    fp_firm = 0
+    fp_all = 0
+    for seed in range(4):
+        _, truth, outs = run_hall(
+            DeltaBoundedDelay(0.4), seed=seed, arrival_rate=4.0, mean_dwell=2.0
+        )
+        firm_report = match_detections(
+            truth, outs["vector"], policy=BorderlinePolicy.AS_NEGATIVE
+        )
+        all_report = match_detections(
+            truth, outs["vector"], policy=BorderlinePolicy.AS_POSITIVE
+        )
+        fp_firm += firm_report.fp
+        fp_all += all_report.fp
+    # Firm-only FPs are a strict subset of all FPs; the bin absorbs some.
+    assert fp_firm <= fp_all
+    # And firm detections are almost never wrong (tolerance for rare
+    # multi-hop races the pairwise analysis cannot see).
+    assert fp_firm <= 1
+
+
+def test_larger_delta_hurts_recall_of_scalar():
+    """Monotone trend: scalar-strobe accuracy degrades as Δ grows
+    relative to the event rate (the E3 claim), aggregated over seeds."""
+    def total_errors(delta):
+        errs = 0
+        for seed in range(3):
+            _, truth, outs = run_hall(
+                DeltaBoundedDelay(delta) if delta > 0 else SynchronousDelay(0.0),
+                seed=seed, arrival_rate=4.0, mean_dwell=2.0, duration=90.0,
+            )
+            r = match_detections(truth, outs["scalar"],
+                                 policy=BorderlinePolicy.AS_POSITIVE)
+            errs += r.fp + r.fn
+        return errs
+    assert total_errors(0.0) <= total_errors(1.0)
+
+
+def test_physical_detector_with_drift_errs_on_races():
+    """Unsynchronized drifting clocks misorder racing events; compare
+    against ideal clocks on the same traffic (same seed)."""
+    from repro.clocks.physical import DriftModel
+
+    def run(drift_model, seed):
+        cfg = ExhibitionHallConfig(
+            doors=3, capacity=8, arrival_rate=4.0, mean_dwell=2.0,
+            seed=seed, delay=SynchronousDelay(0.0),
+            clocks=ClockConfig.everything(), drift=drift_model,
+            max_offset=0.2, max_drift_ppm=200.0,
+        )
+        hall = ExhibitionHall(cfg)
+        det = PhysicalClockDetector(hall.predicate, hall.initials)
+        hall.attach_detector(det)
+        hall.run(90.0)
+        truth = hall.oracle().true_intervals(hall.system.world.ground_truth, t_end=90.0)
+        r = match_detections(truth, det.finalize(),
+                             policy=BorderlinePolicy.AS_POSITIVE)
+        return r.fp + r.fn
+
+    ideal_errors = sum(run(DriftModel.ideal(), s) for s in range(3))
+    skewed_errors = sum(run(None, s) for s in range(3))   # sampled skews
+    assert ideal_errors == 0
+    assert skewed_errors >= ideal_errors

@@ -1,0 +1,82 @@
+"""Property tests for multi-hop strobe flooding on random topologies."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.process import ClockConfig
+from repro.core.system import PervasiveSystem, SystemConfig
+from repro.net.delay import DeltaBoundedDelay
+from repro.net.topology import Topology
+
+
+@st.composite
+def connected_graphs(draw):
+    """Random connected graphs: a spanning tree plus extra edges."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = np.random.default_rng(seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for v in range(1, n):
+        g.add_edge(v, int(rng.integers(v)))       # random spanning tree
+    extra = int(rng.integers(0, n))
+    for _ in range(extra):
+        a, b = rng.integers(n), rng.integers(n)
+        if a != b:
+            g.add_edge(int(a), int(b))
+    return g
+
+
+@settings(max_examples=25, deadline=None)
+@given(connected_graphs(), st.integers(0, 100))
+def test_flood_covers_every_connected_node(graph, seed):
+    """On any connected topology, a flooded strobe reaches every node,
+    each listener fires exactly once, and total copies ≤ 2·|E|."""
+    n = graph.number_of_nodes()
+    topo = Topology(graph)
+    s = PervasiveSystem(
+        SystemConfig(
+            n_processes=n, seed=seed, delay=DeltaBoundedDelay(0.05),
+            clocks=ClockConfig(strobe_vector=True), strobe_transport="flood",
+        ),
+        topology=topo,
+    )
+    s.world.create("obj", v=0)
+    s.processes[0].track("v", "obj", "v", initial=0)
+    counts = {p.pid: 0 for p in s.processes}
+    for p in s.processes[1:]:
+        p.add_strobe_listener(lambda r, pid=p.pid: counts.__setitem__(pid, counts[pid] + 1))
+    s.world.set_attribute("obj", "v", 1)
+    s.run()
+    for p in s.processes:
+        assert p.strobe_vector.read()[0] == 1, f"p{p.pid} missed the strobe"
+    for pid in range(1, n):
+        assert counts[pid] == 1
+    assert s.net.stats.control_messages <= 2 * graph.number_of_edges()
+
+
+@settings(max_examples=15, deadline=None)
+@given(connected_graphs(), st.integers(0, 100))
+def test_flood_latency_bounded_by_eccentricity(graph, seed):
+    """Strobe arrival at each node ≤ (hop distance from source) × Δ."""
+    n = graph.number_of_nodes()
+    topo = Topology(graph)
+    delta = 0.1
+    s = PervasiveSystem(
+        SystemConfig(
+            n_processes=n, seed=seed, delay=DeltaBoundedDelay(delta),
+            clocks=ClockConfig(strobe_vector=True), strobe_transport="flood",
+        ),
+        topology=topo,
+    )
+    s.world.create("obj", v=0)
+    s.processes[0].track("v", "obj", "v", initial=0)
+    arrivals = {}
+    for p in s.processes[1:]:
+        p.add_strobe_listener(lambda r, pid=p.pid: arrivals.setdefault(pid, s.sim.now))
+    s.world.set_attribute("obj", "v", 1)
+    s.run()
+    for pid, t in arrivals.items():
+        dist = topo.hop_distance(0, pid)
+        assert t <= dist * delta + 1e-9, f"p{pid} at distance {dist}"

@@ -1,0 +1,76 @@
+"""Tests for Allen's 13 interval relations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.intervals.allen import AllenRelation, allen_relation
+
+
+CASES = [
+    # (x_start, x_end, y_start, y_end, expected)
+    (0, 1, 2, 3, AllenRelation.BEFORE),
+    (2, 3, 0, 1, AllenRelation.AFTER),
+    (0, 1, 1, 2, AllenRelation.MEETS),
+    (1, 2, 0, 1, AllenRelation.MET_BY),
+    (0, 2, 1, 3, AllenRelation.OVERLAPS),
+    (1, 3, 0, 2, AllenRelation.OVERLAPPED_BY),
+    (0, 1, 0, 2, AllenRelation.STARTS),
+    (0, 2, 0, 1, AllenRelation.STARTED_BY),
+    (1, 2, 0, 3, AllenRelation.DURING),
+    (0, 3, 1, 2, AllenRelation.CONTAINS),
+    (1, 2, 0, 2, AllenRelation.FINISHES),
+    (0, 2, 1, 2, AllenRelation.FINISHED_BY),
+    (0, 1, 0, 1, AllenRelation.EQUAL),
+]
+
+
+@pytest.mark.parametrize("xs,xe,ys,ye,expected", CASES)
+def test_all_thirteen_relations(xs, xe, ys, ye, expected):
+    assert allen_relation(xs, xe, ys, ye) == expected
+
+
+@pytest.mark.parametrize("xs,xe,ys,ye,expected", CASES)
+def test_inverse_symmetry(xs, xe, ys, ye, expected):
+    """rel(X,Y).inverse == rel(Y,X) for every case."""
+    assert allen_relation(ys, ye, xs, xe) == expected.inverse
+
+
+def test_reversed_endpoints_rejected():
+    with pytest.raises(ValueError):
+        allen_relation(2, 1, 0, 1)
+    with pytest.raises(ValueError):
+        allen_relation(0, 1, 3, 2)
+
+
+def test_disjoint_flag():
+    assert AllenRelation.BEFORE.is_disjoint
+    assert AllenRelation.MEETS.is_disjoint
+    assert not AllenRelation.OVERLAPS.is_disjoint
+    assert not AllenRelation.EQUAL.is_disjoint
+
+
+interval = st.tuples(
+    st.integers(min_value=0, max_value=20), st.integers(min_value=0, max_value=20)
+).map(lambda p: (min(p), max(p)))
+
+
+@given(interval, interval)
+def test_exactly_one_relation_always(x, y):
+    """The 13 relations are jointly exhaustive and mutually exclusive:
+    the classifier always returns exactly one of them, and the
+    inverse-of-inverse round-trips."""
+    rel = allen_relation(x[0], x[1], y[0], y[1])
+    assert isinstance(rel, AllenRelation)
+    assert rel.inverse.inverse == rel
+    assert allen_relation(y[0], y[1], x[0], x[1]) == rel.inverse
+
+
+@given(interval, interval)
+def test_disjoint_iff_no_interior_overlap(x, y):
+    rel = allen_relation(x[0], x[1], y[0], y[1])
+    interior_overlap = x[0] < y[1] and y[0] < x[1]
+    if rel.is_disjoint:
+        assert not interior_overlap
+    # Note: zero-length intervals make the converse direction subtle
+    # (a point interval shares no interior with anything), so we only
+    # assert the forward implication.

@@ -1,0 +1,66 @@
+"""Tests for the Interval type."""
+
+import pytest
+
+from repro.intervals.interval import Interval
+
+
+def test_open_then_close():
+    iv = Interval(pid=0, var="x", value=5, t_start=1.0)
+    assert iv.open
+    assert iv.duration == float("inf")
+    closed = iv.close(3.0)
+    assert not closed.open
+    assert closed.duration == 2.0
+    assert closed.t_start == 1.0
+    # Original is immutable/unchanged.
+    assert iv.open
+
+
+def test_close_twice_rejected():
+    iv = Interval(0, "x", 1, t_start=0.0).close(1.0)
+    with pytest.raises(ValueError):
+        iv.close(2.0)
+
+
+def test_close_before_start_rejected():
+    with pytest.raises(ValueError):
+        Interval(0, "x", 1, t_start=5.0).close(4.0)
+
+
+def test_zero_length_interval_allowed():
+    iv = Interval(0, "x", 1, t_start=2.0).close(2.0)
+    assert iv.duration == 0.0
+
+
+def test_physical_overlap():
+    a = Interval(0, "x", 1, t_start=1.0).close(3.0)
+    b = Interval(1, "y", 2, t_start=2.0).close(4.0)
+    c = Interval(1, "y", 3, t_start=3.0).close(5.0)
+    assert a.physically_overlaps(b)
+    assert b.physically_overlaps(a)
+    assert not a.physically_overlaps(c)   # touching at 3.0 only
+
+
+def test_open_interval_overlaps_future():
+    a = Interval(0, "x", 1, t_start=1.0)          # open
+    b = Interval(1, "y", 2, t_start=100.0).close(101.0)
+    assert a.physically_overlaps(b)
+
+
+def test_contains_time():
+    iv = Interval(0, "x", 1, t_start=1.0).close(2.0)
+    assert iv.contains_time(1.0)
+    assert iv.contains_time(1.5)
+    assert not iv.contains_time(2.0)
+    open_iv = Interval(0, "x", 1, t_start=1.0)
+    assert open_iv.contains_time(1e9)
+
+
+def test_close_carries_v_end():
+    from repro.clocks.vector import VectorTimestamp
+    vs = VectorTimestamp([1, 0])
+    ve = VectorTimestamp([2, 3])
+    iv = Interval(0, "x", 1, t_start=0.0, v_start=vs).close(1.0, v_end=ve)
+    assert iv.v_start == vs
+    assert iv.v_end == ve

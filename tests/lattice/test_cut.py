@@ -1,0 +1,78 @@
+"""Tests for cuts and the consistency test."""
+
+import pytest
+
+from repro.clocks.vector import VectorClock, VectorTimestamp
+from repro.lattice.cut import Cut, is_consistent
+
+
+def vts(*xs):
+    return VectorTimestamp(xs)
+
+
+def test_cut_basics():
+    c = Cut((2, 0, 1))
+    assert c.n == 3
+    assert c.level == 3
+    assert c[0] == 2
+    assert c.advance(1) == Cut((2, 1, 1))
+    assert Cut.initial(3) == Cut((0, 0, 0))
+
+
+def test_cut_validation():
+    with pytest.raises(ValueError):
+        Cut(())
+    with pytest.raises(ValueError):
+        Cut((1, -1))
+
+
+def test_dominates():
+    assert Cut((2, 1)).dominates(Cut((1, 1)))
+    assert Cut((1, 1)).dominates(Cut((1, 1)))
+    assert not Cut((2, 0)).dominates(Cut((1, 1)))
+    with pytest.raises(ValueError):
+        Cut((1,)).dominates(Cut((1, 1)))
+
+
+def message_execution():
+    """p0: e1, send(m); p1: recv(m), e2.  Timestamps via real clocks."""
+    a, b = VectorClock(0, 2), VectorClock(1, 2)
+    ts_a = [a.on_local_event(), a.on_send()]
+    tm = ts_a[1]
+    ts_b = [b.on_receive(tm), b.on_local_event()]
+    return [ts_a, ts_b]
+
+
+def test_consistency_respects_message_edges():
+    ts = message_execution()
+    # Including the receive without the send is inconsistent.
+    assert not is_consistent(Cut((0, 1)), ts)
+    assert not is_consistent(Cut((1, 1)), ts)
+    assert is_consistent(Cut((2, 1)), ts)
+    # Independent prefixes are consistent.
+    assert is_consistent(Cut((0, 0)), ts)
+    assert is_consistent(Cut((1, 0)), ts)
+    assert is_consistent(Cut((2, 0)), ts)
+    assert is_consistent(Cut((2, 2)), ts)
+
+
+def test_consistency_all_concurrent():
+    """No messages: every cut is consistent."""
+    a, b = VectorClock(0, 2), VectorClock(1, 2)
+    ts = [[a.on_local_event(), a.on_local_event()],
+          [b.on_local_event(), b.on_local_event()]]
+    for i in range(3):
+        for j in range(3):
+            assert is_consistent(Cut((i, j)), ts)
+
+
+def test_consistency_validation():
+    ts = message_execution()
+    with pytest.raises(ValueError):
+        is_consistent(Cut((1,)), ts)        # width mismatch
+    with pytest.raises(ValueError):
+        is_consistent(Cut((3, 0)), ts)      # beyond event count
+
+
+def test_empty_cut_always_consistent():
+    assert is_consistent(Cut((0, 0)), message_execution())

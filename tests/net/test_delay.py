@@ -1,0 +1,112 @@
+"""Tests for the three delay models of §3.2.2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.delay import DeltaBoundedDelay, SynchronousDelay, UnboundedDelay
+
+
+def test_synchronous_default_is_zero():
+    d = SynchronousDelay()
+    rng = np.random.default_rng(0)
+    assert d.sample(rng) == 0.0
+    assert d.bound == 0.0
+    assert d.mean == 0.0
+
+
+def test_synchronous_constant():
+    d = SynchronousDelay(0.5)
+    rng = np.random.default_rng(0)
+    assert all(d.sample(rng) == 0.5 for _ in range(10))
+
+
+def test_synchronous_rejects_negative():
+    with pytest.raises(ValueError):
+        SynchronousDelay(-0.1)
+
+
+def test_delta_bounded_uniform_respects_bound():
+    d = DeltaBoundedDelay(0.2)
+    rng = np.random.default_rng(1)
+    draws = np.array([d.sample(rng) for _ in range(2000)])
+    assert np.all(draws >= 0.0)
+    assert np.all(draws <= 0.2)
+    assert d.bound == 0.2
+    # Uniform on [0, delta]: mean ~ delta/2.
+    assert abs(draws.mean() - 0.1) < 0.01
+
+
+def test_delta_bounded_min_frac_floor():
+    d = DeltaBoundedDelay(1.0, min_frac=0.5)
+    rng = np.random.default_rng(2)
+    draws = [d.sample(rng) for _ in range(500)]
+    assert min(draws) >= 0.5
+    assert d.mean == pytest.approx(0.75)
+
+
+def test_delta_bounded_truncexp_respects_bound():
+    d = DeltaBoundedDelay(0.1, shape="truncexp", mean_frac=0.3)
+    rng = np.random.default_rng(3)
+    draws = np.array([d.sample(rng) for _ in range(2000)])
+    assert np.all(draws <= 0.1 + 1e-15)
+    assert np.all(draws >= 0.0)
+    # Truncation mass sits at the cap.
+    assert np.any(draws == 0.1)
+
+
+def test_delta_bounded_validation():
+    with pytest.raises(ValueError):
+        DeltaBoundedDelay(0.0)
+    with pytest.raises(ValueError):
+        DeltaBoundedDelay(1.0, shape="weird")
+    with pytest.raises(ValueError):
+        DeltaBoundedDelay(1.0, min_frac=1.0)
+    with pytest.raises(ValueError):
+        DeltaBoundedDelay(1.0, mean_frac=0.0)
+
+
+def test_unbounded_exponential_mean():
+    d = UnboundedDelay(2.0)
+    rng = np.random.default_rng(4)
+    draws = np.array([d.sample(rng) for _ in range(20000)])
+    assert d.bound == float("inf")
+    assert abs(draws.mean() - 2.0) < 0.1
+
+
+def test_unbounded_pareto_mean_and_tail():
+    d = UnboundedDelay(1.0, shape="pareto", pareto_alpha=2.5)
+    rng = np.random.default_rng(5)
+    draws = np.array([d.sample(rng) for _ in range(50000)])
+    assert abs(draws.mean() - 1.0) < 0.1
+    # Heavy tail: some draws well above the mean.
+    assert draws.max() > 5.0
+
+
+def test_unbounded_validation():
+    with pytest.raises(ValueError):
+        UnboundedDelay(0.0)
+    with pytest.raises(ValueError):
+        UnboundedDelay(1.0, shape="weird")
+    with pytest.raises(ValueError):
+        UnboundedDelay(1.0, shape="pareto", pareto_alpha=1.0)
+
+
+@settings(max_examples=25)
+@given(
+    st.floats(min_value=1e-3, max_value=10.0),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_delta_bound_never_violated(delta, seed):
+    """Property: no draw ever exceeds Δ — detectors rely on this."""
+    d = DeltaBoundedDelay(delta, shape="truncexp")
+    rng = np.random.default_rng(seed)
+    for _ in range(200):
+        assert d.sample(rng) <= delta
+
+
+def test_determinism_under_seed():
+    d = DeltaBoundedDelay(1.0)
+    a = [d.sample(np.random.default_rng(9)) for _ in range(5)]
+    b = [d.sample(np.random.default_rng(9)) for _ in range(5)]
+    assert a == b

@@ -1,0 +1,64 @@
+"""Tests for loss models."""
+
+import numpy as np
+import pytest
+
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, NoLoss
+
+
+def test_no_loss_never_drops():
+    rng = np.random.default_rng(0)
+    m = NoLoss()
+    assert not any(m.drops(rng) for _ in range(100))
+
+
+def test_bernoulli_zero_and_one():
+    rng = np.random.default_rng(0)
+    assert not any(BernoulliLoss(0.0).drops(rng) for _ in range(100))
+    assert all(BernoulliLoss(1.0).drops(rng) for _ in range(100))
+
+
+def test_bernoulli_rate():
+    rng = np.random.default_rng(1)
+    m = BernoulliLoss(0.3)
+    drops = sum(m.drops(rng) for _ in range(20000))
+    assert abs(drops / 20000 - 0.3) < 0.02
+
+
+def test_bernoulli_validation():
+    with pytest.raises(ValueError):
+        BernoulliLoss(-0.1)
+    with pytest.raises(ValueError):
+        BernoulliLoss(1.1)
+
+
+def test_gilbert_elliott_stationary_rate():
+    rng = np.random.default_rng(2)
+    m = GilbertElliottLoss(p_gb=0.05, p_bg=0.25, p_good=0.0, p_bad=0.6)
+    drops = sum(m.drops(rng) for _ in range(100000))
+    expected = m.stationary_loss_rate()
+    assert abs(drops / 100000 - expected) < 0.02
+
+
+def test_gilbert_elliott_burstiness():
+    """Losses cluster: P(drop | previous drop) > P(drop)."""
+    rng = np.random.default_rng(3)
+    m = GilbertElliottLoss(p_gb=0.02, p_bg=0.1, p_good=0.0, p_bad=0.9)
+    seq = [m.drops(rng) for _ in range(100000)]
+    overall = np.mean(seq)
+    after_drop = np.mean([seq[i + 1] for i in range(len(seq) - 1) if seq[i]])
+    assert after_drop > overall * 2
+
+
+def test_gilbert_elliott_validation():
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(p_gb=1.5)
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(p_bad=-0.2)
+
+
+def test_gilbert_elliott_degenerate_no_transitions():
+    m = GilbertElliottLoss(p_gb=0.0, p_bg=0.0, p_good=0.0, p_bad=1.0)
+    rng = np.random.default_rng(0)
+    assert not any(m.drops(rng) for _ in range(100))   # stuck in good
+    assert m.stationary_loss_rate() == 0.0

@@ -1,0 +1,80 @@
+"""Tests for the duty-cycle MAC model."""
+
+import numpy as np
+import pytest
+
+from repro.net.mac import DutyCycleMAC
+
+
+def test_awake_window_at_period_start():
+    mac = DutyCycleMAC(n=2, period=1.0, duty=0.25)
+    assert mac.awake(0, 0.0)
+    assert mac.awake(0, 0.24)
+    assert not mac.awake(0, 0.25)
+    assert not mac.awake(0, 0.99)
+    assert mac.awake(0, 1.0)
+
+
+def test_full_duty_always_awake():
+    mac = DutyCycleMAC(n=1, period=1.0, duty=1.0)
+    for t in np.linspace(0, 5, 50):
+        assert mac.awake(0, t)
+
+
+def test_phase_shifts_window():
+    mac = DutyCycleMAC(n=2, period=1.0, duty=0.2, phases=np.array([0.0, 0.5]))
+    assert mac.awake(1, 0.5)
+    assert not mac.awake(1, 0.0)
+
+
+def test_next_wake_immediate_when_awake():
+    mac = DutyCycleMAC(n=1, period=1.0, duty=0.5)
+    assert mac.next_wake(0, 0.2) == 0.2
+
+
+def test_next_wake_rolls_to_next_period():
+    mac = DutyCycleMAC(n=1, period=1.0, duty=0.25)
+    assert mac.next_wake(0, 0.5) == pytest.approx(1.0)
+    assert mac.delivery_time(0, 0.9) == pytest.approx(1.0)
+
+
+def test_extra_delay_bound():
+    mac = DutyCycleMAC(n=1, period=2.0, duty=0.25)
+    assert mac.extra_delay_bound() == pytest.approx(1.5)
+    # No extra delay at full duty.
+    assert DutyCycleMAC(n=1, period=2.0, duty=1.0).extra_delay_bound() == 0.0
+
+
+def test_delivery_never_waits_longer_than_bound():
+    mac = DutyCycleMAC(n=1, period=1.0, duty=0.3)
+    for arrival in np.linspace(0, 3, 100):
+        wait = mac.delivery_time(0, arrival) - arrival
+        assert 0.0 <= wait <= mac.extra_delay_bound() + 1e-9
+
+
+def test_synchronized_phases_full_overlap():
+    mac = DutyCycleMAC(n=2, period=1.0, duty=0.3)
+    assert mac.awake_fraction_overlap(0, 1) == pytest.approx(0.3, abs=0.01)
+
+
+def test_random_phases_reduce_overlap():
+    rng = np.random.default_rng(0)
+    mac = DutyCycleMAC(n=2, period=1.0, duty=0.3, random_phases=True, rng=rng)
+    assert mac.awake_fraction_overlap(0, 1) < 0.3
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DutyCycleMAC(n=0, period=1.0, duty=0.5)
+    with pytest.raises(ValueError):
+        DutyCycleMAC(n=1, period=0.0, duty=0.5)
+    with pytest.raises(ValueError):
+        DutyCycleMAC(n=1, period=1.0, duty=0.0)
+    with pytest.raises(ValueError):
+        DutyCycleMAC(n=1, period=1.0, duty=1.5)
+    with pytest.raises(ValueError):
+        DutyCycleMAC(n=2, period=1.0, duty=0.5, phases=np.array([0.0]))
+    with pytest.raises(ValueError):
+        DutyCycleMAC(n=1, period=1.0, duty=0.5, phases=np.array([2.0]))
+    with pytest.raises(ValueError):
+        DutyCycleMAC(n=1, period=1.0, duty=0.5, random_phases=True)

@@ -1,0 +1,110 @@
+"""Tests for overlay topologies."""
+
+import numpy as np
+import pytest
+
+from repro.net.topology import DynamicTopology, Topology
+
+
+def test_complete_graph_all_connected():
+    t = Topology.complete(5)
+    assert t.n == 5
+    assert t.is_connected()
+    for i in range(5):
+        for j in range(5):
+            if i != j:
+                assert t.has_edge(i, j)
+
+
+def test_ring_neighbors():
+    t = Topology.ring(5)
+    assert t.neighbors(0) == [1, 4]
+    assert t.hop_distance(0, 2) == 2
+
+
+def test_star_topology():
+    t = Topology.star(5)
+    assert t.neighbors(0) == [1, 2, 3, 4]
+    assert t.neighbors(3) == [0]
+    assert t.hop_distance(1, 2) == 2    # via hub
+
+
+def test_star_custom_center():
+    t = Topology.star(4, center=2)
+    assert t.neighbors(2) == [0, 1, 3]
+
+
+def test_grid():
+    t = Topology.grid(2, 3)
+    assert t.n == 6
+    assert t.is_connected()
+
+
+def test_random_geometric_deterministic():
+    a = Topology.random_geometric(20, 0.5, np.random.default_rng(7))
+    b = Topology.random_geometric(20, 0.5, np.random.default_rng(7))
+    assert set(a.graph.edges) == set(b.graph.edges)
+
+
+def test_connected_uses_paths_not_just_edges():
+    t = Topology.ring(6)
+    assert not t.has_edge(0, 3)
+    assert t.connected(0, 3)
+
+
+def test_connected_to_self():
+    assert Topology.complete(2).connected(1, 1)
+
+
+def test_empty_topology_rejected():
+    import networkx as nx
+    with pytest.raises(ValueError):
+        Topology(nx.Graph())
+
+
+def test_hop_distance_unreachable():
+    import networkx as nx
+    g = nx.Graph()
+    g.add_nodes_from([0, 1])
+    t = Topology(g)
+    assert t.hop_distance(0, 1) == -1
+    assert not t.connected(0, 1)
+
+
+def test_dynamic_churn_flips_edges():
+    t = DynamicTopology(Topology.complete(6).graph)
+    rng = np.random.default_rng(1)
+    before = set(t.graph.edges)
+    flipped = t.churn(rng, flip_fraction=0.2)
+    after = set(t.graph.edges)
+    assert flipped == 3        # 15 pairs * 0.2
+    assert before != after
+    assert t.epoch == 1
+
+
+def test_dynamic_churn_zero_fraction():
+    t = DynamicTopology(Topology.complete(4).graph)
+    assert t.churn(np.random.default_rng(0), flip_fraction=0.0) == 0
+    assert t.epoch == 1
+
+
+def test_dynamic_churn_validation():
+    t = DynamicTopology(Topology.complete(3).graph)
+    with pytest.raises(ValueError):
+        t.churn(np.random.default_rng(0), flip_fraction=1.5)
+
+
+def test_dynamic_add_remove_edge():
+    t = DynamicTopology(Topology.ring(4).graph)
+    t.add_edge(0, 2)
+    assert t.has_edge(0, 2)
+    t.remove_edge(0, 2)
+    assert not t.has_edge(0, 2)
+    t.remove_edge(0, 2)   # idempotent
+
+
+def test_dynamic_does_not_mutate_source_graph():
+    base = Topology.complete(4)
+    t = DynamicTopology(base.graph)
+    t.remove_edge(0, 1)
+    assert base.has_edge(0, 1)

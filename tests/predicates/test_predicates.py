@@ -1,0 +1,192 @@
+"""Tests for conjunctive and relational predicates."""
+
+import pytest
+
+from repro.predicates.base import Modality, PredicateError
+from repro.predicates.conjunctive import Conjunct, ConjunctivePredicate
+from repro.predicates.relational import RelationalPredicate, SumThresholdPredicate
+
+
+# ---------------------------------------------------------------------------
+# Conjunctive
+# ---------------------------------------------------------------------------
+
+def smart_office():
+    """The paper's χ = (temp_i = 20C ∧ person_in_room_i) example."""
+    return ConjunctivePredicate([
+        Conjunct("temp", 0, lambda v: v == 20, "temp = 20C"),
+        Conjunct("person", 1, lambda v: bool(v), "person in room"),
+    ])
+
+
+def test_conjunctive_evaluate():
+    phi = smart_office()
+    assert phi.evaluate({"temp": 20, "person": True})
+    assert not phi.evaluate({"temp": 21, "person": True})
+    assert not phi.evaluate({"temp": 20, "person": False})
+
+
+def test_conjunctive_variables_and_processes():
+    phi = smart_office()
+    assert phi.variables == {"temp": 0, "person": 1}
+    assert phi.processes() == [0, 1]
+
+
+def test_conjunct_for_pid():
+    phi = smart_office()
+    assert [c.var for c in phi.conjunct_for(0)] == ["temp"]
+    assert phi.conjunct_for(7) == []
+
+
+def test_conjunctive_missing_variable_raises():
+    with pytest.raises(PredicateError):
+        smart_office().evaluate({"temp": 20})
+
+
+def test_evaluate_safe_returns_none_when_incomplete():
+    phi = smart_office()
+    assert phi.evaluate_safe({"temp": 20}) is None
+    assert phi.evaluate_safe({"temp": 20, "person": 1}) is True
+
+
+def test_conjunctive_validation():
+    with pytest.raises(PredicateError):
+        ConjunctivePredicate([])
+    with pytest.raises(PredicateError):
+        ConjunctivePredicate([
+            Conjunct("x", 0, bool), Conjunct("x", 1, bool),
+        ])
+
+
+def test_conjunct_str():
+    c = Conjunct("temp", 0, lambda v: v > 30, "temp > 30")
+    assert str(c) == "temp > 30"
+    assert "∧" in str(smart_office())
+
+
+# ---------------------------------------------------------------------------
+# Relational
+# ---------------------------------------------------------------------------
+
+def test_relational_paper_example():
+    """φ = x_i + y_j > 7 (§3.1.2.b)."""
+    phi = RelationalPredicate({"x": 0, "y": 1}, lambda e: e["x"] + e["y"] > 7)
+    assert phi.evaluate({"x": 3, "y": 5})
+    assert not phi.evaluate({"x": 3, "y": 4})
+
+
+def test_relational_missing_variable():
+    phi = RelationalPredicate({"x": 0}, lambda e: e["x"] > 0)
+    with pytest.raises(PredicateError):
+        phi.evaluate({})
+
+
+def test_relational_validation():
+    with pytest.raises(PredicateError):
+        RelationalPredicate({}, lambda e: True)
+
+
+def test_relational_str():
+    assert str(RelationalPredicate({"x": 0}, lambda e: True, "my label")) == "my label"
+    assert "x" in str(RelationalPredicate({"x": 0}, lambda e: True))
+
+
+# ---------------------------------------------------------------------------
+# SumThreshold (exhibition hall)
+# ---------------------------------------------------------------------------
+
+def occupancy(d=2, cap=200):
+    """φ = Σ (x_i − y_i) > cap over d doors (§5)."""
+    terms = []
+    for i in range(d):
+        terms.append((f"x{i}", i, +1.0))
+        terms.append((f"y{i}", i, -1.0))
+    return SumThresholdPredicate(terms, cap, label=f"occupancy > {cap}")
+
+
+def test_sum_threshold_evaluate():
+    phi = occupancy()
+    env = {"x0": 150, "y0": 10, "x1": 80, "y1": 15}   # occupancy 205
+    assert phi.evaluate(env)
+    assert phi.total(env) == 205
+    assert phi.margin(env) == 5
+    env["y1"] = 20                                     # occupancy 200: not > 200
+    assert not phi.evaluate(env)
+    assert phi.margin(env) == 0
+
+
+def test_sum_threshold_strictness():
+    phi = SumThresholdPredicate([("x", 0, 1.0)], 10)
+    assert not phi.evaluate({"x": 10})
+    assert phi.evaluate({"x": 11})
+
+
+def test_sum_threshold_variables():
+    phi = occupancy(d=3)
+    assert len(phi.variables) == 6
+    assert phi.variables["x2"] == 2
+    assert phi.processes() == [0, 1, 2]
+    assert phi.threshold == 200
+
+
+def test_sum_threshold_validation():
+    with pytest.raises(PredicateError):
+        SumThresholdPredicate([], 1)
+    with pytest.raises(PredicateError):
+        SumThresholdPredicate([("x", 0, 1.0), ("x", 1, 1.0)], 1)
+
+
+def test_modality_enum():
+    assert Modality.INSTANTANEOUS.value == "instantaneous"
+    assert Modality.POSSIBLY.value == "possibly"
+    assert Modality.DEFINITELY.value == "definitely"
+
+
+# ---------------------------------------------------------------------------
+# Predicate algebra (§3.1: "combinations … can also be constructed")
+# ---------------------------------------------------------------------------
+
+def test_predicate_and_composition():
+    phi = smart_office()
+    psi = RelationalPredicate({"count": 2}, lambda e: e["count"] > 3)
+    combined = phi & psi
+    assert combined.variables == {"temp": 0, "person": 1, "count": 2}
+    assert combined.evaluate({"temp": 20, "person": 1, "count": 4})
+    assert not combined.evaluate({"temp": 20, "person": 1, "count": 1})
+    assert "∧" in str(combined)
+
+
+def test_predicate_or_and_not():
+    a = RelationalPredicate({"x": 0}, lambda e: e["x"] > 5, "x>5")
+    b = RelationalPredicate({"y": 1}, lambda e: e["y"] > 5, "y>5")
+    either = a | b
+    assert either.evaluate({"x": 9, "y": 0})
+    assert not either.evaluate({"x": 0, "y": 0})
+    neg = ~a
+    assert neg.evaluate({"x": 0})
+    assert not neg.evaluate({"x": 9})
+    assert neg.variables == {"x": 0}
+    assert str(neg).startswith("¬")
+
+
+def test_composition_rejects_conflicting_ownership():
+    a = RelationalPredicate({"x": 0}, lambda e: True)
+    b = RelationalPredicate({"x": 1}, lambda e: True)
+    with pytest.raises(PredicateError):
+        _ = a & b
+
+
+def test_composed_predicate_works_in_detector(rec=None):
+    """Composed predicates flow through the replay detectors."""
+    from repro.core.records import SensedEventRecord
+    from repro.clocks.vector import VectorTimestamp
+    from repro.detect.strobe_vector import VectorStrobeDetector
+
+    a = RelationalPredicate({"x": 0}, lambda e: e["x"] > 1)
+    b = RelationalPredicate({"y": 1}, lambda e: e["y"] > 1)
+    det = VectorStrobeDetector(a & b, {"x": 0, "y": 0})
+    det.feed(SensedEventRecord(pid=0, seq=1, var="x", value=2,
+                               strobe_vector=VectorTimestamp([1, 0]), true_time=1.0))
+    det.feed(SensedEventRecord(pid=1, seq=1, var="y", value=2,
+                               strobe_vector=VectorTimestamp([1, 1]), true_time=2.0))
+    assert len(det.finalize()) == 1

@@ -1,0 +1,111 @@
+"""Tests for relative timing relations on predicate intervals."""
+
+import pytest
+
+from repro.intervals.allen import AllenRelation
+from repro.predicates.temporal import TemporalPattern, find_matches
+from repro.world.ground_truth import TrueInterval
+
+
+def iv(a, b):
+    return TrueInterval(a, b)
+
+
+def test_before_matches_disjoint_ordered():
+    p = TemporalPattern.before()
+    assert p.matches(iv(0, 1), iv(2, 3))
+    assert p.matches(iv(0, 1), iv(1, 2))        # meets counts as before
+    assert not p.matches(iv(2, 3), iv(0, 1))    # wrong direction
+    assert not p.matches(iv(0, 2), iv(1, 3))    # overlapping
+
+
+def test_before_by_more_than_gap():
+    """'X before Y by real-time greater than 5 seconds' (§3.1.1.a.ii)."""
+    p = TemporalPattern.before(min_gap=5.0, label="X before Y by > 5s")
+    assert p.matches(iv(0, 1), iv(7, 8))        # gap 6 > 5
+    assert not p.matches(iv(0, 1), iv(5, 8))    # gap 4
+    assert not p.matches(iv(0, 1), iv(6, 8))    # gap exactly 5: not >
+
+
+def test_before_within_window():
+    """The [22] banking freshness window: biometric after password,
+    within 30 seconds."""
+    p = TemporalPattern.before(max_gap=30.0, label="biometric after password ≤30s")
+    password = iv(100.0, 101.0)
+    assert p.matches(password, iv(110.0, 112.0))
+    assert not p.matches(password, iv(140.0, 141.0))    # too stale
+
+
+def test_overlaps_pattern():
+    p = TemporalPattern.overlaps()
+    assert p.matches(iv(0, 2), iv(1, 3))
+    assert p.matches(iv(1, 2), iv(0, 3))       # during
+    assert p.matches(iv(0, 2), iv(0, 2))       # equal
+    assert not p.matches(iv(0, 1), iv(2, 3))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TemporalPattern(frozenset())
+    with pytest.raises(ValueError):
+        TemporalPattern(frozenset({"before"}))
+    with pytest.raises(ValueError):
+        TemporalPattern(
+            frozenset({AllenRelation.BEFORE}), min_gap=10.0, max_gap=5.0
+        )
+
+
+def test_find_matches_repeated_semantics():
+    """Every satisfying pair is reported, in order."""
+    p = TemporalPattern.before(max_gap=10.0)
+    passwords = [iv(0, 1), iv(20, 21)]
+    biometrics = [iv(5, 6), iv(25, 26), iv(50, 51)]
+    matches = find_matches(p, passwords, biometrics)
+    assert [(m.x.start, m.y.start) for m in matches] == [(0, 5), (20, 25)]
+    assert matches[0].gap == pytest.approx(4.0)
+    assert matches[0].relation == AllenRelation.BEFORE
+
+
+def test_find_matches_empty_streams():
+    p = TemporalPattern.before()
+    assert find_matches(p, [], [iv(0, 1)]) == []
+    assert find_matches(p, [iv(0, 1)], []) == []
+
+
+def test_banking_example_end_to_end():
+    """Secure banking [22] over oracle intervals from a simulated run:
+    password entry at one location, biometric at another; alarm iff
+    the biometric does NOT follow within the window."""
+    from repro.core.process import ClockConfig
+    from repro.core.system import PervasiveSystem, SystemConfig
+    from repro.detect.oracle import OracleDetector
+    from repro.predicates.relational import RelationalPredicate
+
+    s = PervasiveSystem(SystemConfig(n_processes=2, clocks=ClockConfig.strobes()))
+    s.world.create("terminal", password_ok=False)
+    s.world.create("scanner", biometric_ok=False)
+
+    def pulse(obj, attr, t, width=1.0):
+        s.sim.schedule_at(t, lambda: s.world.set_attribute(obj, attr, True))
+        s.sim.schedule_at(t + width, lambda: s.world.set_attribute(obj, attr, False))
+
+    pulse("terminal", "password_ok", 10.0)
+    pulse("scanner", "biometric_ok", 15.0)      # fresh: within 30 s
+    pulse("terminal", "password_ok", 100.0)
+    pulse("scanner", "biometric_ok", 160.0)     # stale: 59 s later
+    s.run(until=200.0)
+
+    gt = s.world.ground_truth
+    pw = OracleDetector(
+        RelationalPredicate({"p": 0}, lambda e: bool(e["p"])),
+        {"p": ("terminal", "password_ok")}, initials={"p": False},
+    ).true_intervals(gt, t_end=200.0)
+    bio = OracleDetector(
+        RelationalPredicate({"b": 1}, lambda e: bool(e["b"])),
+        {"b": ("scanner", "biometric_ok")}, initials={"b": False},
+    ).true_intervals(gt, t_end=200.0)
+
+    fresh = TemporalPattern.before(max_gap=30.0)
+    matches = find_matches(fresh, pw, bio)
+    assert len(matches) == 1                     # only the first login is valid
+    assert matches[0].x.start == 10.0

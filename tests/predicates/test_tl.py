@@ -1,0 +1,118 @@
+"""Tests for the windowed temporal-logic evaluator."""
+
+import pytest
+
+from repro.predicates.tl import (
+    Always,
+    Atom,
+    Eventually,
+    Until,
+    attr_atom,
+)
+from repro.world.ground_truth import GroundTruthLog
+
+
+def make_log(changes):
+    """changes: list of (t, value) for ('a', 'x')."""
+    log = GroundTruthLog()
+    for t, v in changes:
+        log.record(t, "a", "x", v)
+    return log
+
+
+HOT = attr_atom("a", "x", lambda v: v == 1, default=0, label="hot")
+COLD = ~HOT
+
+
+def test_atom_reads_snapshot():
+    log = make_log([(0.0, 0), (5.0, 1)])
+    assert not HOT.holds(log, 0.0, 10.0)
+    assert not HOT.holds(log, 4.9, 10.0)
+    assert HOT.holds(log, 5.0, 10.0)
+
+
+def test_boolean_combinators():
+    log = make_log([(0.0, 1)])
+    assert (HOT & HOT).holds(log, 0.0, 1.0)
+    assert not (HOT & COLD).holds(log, 0.0, 1.0)
+    assert (HOT | COLD).holds(log, 0.0, 1.0)
+    assert HOT.implies(HOT).holds(log, 0.0, 1.0)
+    assert COLD.implies(HOT).holds(log, 0.0, 1.0)   # vacuous
+
+
+def test_eventually_within_window():
+    log = make_log([(0.0, 0), (5.0, 1)])
+    assert Eventually(HOT, 10.0).holds(log, 0.0, 20.0)
+    assert Eventually(HOT, 5.0).holds(log, 0.0, 20.0)     # boundary inclusive
+    assert not Eventually(HOT, 4.9).holds(log, 0.0, 20.0)
+
+
+def test_always_within_window():
+    log = make_log([(0.0, 1), (5.0, 0)])
+    assert Always(HOT, 4.0).holds(log, 0.0, 20.0)
+    assert not Always(HOT, 5.0).holds(log, 0.0, 20.0)     # flips at 5.0
+    assert Always(COLD, 100.0).holds(log, 5.0, 20.0)
+
+
+def test_until_strong_semantics():
+    # x: 0 on [0,3), 1 on [3,..)
+    log = make_log([(0.0, 0), (3.0, 1)])
+    # cold U hot within 5: hot arrives at 3, cold holds before it.
+    assert Until(COLD, HOT, 5.0).holds(log, 0.0, 10.0)
+    # cold U hot within 2: hot does not arrive in window -> false.
+    assert not Until(COLD, HOT, 2.0).holds(log, 0.0, 10.0)
+
+
+def test_until_requires_f_before_g():
+    # x: 1 at 0, 0 at 1, 1 at 3: from t=0, "cold U hot" fails because
+    # at t=0 hot already... g holds immediately -> prefix empty -> True.
+    log = make_log([(0.0, 1)])
+    assert Until(COLD, HOT, 5.0).holds(log, 0.0, 10.0)
+    # From a state where neither f nor g: fails.
+    log2 = make_log([(0.0, 2), (4.0, 1)])
+    mid = attr_atom("a", "x", lambda v: v == 0, default=0, label="zero")
+    assert not Until(mid, HOT, 10.0).holds(log2, 0.0, 10.0)
+
+
+def test_windows_clipped_at_run_end():
+    log = make_log([(0.0, 0)])
+    # Always(cold) over a window extending past t_end: evaluated on
+    # the known history only.
+    assert Always(COLD, 100.0).holds(log, 0.0, 10.0)
+
+
+def test_negative_window_rejected():
+    with pytest.raises(ValueError):
+        Eventually(HOT, -1.0)
+    with pytest.raises(ValueError):
+        Always(HOT, -1.0)
+    with pytest.raises(ValueError):
+        Until(HOT, COLD, -1.0)
+
+
+def test_response_pattern_on_run():
+    """G (over → F[60] ¬over): every overcrowding clears within 60 s."""
+    log = GroundTruthLog()
+    for t, v in [(0.0, 5), (10.0, 12), (30.0, 5), (100.0, 12), (190.0, 4)]:
+        log.record(t, "hall", "occ", v)
+    over = attr_atom("hall", "occ", lambda v: v > 10, default=0, label="over")
+    clears = over.implies(Eventually(~over, 60.0))
+    # First spike clears in 20 s; second needs 90 s -> pattern violated.
+    assert clears.holds(log, 10.0, 200.0)
+    assert not clears.holds(log, 100.0, 200.0)
+    assert not clears.always_on_run(log, 200.0)
+    # With a 120 s budget the pattern holds globally.
+    lenient = over.implies(Eventually(~over, 120.0))
+    assert lenient.always_on_run(log, 200.0)
+
+
+def test_ever_on_run():
+    log = make_log([(0.0, 0), (7.0, 1), (8.0, 0)])
+    assert HOT.ever_on_run(log, 10.0)
+    assert Always(COLD, 1.5).ever_on_run(log, 10.0)
+
+
+def test_str_rendering():
+    f = Until(COLD, Eventually(HOT, 5.0), 10.0)
+    s = str(f)
+    assert "U[10" in s and "F[5" in s and "hot" in s

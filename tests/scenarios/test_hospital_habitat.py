@@ -1,0 +1,105 @@
+"""Tests for the hospital and habitat scenarios."""
+
+import pytest
+
+from repro.scenarios.habitat import Habitat, HabitatConfig
+from repro.scenarios.hospital import Hospital, HospitalConfig, MONITORED, ZONES
+
+
+# ---------------------------------------------------------------------------
+# Hospital
+# ---------------------------------------------------------------------------
+
+def test_zone_counts_conserve_badges():
+    h = Hospital(HospitalConfig(seed=1, n_visitors=6, n_staff=1, mean_dwell=3.0))
+    h.run(duration=60.0)
+    world = h.system.world
+    total_visitors = sum(
+        world.get(f"zone_{z}").get("visitors", 0) for z in ZONES
+    )
+    total_staff = sum(world.get(f"zone_{z}").get("staff", 0) for z in ZONES)
+    assert total_visitors == 6
+    assert total_staff == 1
+    for z in ZONES:
+        assert world.get(f"zone_{z}").get("visitors", 0) >= 0
+
+
+def test_sensors_mirror_zone_counts():
+    h = Hospital(HospitalConfig(seed=2, n_visitors=5, mean_dwell=2.0))
+    h.run(duration=40.0)
+    for pid, zone in enumerate(MONITORED):
+        sensed = h.system.processes[pid].variables[f"v_{zone}"]
+        true = h.system.world.get(f"zone_{zone}").get("visitors", 0)
+        assert sensed == true
+
+
+def test_waiting_room_predicate_and_oracle():
+    h = Hospital(HospitalConfig(seed=3, n_visitors=15, mean_dwell=2.0,
+                                waiting_capacity=2))
+    h.run(duration=120.0)
+    ivs = h.oracle_waiting().true_intervals(
+        h.system.world.ground_truth, t_end=120.0
+    )
+    # 15 visitors cycling with capacity 2: overcrowding must occur.
+    assert len(ivs) >= 1
+
+
+def test_infectious_alarm_conjunctive_structure():
+    h = Hospital(HospitalConfig(seed=4))
+    phi = h.infectious_alarm()
+    assert len(phi.conjuncts) == 2
+    pids = {c.pid for c in phi.conjuncts}
+    assert len(pids) == 2                  # two distinct processes
+    env_true = {"v_infectious": 1, "s_infectious": 0}
+    env_false = {"v_infectious": 1, "s_infectious": 1}
+    assert phi.evaluate(env_true)
+    assert not phi.evaluate(env_false)
+
+
+def test_infectious_oracle_runs():
+    h = Hospital(HospitalConfig(seed=5, n_visitors=10, mean_dwell=2.0))
+    h.run(duration=100.0)
+    ivs = h.oracle_infectious().true_intervals(
+        h.system.world.ground_truth, t_end=100.0
+    )
+    assert isinstance(ivs, list)           # may be empty; must not error
+
+
+# ---------------------------------------------------------------------------
+# Habitat
+# ---------------------------------------------------------------------------
+
+def test_habitat_presence_counts_follow_positions():
+    hab = Habitat(HabitatConfig(seed=1, n_prey=2, n_predators=1,
+                                region_radius=0.45))
+    hab.run(duration=120.0)
+    region = hab.system.world.get("region")
+    assert 0 <= region.get("prey") <= 2
+    assert 0 <= region.get("predators") <= 1
+    # Ground truth recorded presence changes.
+    gt = hab.system.world.ground_truth
+    assert len(gt.change_times(obj="region")) > 0
+
+
+def test_habitat_mac_inflates_delta():
+    hab = Habitat(HabitatConfig(seed=2, mac_period=2.0, mac_duty=0.25,
+                                radio_delay=0.05))
+    assert hab.effective_delta() == pytest.approx(0.05 + 1.5)
+
+
+def test_habitat_strobes_delivered_only_in_wake_windows():
+    hab = Habitat(HabitatConfig(seed=3, n_prey=3, n_predators=2,
+                                region_radius=0.45, mac_duty=0.2))
+    arrivals = []
+    hab.system.processes[1].add_strobe_listener(
+        lambda r: arrivals.append(hab.system.sim.now)
+    )
+    hab.run(duration=100.0)
+    for t in arrivals:
+        assert hab.mac.awake(1, t)
+
+
+def test_habitat_alarm_predicate():
+    hab = Habitat(HabitatConfig(seed=4))
+    assert hab.predicate.evaluate({"prey": 1, "pred": 1})
+    assert not hab.predicate.evaluate({"prey": 1, "pred": 0})

@@ -1,0 +1,72 @@
+"""Tests for the smart-office scenario."""
+
+import pytest
+
+from repro.detect.conjunctive_interval import ConjunctiveIntervalDetector
+from repro.predicates.base import Modality
+from repro.scenarios.smart_office import SmartOffice, SmartOfficeConfig
+
+
+def test_world_dynamics_produce_both_kinds_of_events():
+    office = SmartOffice(SmartOfficeConfig(seed=1, mean_occupied=5.0, mean_vacant=5.0))
+    office.run(duration=200.0)
+    gt = office.system.world.ground_truth
+    assert len(gt.change_times(obj="room", attr="motion")) > 2
+    assert len(gt.change_times(obj="room", attr="temp")) > 50
+
+
+def test_temp_sensor_resolution_filters_small_changes():
+    office = SmartOffice(SmartOfficeConfig(seed=2, temp_min_delta=1.0))
+    office.run(duration=100.0)
+    temp_events = [
+        r for p in office.system.processes
+        for r in (p.sense_events() if p.events else [])
+    ]
+    gt_changes = office.system.world.ground_truth.change_times(obj="room", attr="temp")
+    # keep_event_logs defaults False -> use variables instead:
+    # just assert the sensor variable is close to the true temperature.
+    true_temp = office.system.world.get("room").get("temp")
+    sensed = office.system.processes[1].variables["temp"]
+    assert abs(sensed - true_temp) <= 1.0 + 1e-9
+
+
+def test_oracle_finds_context_occurrences():
+    office = SmartOffice(SmartOfficeConfig(
+        seed=3, temp_threshold=28.0, temp_base=27.5, temp_sigma=1.5,
+        mean_occupied=20.0, mean_vacant=10.0,
+    ))
+    office.run(duration=400.0)
+    ivs = office.oracle().true_intervals(
+        office.system.world.ground_truth, t_end=400.0
+    )
+    assert len(ivs) >= 1
+
+
+def test_thermostat_rule_actuates_each_occurrence():
+    office = SmartOffice(SmartOfficeConfig(
+        seed=4, temp_threshold=28.0, temp_base=27.5, temp_sigma=1.5,
+        mean_occupied=30.0, mean_vacant=5.0,
+    ))
+    actuations = office.install_thermostat_rule()
+    office.run(duration=300.0)
+    assert len(actuations) >= 2          # repeated detection, no hang
+    assert office.system.world.get("thermostat").get("setpoint") == 28.0
+
+
+def test_definitely_detector_on_office_records():
+    office = SmartOffice(SmartOfficeConfig(
+        seed=5, temp_threshold=28.0, temp_base=27.5, temp_sigma=1.5,
+        mean_occupied=40.0, mean_vacant=5.0,
+    ))
+    det = ConjunctiveIntervalDetector(
+        office.predicate, office.initials,
+        modality=Modality.DEFINITELY, stamp="strobe_vector",
+    )
+    office.attach_detector(det)
+    office.run(duration=400.0)
+    true_count = office.oracle().occurrences(
+        office.system.world.ground_truth, t_end=400.0
+    )
+    detections = det.finalize()
+    if true_count >= 1:
+        assert len(detections) >= 1

@@ -1,0 +1,211 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import (
+    PRIORITY_EARLY,
+    PRIORITY_LATE,
+    Simulator,
+    SimulationError,
+)
+
+
+def test_empty_run_leaves_clock_at_start():
+    sim = Simulator(start_time=3.0)
+    sim.run()
+    assert sim.now == 3.0
+    assert sim.processed_events == 0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule_at(2.0, lambda: order.append("b"))
+    sim.schedule_at(1.0, lambda: order.append("a"))
+    sim.schedule_at(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_fire_in_fifo_order():
+    sim = Simulator()
+    order = []
+    for name in "abcde":
+        sim.schedule_at(1.0, lambda n=name: order.append(n))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_priority_overrides_fifo_at_same_time():
+    sim = Simulator()
+    order = []
+    sim.schedule_at(1.0, lambda: order.append("normal"))
+    sim.schedule_at(1.0, lambda: order.append("early"), priority=PRIORITY_EARLY)
+    sim.schedule_at(1.0, lambda: order.append("late"), priority=PRIORITY_LATE)
+    sim.run()
+    assert order == ["early", "normal", "late"]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator(start_time=5.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(4.9, lambda: None)
+
+
+def test_schedule_at_now_is_allowed():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(0.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [0.0]
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_after(-0.1, lambda: None)
+
+
+def test_schedule_after_is_relative():
+    sim = Simulator()
+    times = []
+    def first():
+        times.append(sim.now)
+        sim.schedule_after(2.5, lambda: times.append(sim.now))
+    sim.schedule_after(1.0, first)
+    sim.run()
+    assert times == [1.0, 3.5]
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule_at(1.0, lambda: fired.append(1))
+    ev.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.processed_events == 0
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.schedule_at(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    assert ev.cancelled
+
+
+def test_run_until_horizon_stops_clock_at_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, lambda: fired.append(1.0))
+    sim.schedule_at(5.0, lambda: fired.append(5.0))
+    sim.run(until=2.0)
+    assert fired == [1.0]
+    assert sim.now == 2.0
+    # Resume: the 5.0 event is still there.
+    sim.run()
+    assert fired == [1.0, 5.0]
+
+
+def test_run_until_is_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(2.0, lambda: fired.append(2.0))
+    sim.run(until=2.0)
+    assert fired == [2.0]
+
+
+def test_run_until_advances_clock_even_with_empty_queue():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule_at(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+    sim.run()
+    assert len(fired) == 10
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    order = []
+    def a():
+        order.append("a")
+        sim.schedule_after(0.0, lambda: order.append("child"))
+    sim.schedule_at(1.0, a)
+    sim.schedule_at(1.0, lambda: order.append("b"))
+    sim.run()
+    # child is scheduled at t=1.0 but after b (FIFO seq).
+    assert order == ["a", "b", "child"]
+
+
+def test_step_fires_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, lambda: fired.append(1))
+    sim.schedule_at(2.0, lambda: fired.append(2))
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert not sim.step()
+    assert fired == [1, 2]
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    sim.schedule_at(1.0, lambda: None)
+    ev = sim.schedule_at(2.0, lambda: None)
+    ev.cancel()
+    assert sim.pending_events == 1
+
+
+def test_post_hooks_see_every_fired_event():
+    sim = Simulator()
+    seen = []
+    sim.add_post_hook(lambda ev: seen.append((ev.time, ev.label)))
+    sim.schedule_at(1.0, lambda: None, label="x")
+    sim.schedule_at(2.0, lambda: None, label="y")
+    sim.run()
+    assert seen == [(1.0, "x"), (2.0, "y")]
+
+
+def test_drain_yields_live_events_without_firing():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, lambda: fired.append(1), label="keep")
+    ev = sim.schedule_at(2.0, lambda: fired.append(2), label="dead")
+    ev.cancel()
+    drained = list(sim.drain())
+    assert [e.label for e in drained] == ["keep"]
+    assert fired == []
+    assert sim.pending_events == 0
+
+
+def test_reentrant_run_raises():
+    sim = Simulator()
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+    sim.schedule_at(1.0, reenter)
+    sim.run()
+
+
+def test_exception_in_callback_propagates_and_leaves_kernel_usable():
+    sim = Simulator()
+    def boom():
+        raise ValueError("boom")
+    sim.schedule_at(1.0, boom)
+    sim.schedule_at(2.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.run()
+    # The kernel must not be stuck in "running" state.
+    sim.run()
+    assert sim.now == 2.0

@@ -1,0 +1,148 @@
+"""Tests for one-shot and periodic timers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel import Simulator, SimulationError
+from repro.sim.timers import PeriodicTimer, Timer
+
+
+def test_timer_fires_after_delay():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(sim.now))
+    t.start(2.0)
+    sim.run()
+    assert fired == [2.0]
+
+
+def test_timer_restart_supersedes_previous():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(sim.now))
+    t.start(5.0)
+    t.start(1.0)
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_timer_cancel():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(1))
+    t.start(1.0)
+    t.cancel()
+    sim.run()
+    assert fired == []
+    assert not t.pending
+
+
+def test_timer_pending_flag():
+    sim = Simulator()
+    t = Timer(sim, lambda: None)
+    assert not t.pending
+    t.start(1.0)
+    assert t.pending
+    sim.run()
+    assert not t.pending
+
+
+def test_timer_can_rearm_from_callback():
+    sim = Simulator()
+    fired = []
+    def cb():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            t.start(1.0)
+    t = Timer(sim, cb)
+    t.start(1.0)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_periodic_fires_at_multiples():
+    sim = Simulator()
+    fired = []
+    pt = PeriodicTimer(sim, lambda: fired.append(sim.now), period=1.5)
+    pt.start()
+    sim.run(until=7.0)
+    assert fired == [1.5, 3.0, 4.5, 6.0]
+    assert pt.fires == 4
+
+
+def test_periodic_initial_delay():
+    sim = Simulator()
+    fired = []
+    pt = PeriodicTimer(sim, lambda: fired.append(sim.now), period=2.0)
+    pt.start(initial_delay=0.0)
+    sim.run(until=5.0)
+    assert fired == [0.0, 2.0, 4.0]
+
+
+def test_periodic_stop_from_callback():
+    sim = Simulator()
+    fired = []
+    def cb():
+        fired.append(sim.now)
+        if len(fired) == 2:
+            pt.stop()
+    pt = PeriodicTimer(sim, cb, period=1.0)
+    pt.start()
+    sim.run(until=10.0)
+    assert fired == [1.0, 2.0]
+
+
+def test_periodic_stop_outside_callback():
+    sim = Simulator()
+    fired = []
+    pt = PeriodicTimer(sim, lambda: fired.append(sim.now), period=1.0)
+    pt.start()
+    sim.schedule_at(2.5, pt.stop)
+    sim.run(until=10.0)
+    assert fired == [1.0, 2.0]
+    assert not pt.running
+
+
+def test_periodic_invalid_period():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        PeriodicTimer(sim, lambda: None, period=0.0)
+    with pytest.raises(SimulationError):
+        PeriodicTimer(sim, lambda: None, period=-1.0)
+
+
+def test_periodic_jitter_requires_rng():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        PeriodicTimer(sim, lambda: None, period=1.0, jitter=0.1)
+    with pytest.raises(SimulationError):
+        PeriodicTimer(sim, lambda: None, period=1.0, jitter=-0.1)
+
+
+def test_periodic_jitter_bounds_gaps():
+    sim = Simulator()
+    fired = []
+    rng = np.random.default_rng(0)
+    pt = PeriodicTimer(sim, lambda: fired.append(sim.now), period=1.0, jitter=0.2, rng=rng)
+    pt.start()
+    sim.run(until=50.0)
+    gaps = np.diff([0.0] + fired)
+    assert np.all(gaps >= 0.8 - 1e-9)
+    assert np.all(gaps <= 1.2 + 1e-9)
+    # Jitter actually varies the gaps.
+    assert np.std(gaps) > 0.0
+
+
+def test_periodic_jitter_deterministic_under_seed():
+    def run(seed):
+        sim = Simulator()
+        fired = []
+        pt = PeriodicTimer(
+            sim, lambda: fired.append(sim.now), period=1.0, jitter=0.3,
+            rng=np.random.default_rng(seed),
+        )
+        pt.start()
+        sim.run(until=20.0)
+        return fired
+    assert run(5) == run(5)
+    assert run(5) != run(6)

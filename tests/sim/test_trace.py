@@ -1,0 +1,64 @@
+"""Tests for the trace recorder."""
+
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceEntry, TraceRecorder
+
+
+def make():
+    sim = Simulator()
+    return sim, TraceRecorder(sim)
+
+
+def test_record_stamps_current_time():
+    sim, tr = make()
+    sim.schedule_at(2.5, lambda: tr.record("p0", "sense", {"v": 1}))
+    sim.run()
+    assert len(tr) == 1
+    e = tr[0]
+    assert e.t == 2.5 and e.source == "p0" and e.kind == "sense"
+    assert e.data == {"v": 1}
+
+
+def test_entries_filter_by_kind_and_source():
+    sim, tr = make()
+    tr.record("p0", "sense")
+    tr.record("p1", "send")
+    tr.record("p0", "send")
+    assert [e.source for e in tr.entries(kind="send")] == ["p1", "p0"]
+    assert [e.kind for e in tr.entries(source="p0")] == ["sense", "send"]
+    assert [e.kind for e in tr.entries(kind="send", source="p0")] == ["send"]
+
+
+def test_between_inclusive():
+    sim, tr = make()
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule_at(t, lambda: tr.record("p", "e"))
+    sim.run()
+    assert [e.t for e in tr.between(1.0, 2.0)] == [1.0, 2.0]
+
+
+def test_filter_drops_unwanted_entries():
+    sim, tr = make()
+    tr.add_filter(lambda e: e.kind != "noise")
+    tr.record("p", "noise")
+    kept = tr.record("p", "signal")
+    assert len(tr) == 1
+    assert isinstance(kept, TraceEntry)
+
+
+def test_iteration_and_clear():
+    sim, tr = make()
+    tr.record("p", "a")
+    tr.record("p", "b")
+    assert [e.kind for e in tr] == ["a", "b"]
+    tr.clear()
+    assert len(tr) == 0
+
+
+def test_entries_are_time_ordered():
+    sim, tr = make()
+    sim.schedule_at(1.0, lambda: tr.record("p", "x"))
+    sim.schedule_at(0.5, lambda: tr.record("p", "y"))
+    sim.run()
+    ts = [e.t for e in tr]
+    assert ts == sorted(ts)

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_hall_runs(capsys):
+    rc = main(["hall", "--doors", "2", "--duration", "30", "--delta", "0.1",
+               "--detectors", "vector"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "true occurrences" in out
+    assert "vector" in out
+
+
+def test_hall_synchronous_delta_zero(capsys):
+    rc = main(["hall", "--doors", "2", "--duration", "20", "--delta", "0",
+               "--detectors", "vector", "scalar"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "scalar" in out
+
+
+def test_office_runs(capsys):
+    rc = main(["office", "--duration", "100"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "thermostat actuations" in out
+
+
+def test_hospital_runs(capsys):
+    rc = main(["hospital", "--duration", "40", "--visitors", "6"])
+    assert rc == 0
+    assert "waiting room" in capsys.readouterr().out
+
+
+def test_habitat_runs(capsys):
+    rc = main(["habitat", "--duration", "60"])
+    assert rc == 0
+    assert "effective Δ" in capsys.readouterr().out
+
+
+def test_clocks_runs(capsys):
+    rc = main(["clocks", "--n", "2", "--events", "2", "--delta", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "lamport" in out and "strobe_vector" in out
+
+
+def test_unknown_detector_rejected():
+    with pytest.raises(SystemExit):
+        main(["hall", "--detectors", "quantum"])
+
+
+def test_hall_export_bundle(tmp_path, capsys):
+    from repro.analysis.export import load_run
+    out_path = tmp_path / "run.json"
+    rc = main(["hall", "--doors", "2", "--duration", "30", "--delta", "0.1",
+               "--detectors", "vector", "--export", str(out_path)])
+    assert rc == 0
+    bundle = load_run(out_path)
+    assert bundle["meta"]["scenario"] == "hall"
+    assert len(bundle["records"]) > 0

@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each example carries its own internal assertions, so a clean
+exit is a meaningful check, not just an import test.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    # Examples print; keep their stdout captured but let assertions
+    # propagate as test failures.
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} produced no output"
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 6          # the README promises ≥3; we ship more

@@ -1,0 +1,85 @@
+"""Tests for the ASCII visualization helpers."""
+
+import pytest
+
+from repro.clocks.vector import VectorClock
+from repro.lattice.lattice import StateLattice
+from repro.viz.hasse import render_hasse
+from repro.viz.timeline import TimelineRow, detection_markers, render_timeline
+from repro.world.ground_truth import TrueInterval
+
+
+def test_timeline_renders_bars_and_markers():
+    rows = [
+        TimelineRow("truth", intervals=[TrueInterval(10.0, 30.0)]),
+        TimelineRow("det", events=[(10.0, "^"), (50.0, "b")]),
+    ]
+    out = render_timeline(rows, t_end=100.0, width=50)
+    lines = out.splitlines()
+    assert lines[0].startswith("truth |")
+    assert "█" in lines[0]
+    assert "^" in lines[1] and "b" in lines[1]
+    assert lines[-1].startswith("time")
+    assert "100.0" in lines[-1]
+
+
+def test_timeline_bar_span_proportional():
+    rows = [TimelineRow("x", intervals=[TrueInterval(0.0, 50.0)])]
+    out = render_timeline(rows, t_end=100.0, width=40)
+    bars = out.splitlines()[0].count("█")
+    assert 18 <= bars <= 22          # ~half the width
+
+
+def test_timeline_clips_out_of_range():
+    rows = [
+        TimelineRow("x", intervals=[TrueInterval(-10.0, 5.0), TrueInterval(95.0, 200.0)],
+                    events=[(-1.0, "^"), (101.0, "^")]),
+    ]
+    out = render_timeline(rows, t_end=100.0, width=40)
+    line = out.splitlines()[0]
+    assert "█" in line               # clipped bars still visible
+    assert "^" not in line           # out-of-range events dropped
+
+
+def test_timeline_zero_length_interval_visible():
+    rows = [TimelineRow("x", intervals=[TrueInterval(50.0, 50.0)])]
+    out = render_timeline(rows, t_end=100.0, width=40)
+    assert "█" in out.splitlines()[0]
+
+
+def test_timeline_validation():
+    with pytest.raises(ValueError):
+        render_timeline([], t_start=5.0, t_end=5.0)
+    with pytest.raises(ValueError):
+        render_timeline([], t_end=10.0, width=5)
+
+
+def test_detection_markers():
+    from repro.core.records import SensedEventRecord
+    from repro.detect.base import Detection, DetectionLabel
+
+    rec = SensedEventRecord(pid=0, seq=1, var="x", value=1, true_time=3.0)
+    dets = [
+        Detection("d", rec, {}, DetectionLabel.FIRM),
+        Detection("d", rec, {}, DetectionLabel.BORDERLINE),
+    ]
+    assert detection_markers(dets) == [(3.0, "^"), (3.0, "b")]
+
+
+def test_hasse_renders_levels():
+    a, b = VectorClock(0, 2), VectorClock(1, 2)
+    ts = [[a.on_local_event()], [b.on_local_event()]]
+    out = render_hasse(StateLattice(ts))
+    lines = out.splitlines()
+    assert lines[0].startswith("L2")
+    assert "(1, 1)" in lines[0]
+    assert "(1, 0)" in lines[1] and "(0, 1)" in lines[1]
+    assert "(0, 0)" in lines[2]
+
+
+def test_hasse_elides_wide_levels():
+    clocks = [VectorClock(i, 3) for i in range(3)]
+    ts = [[c.on_local_event(), c.on_local_event(), c.on_local_event()]
+          for c in clocks]
+    out = render_hasse(StateLattice(ts), max_row=3)
+    assert "… (+" in out

@@ -1,0 +1,74 @@
+"""Tests for covert (hidden) channels."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.world.covert import CovertChannel
+from repro.world.objects import WorldState
+
+
+def make():
+    sim = Simulator()
+    w = WorldState(sim)
+    w.create("pen", holder="bob")
+    w.create("tom")
+    return sim, w, CovertChannel(sim, w, propagation_delay=2.0)
+
+
+def test_transmit_logs_causal_edge():
+    sim, w, ch = make()
+    ev = ch.transmit("pen", "tom", "handoff")
+    assert ev.sent_at == 0.0
+    assert ev.arrived_at == 2.0
+    assert ch.causal_edges() == [("pen", 0.0, "tom", 2.0)]
+
+
+def test_effect_runs_at_arrival_time():
+    sim, w, ch = make()
+    applied = []
+    def effect(world, ev):
+        applied.append(sim.now)
+        world.set_attribute("tom", "has_pen", True)
+    ch.transmit("pen", "tom", "handoff", effect=effect)
+    sim.run()
+    assert applied == [2.0]
+    assert w.get("tom").get("has_pen") is True
+    assert w.ground_truth.value_at("tom", "has_pen", 2.0) is True
+
+
+def test_per_message_delay_override():
+    sim, w, ch = make()
+    ev = ch.transmit("pen", "tom", "post", delay=48.0)
+    assert ev.arrived_at == 48.0
+
+
+def test_unknown_endpoints_rejected():
+    sim, w, ch = make()
+    with pytest.raises(KeyError):
+        ch.transmit("pen", "ghost", "x")
+    with pytest.raises(KeyError):
+        ch.transmit("ghost", "tom", "x")
+
+
+def test_negative_delay_rejected():
+    sim, w, ch = make()
+    with pytest.raises(ValueError):
+        CovertChannel(sim, w, propagation_delay=-1.0)
+    with pytest.raises(ValueError):
+        ch.transmit("pen", "tom", "x", delay=-1.0)
+
+
+def test_covert_traffic_invisible_to_network_plane():
+    """The defining property: covert transmissions leave no trace in
+    any network-plane structure — only in the channel's own log."""
+    from repro.net.topology import Topology
+    from repro.net.transport import Network
+
+    sim, w, ch = make()
+    net = Network(sim, Topology.complete(2))
+    net.register(0, lambda m: None)
+    net.register(1, lambda m: None)
+    ch.transmit("pen", "tom", "handoff")
+    sim.run()
+    assert net.stats.sent == 0
+    assert len(ch.log) == 1

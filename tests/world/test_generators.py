@@ -1,0 +1,116 @@
+"""Tests for world-event generators."""
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.world.generators import BurstyProcess, PoissonProcess, TraceReplay
+
+
+def test_poisson_rate_matches():
+    sim = Simulator()
+    p = PoissonProcess(sim, rate=10.0, action=lambda: None, rng=np.random.default_rng(0))
+    p.start()
+    sim.run(until=100.0)
+    # ~1000 arrivals expected; 5-sigma band.
+    assert abs(p.arrivals - 1000) < 5 * np.sqrt(1000)
+
+
+def test_poisson_action_called_per_arrival():
+    sim = Simulator()
+    count = []
+    p = PoissonProcess(sim, rate=5.0, action=lambda: count.append(sim.now), rng=np.random.default_rng(1))
+    p.start()
+    sim.run(until=10.0)
+    assert len(count) == p.arrivals
+    assert count == sorted(count)
+
+
+def test_poisson_stop():
+    sim = Simulator()
+    p = PoissonProcess(sim, rate=100.0, action=lambda: None, rng=np.random.default_rng(2))
+    p.start()
+    sim.schedule_at(1.0, p.stop)
+    sim.run(until=10.0)
+    # All arrivals happened before the stop.
+    assert p.arrivals < 200
+
+
+def test_poisson_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PoissonProcess(sim, rate=0.0, action=lambda: None, rng=np.random.default_rng(0))
+
+
+def test_poisson_deterministic_under_seed():
+    def run(seed):
+        sim = Simulator()
+        times = []
+        p = PoissonProcess(sim, rate=3.0, action=lambda: times.append(sim.now), rng=np.random.default_rng(seed))
+        p.start()
+        sim.run(until=20.0)
+        return times
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_bursty_rate_between_base_and_burst():
+    sim = Simulator()
+    b = BurstyProcess(
+        sim, lambda: None, base_rate=1.0, burst_rate=50.0,
+        mean_quiet=5.0, mean_burst=1.0, rng=np.random.default_rng(3),
+    )
+    b.start()
+    sim.run(until=300.0)
+    avg_rate = b.arrivals / 300.0
+    assert 1.0 < avg_rate < 50.0
+
+
+def test_bursty_bursts_cluster_arrivals():
+    """Coefficient of variation of interarrivals exceeds 1 (Poisson)."""
+    sim = Simulator()
+    times = []
+    b = BurstyProcess(
+        sim, lambda: times.append(sim.now), base_rate=0.5, burst_rate=100.0,
+        mean_quiet=10.0, mean_burst=0.5, rng=np.random.default_rng(4),
+    )
+    b.start()
+    sim.run(until=500.0)
+    gaps = np.diff(times)
+    cv = np.std(gaps) / np.mean(gaps)
+    assert cv > 1.5
+
+
+def test_bursty_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        BurstyProcess(sim, lambda: None, base_rate=0, burst_rate=1,
+                      mean_quiet=1, mean_burst=1, rng=np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        BurstyProcess(sim, lambda: None, base_rate=1, burst_rate=1,
+                      mean_quiet=0, mean_burst=1, rng=np.random.default_rng(0))
+
+
+def test_trace_replay_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    script = [
+        (3.0, lambda: seen.append(("c", sim.now))),
+        (1.0, lambda: seen.append(("a", sim.now))),
+        (2.0, lambda: seen.append(("b", sim.now))),
+    ]
+    tr = TraceReplay(sim, script)
+    tr.start()
+    sim.run()
+    assert seen == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+    assert tr.replayed == 3
+    assert len(tr) == 3
+
+
+def test_trace_replay_same_time_keeps_script_order():
+    sim = Simulator()
+    seen = []
+    tr = TraceReplay(sim, [(1.0, lambda: seen.append("x")), (1.0, lambda: seen.append("y"))])
+    tr.start()
+    sim.run()
+    assert seen == ["x", "y"]

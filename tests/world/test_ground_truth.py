@@ -1,0 +1,137 @@
+"""Tests for the ground-truth oracle."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.world.ground_truth import GroundTruthLog, TrueInterval
+
+
+def test_value_at_steps():
+    log = GroundTruthLog()
+    log.record(0.0, "a", "x", 1)
+    log.record(2.0, "a", "x", 5)
+    assert log.value_at("a", "x", 0.0) == 1
+    assert log.value_at("a", "x", 1.9) == 1
+    assert log.value_at("a", "x", 2.0) == 5
+    assert log.value_at("a", "x", 99.0) == 5
+
+
+def test_value_before_first_write_is_default():
+    log = GroundTruthLog()
+    log.record(1.0, "a", "x", 1)
+    assert log.value_at("a", "x", 0.5) is None
+    assert log.value_at("a", "x", 0.5, default=0) == 0
+    assert log.value_at("b", "y", 10.0, default="d") == "d"
+
+
+def test_out_of_order_record_rejected():
+    log = GroundTruthLog()
+    log.record(2.0, "a", "x", 1)
+    with pytest.raises(ValueError):
+        log.record(1.0, "a", "x", 2)
+    # different key may have an earlier time
+    log.record(1.0, "b", "y", 3)
+
+
+def test_change_times_filters():
+    log = GroundTruthLog()
+    log.record(0.0, "a", "x", 1)
+    log.record(1.0, "a", "y", 2)
+    log.record(2.0, "b", "x", 3)
+    assert log.change_times() == [0.0, 1.0, 2.0]
+    assert log.change_times(obj="a") == [0.0, 1.0]
+    assert log.change_times(attr="x") == [0.0, 2.0]
+    assert log.change_times(obj="a", attr="x") == [0.0]
+
+
+def test_snapshot():
+    log = GroundTruthLog()
+    log.record(0.0, "a", "x", 1)
+    log.record(1.0, "b", "y", 2)
+    assert log.snapshot(0.5) == {("a", "x"): 1}
+    assert log.snapshot(1.0) == {("a", "x"): 1, ("b", "y"): 2}
+
+
+def test_true_intervals_basic():
+    log = GroundTruthLog()
+    log.record(0.0, "a", "x", 0)
+    log.record(1.0, "a", "x", 10)   # becomes true
+    log.record(3.0, "a", "x", 0)    # becomes false
+    log.record(5.0, "a", "x", 20)   # true again, open to horizon
+    pred = lambda s: s.get(("a", "x"), 0) > 5
+    ivs = log.true_intervals(pred, t_end=8.0)
+    assert ivs == [TrueInterval(1.0, 3.0), TrueInterval(5.0, 8.0)]
+    assert log.occurrence_count(pred, t_end=8.0) == 2
+
+
+def test_true_intervals_never_true():
+    log = GroundTruthLog()
+    log.record(0.0, "a", "x", 0)
+    assert log.true_intervals(lambda s: s.get(("a", "x"), 0) > 5) == []
+
+
+def test_true_intervals_empty_log():
+    assert GroundTruthLog().true_intervals(lambda s: True) == []
+
+
+def test_true_intervals_multi_variable_conjunction():
+    log = GroundTruthLog()
+    log.record(0.0, "a", "x", 0)
+    log.record(0.0, "b", "y", 0)
+    log.record(1.0, "a", "x", 1)
+    log.record(2.0, "b", "y", 1)    # both true from t=2
+    log.record(4.0, "a", "x", 0)    # false from t=4
+    pred = lambda s: s.get(("a", "x"), 0) == 1 and s.get(("b", "y"), 0) == 1
+    assert log.true_intervals(pred, t_end=5.0) == [TrueInterval(2.0, 4.0)]
+
+
+def test_holds_at():
+    log = GroundTruthLog()
+    log.record(0.0, "a", "x", 0)
+    log.record(1.0, "a", "x", 9)
+    pred = lambda s: s.get(("a", "x"), 0) > 5
+    assert not log.holds_at(pred, 0.5)
+    assert log.holds_at(pred, 1.5)
+
+
+def test_interval_helpers():
+    a = TrueInterval(1.0, 3.0)
+    b = TrueInterval(2.0, 4.0)
+    c = TrueInterval(3.0, 4.0)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)       # [1,3) and [3,4) do not overlap
+    assert a.contains(1.0)
+    assert not a.contains(3.0)
+    assert a.duration == 2.0
+
+
+def test_horizon_and_keys():
+    log = GroundTruthLog()
+    assert log.horizon() == 0.0
+    log.record(0.0, "b", "y", 1)
+    log.record(4.0, "a", "x", 1)
+    assert log.horizon() == 4.0
+    assert log.keys() == [("a", "x"), ("b", "y")]
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100), st.integers(0, 1)),
+        min_size=1, max_size=30,
+    )
+)
+def test_intervals_partition_truth(changes):
+    """Property: predicate holds at t iff t falls inside some returned
+    interval (checked at all change times)."""
+    log = GroundTruthLog()
+    for t, v in sorted(changes, key=lambda p: p[0]):
+        try:
+            log.record(t, "a", "x", v)
+        except ValueError:
+            pass  # duplicate-time same-key collisions after sorting are fine to skip
+    pred = lambda s: s.get(("a", "x"), 0) == 1
+    t_end = log.horizon() + 1.0
+    ivs = log.true_intervals(pred, t_end=t_end)
+    for t in log.change_times():
+        inside = any(iv.contains(t) or (iv.start <= t < iv.end) for iv in ivs)
+        assert inside == log.holds_at(pred, t)

@@ -1,0 +1,143 @@
+"""Tests for mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.world.mobility import RandomWaypoint, ZoneTransitions
+from repro.world.objects import WorldState
+
+
+def test_random_waypoint_moves_object():
+    sim = Simulator()
+    w = WorldState(sim)
+    w.create("zebra")
+    rw = RandomWaypoint(sim, w, "zebra", rng=np.random.default_rng(0), tick=0.1)
+    start = rw.position
+    rw.start()
+    sim.run(until=5.0)
+    assert rw.position != start
+    assert rw.legs >= 1
+    # Position attribute is mirrored into the world state/ground truth.
+    assert w.ground_truth.value_at("zebra", "position", 5.0) is not None
+
+
+def test_random_waypoint_stays_in_unit_square():
+    sim = Simulator()
+    w = WorldState(sim)
+    w.create("z")
+    rw = RandomWaypoint(sim, w, "z", rng=np.random.default_rng(1), v_max=3.0, tick=0.05)
+    positions = []
+    w.subscribe(lambda c: positions.append(c.new), obj="z", attr="position")
+    rw.start()
+    sim.run(until=10.0)
+    arr = np.array(positions)
+    assert np.all(arr >= -1e-9) and np.all(arr <= 1 + 1e-9)
+
+
+def test_random_waypoint_speed_bounds_respected():
+    sim = Simulator()
+    w = WorldState(sim)
+    w.create("z")
+    tick = 0.1
+    rw = RandomWaypoint(sim, w, "z", rng=np.random.default_rng(2),
+                        v_min=1.0, v_max=1.0, tick=tick)
+    track = []
+    w.subscribe(lambda c: track.append((sim.now, np.array(c.new))), obj="z", attr="position")
+    rw.start()
+    sim.run(until=3.0)
+    for (t0, p0), (t1, p1) in zip(track, track[1:]):
+        d = np.linalg.norm(p1 - p0)
+        dt = t1 - t0
+        assert d <= 1.0 * dt + 1e-6
+
+
+def test_random_waypoint_stop():
+    sim = Simulator()
+    w = WorldState(sim)
+    w.create("z")
+    rw = RandomWaypoint(sim, w, "z", rng=np.random.default_rng(3))
+    rw.start()
+    sim.schedule_at(1.0, rw.stop)
+    sim.run(until=10.0)
+    # No events scheduled after stop settles.
+    assert sim.now <= 10.0
+
+
+def test_random_waypoint_validation():
+    sim = Simulator()
+    w = WorldState(sim)
+    w.create("z")
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        RandomWaypoint(sim, w, "z", rng=rng, v_min=0.0)
+    with pytest.raises(ValueError):
+        RandomWaypoint(sim, w, "z", rng=rng, v_min=2.0, v_max=1.0)
+    with pytest.raises(ValueError):
+        RandomWaypoint(sim, w, "z", rng=rng, tick=0.0)
+
+
+ZONES = {"lobby": ["hall"], "hall": ["lobby", "ward"], "ward": ["hall"]}
+
+
+def test_zone_transitions_start_zone_recorded():
+    sim = Simulator()
+    w = WorldState(sim)
+    w.create("visitor")
+    zt = ZoneTransitions(sim, w, "visitor", ZONES, start_zone="lobby",
+                         mean_dwell=1.0, rng=np.random.default_rng(0))
+    assert zt.zone == "lobby"
+    assert w.ground_truth.value_at("visitor", "zone", 0.0) == "lobby"
+
+
+def test_zone_transitions_hops_respect_adjacency():
+    sim = Simulator()
+    w = WorldState(sim)
+    w.create("v")
+    path = []
+    w.subscribe(lambda c: path.append((c.old, c.new)), obj="v", attr="zone")
+    zt = ZoneTransitions(sim, w, "v", ZONES, start_zone="lobby",
+                         mean_dwell=0.5, rng=np.random.default_rng(1))
+    zt.start()
+    sim.run(until=50.0)
+    assert zt.hops > 10
+    for old, new in path[1:]:   # first entry is the initial placement
+        assert new in ZONES[old]
+
+
+def test_zone_transitions_stop():
+    sim = Simulator()
+    w = WorldState(sim)
+    w.create("v")
+    zt = ZoneTransitions(sim, w, "v", ZONES, start_zone="hall",
+                         mean_dwell=0.1, rng=np.random.default_rng(2))
+    zt.start()
+    sim.schedule_at(5.0, zt.stop)
+    sim.run(until=100.0)
+    hops_at_stop = zt.hops
+    assert hops_at_stop > 0
+
+
+def test_zone_transitions_validation():
+    sim = Simulator()
+    w = WorldState(sim)
+    w.create("v")
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        ZoneTransitions(sim, w, "v", ZONES, start_zone="mars", mean_dwell=1.0, rng=rng)
+    with pytest.raises(ValueError):
+        ZoneTransitions(sim, w, "v", ZONES, start_zone="lobby", mean_dwell=0.0, rng=rng)
+    with pytest.raises(ValueError):
+        ZoneTransitions(sim, w, "v", {"a": ["b"]}, start_zone="a", mean_dwell=1.0, rng=rng)
+
+
+def test_zone_with_no_neighbors_stays_put():
+    sim = Simulator()
+    w = WorldState(sim)
+    w.create("v")
+    zt = ZoneTransitions(sim, w, "v", {"island": []}, start_zone="island",
+                         mean_dwell=0.1, rng=np.random.default_rng(3))
+    zt.start()
+    sim.run(until=5.0)
+    assert zt.zone == "island"
+    assert zt.hops == 0

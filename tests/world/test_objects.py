@@ -1,0 +1,150 @@
+"""Tests for world objects, attribute changes, and the sensing fabric."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.world.objects import WorldObject, WorldState
+
+
+def make():
+    sim = Simulator()
+    return sim, WorldState(sim)
+
+
+def test_create_and_get():
+    _, w = make()
+    obj = w.create("door0", x=0, y=0)
+    assert w.get("door0") is obj
+    assert obj.get("x") == 0
+    assert obj.get("missing", "dflt") == "dflt"
+    assert "door0" in w
+    assert "other" not in w
+
+
+def test_duplicate_object_rejected():
+    _, w = make()
+    w.create("a")
+    with pytest.raises(ValueError):
+        w.create("a")
+
+
+def test_unknown_object_keyerror():
+    _, w = make()
+    with pytest.raises(KeyError):
+        w.get("ghost")
+    with pytest.raises(KeyError):
+        w.set_attribute("ghost", "x", 1)
+
+
+def test_initial_attributes_recorded_in_ground_truth():
+    sim, w = make()
+    w.create("a", temp=20)
+    assert w.ground_truth.value_at("a", "temp", 0.0) == 20
+
+
+def test_set_attribute_updates_and_logs():
+    sim, w = make()
+    w.create("a", temp=20)
+    sim.schedule_at(5.0, lambda: w.set_attribute("a", "temp", 31))
+    sim.run()
+    assert w.get("a").get("temp") == 31
+    assert w.ground_truth.value_at("a", "temp", 4.9) == 20
+    assert w.ground_truth.value_at("a", "temp", 5.0) == 31
+
+
+def test_set_same_value_is_not_an_event():
+    _, w = make()
+    w.create("a", temp=20)
+    n_before = w.ground_truth.n_records
+    assert w.set_attribute("a", "temp", 20) is None
+    assert w.ground_truth.n_records == n_before
+
+
+def test_increment():
+    _, w = make()
+    w.create("a", count=0)
+    w.increment("a", "count")
+    w.increment("a", "count", 4)
+    assert w.get("a").get("count") == 5
+    # increment on a missing attribute starts from 0
+    w.increment("a", "fresh", 2)
+    assert w.get("a").get("fresh") == 2
+
+
+def test_subscription_fires_on_change():
+    sim, w = make()
+    w.create("a", temp=20)
+    seen = []
+    w.subscribe(lambda c: seen.append((c.obj, c.attr, c.old, c.new)), obj="a", attr="temp")
+    w.set_attribute("a", "temp", 25)
+    assert seen == [("a", "temp", 20, 25)]
+
+
+def test_subscription_specific_to_attr_and_obj():
+    sim, w = make()
+    w.create("a", temp=20, hum=50)
+    w.create("b", temp=20)
+    seen = []
+    w.subscribe(lambda c: seen.append(c.obj), obj="a", attr="temp")
+    w.set_attribute("a", "hum", 60)
+    w.set_attribute("b", "temp", 22)
+    assert seen == []
+    w.set_attribute("a", "temp", 21)
+    assert seen == ["a"]
+
+
+def test_wildcard_subscription_sees_all_objects():
+    sim, w = make()
+    w.create("a", temp=20)
+    w.create("b", temp=20)
+    seen = []
+    w.subscribe(lambda c: seen.append(c.obj), attr="temp")
+    w.set_attribute("a", "temp", 1)
+    w.set_attribute("b", "temp", 2)
+    assert seen == ["a", "b"]
+
+
+def test_min_delta_suppresses_small_changes():
+    sim, w = make()
+    w.create("a", temp=20.0)
+    seen = []
+    w.subscribe(lambda c: seen.append(c.new), obj="a", attr="temp", min_delta=1.0)
+    w.set_attribute("a", "temp", 20.5)    # below resolution
+    w.set_attribute("a", "temp", 22.0)    # |22-20.5| >= 1
+    assert seen == [22.0]
+
+
+def test_min_delta_nonnumeric_always_significant():
+    sim, w = make()
+    w.create("a", zone="lobby")
+    seen = []
+    w.subscribe(lambda c: seen.append(c.new), obj="a", attr="zone", min_delta=5.0)
+    w.set_attribute("a", "zone", "hall")
+    assert seen == ["hall"]
+
+
+def test_sensing_latency_delays_callback():
+    sim, w = make()
+    w.create("a", temp=20)
+    seen = []
+    w.subscribe(lambda c: seen.append(sim.now), obj="a", attr="temp", latency=0.3)
+    sim.schedule_at(1.0, lambda: w.set_attribute("a", "temp", 30))
+    sim.run()
+    assert seen == [pytest.approx(1.3)]
+
+
+def test_invalid_subscription_params():
+    _, w = make()
+    with pytest.raises(ValueError):
+        w.subscribe(lambda c: None, attr="x", min_delta=-1.0)
+    with pytest.raises(ValueError):
+        w.subscribe(lambda c: None, attr="x", latency=-0.1)
+
+
+def test_change_object_even_when_old_value_missing():
+    sim, w = make()
+    w.create("a")
+    seen = []
+    w.subscribe(lambda c: seen.append((c.old, c.new)), obj="a", attr="temp")
+    w.set_attribute("a", "temp", 5)
+    assert seen == [(None, 5)]
