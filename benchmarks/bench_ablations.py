@@ -12,6 +12,8 @@ A4 — online watermark: detection latency and fidelity of the online
      detector vs the offline replay at several check periods.
 """
 
+import pytest
+
 from repro.analysis.metrics import BorderlinePolicy, match_detections
 from repro.analysis.sweep import format_table
 from repro.core.process import ClockConfig
@@ -20,6 +22,8 @@ from repro.detect.strobe_vector import VectorStrobeDetector
 from repro.net.delay import DeltaBoundedDelay
 from repro.net.topology import Topology
 from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+
+pytestmark = pytest.mark.slow
 
 SEEDS = [0, 1, 2]
 DURATION = 100.0

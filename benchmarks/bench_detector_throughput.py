@@ -19,6 +19,8 @@ from repro.detect.strobe_vector import VectorStrobeDetector
 from repro.predicates.relational import SumThresholdPredicate
 from repro.clocks.scalar import ScalarTimestamp
 
+pytestmark = pytest.mark.slow
+
 
 def synth_records(m: int, n: int = 4, seed: int = 0, race_frac: float = 0.3):
     """Synthesize m records from n processes with a controlled fraction
@@ -101,3 +103,39 @@ def test_concurrency_matrix_scaling(benchmark):
     det = VectorStrobeDetector(predicate(), {f"v{i}": 0 for i in range(4)})
     ordered = sorted(records, key=det._sort_key)
     benchmark(det._concurrency_matrix, ordered)
+
+
+def test_emit_bench_json(save_bench_json):
+    """One timed finalize per (detector, m), exported as
+    ``BENCH_detector_throughput.json`` — the machine-readable perf
+    trajectory future PRs diff against."""
+    from repro.obs import SpanTracer
+
+    phi = predicate()
+    initials = {f"v{i}": 0 for i in range(4)}
+    detectors = {
+        "vector_strobe": VectorStrobeDetector,
+        "scalar_strobe": ScalarStrobeDetector,
+        "physical": PhysicalClockDetector,
+    }
+    tracer = SpanTracer()
+    rows = []
+    for m in (200, 1000):
+        records = synth_records(m)
+        for name, cls in detectors.items():
+            det = cls(phi, initials)
+            det.feed_many(records)
+            with tracer.span(f"{name}.finalize", m=m) as span:
+                detections = det.finalize()
+            rows.append({
+                "detector": name,
+                "m": m,
+                "wall_s": span.wall_s,
+                "records_per_s": m / span.wall_s if span.wall_s else None,
+                "detections": len(detections),
+            })
+    save_bench_json(
+        "detector_throughput", rows,
+        meta={"n_processes": 4, "race_frac": 0.3, "seed": 0},
+    )
+    assert all(r["wall_s"] is not None and r["wall_s"] > 0 for r in rows)

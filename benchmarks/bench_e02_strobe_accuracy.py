@@ -13,6 +13,8 @@ detector (expected ≈ 0: confident claims are sound; uncertainty goes
 to the bin).
 """
 
+import pytest
+
 from repro.analysis.metrics import BorderlinePolicy, match_detections
 from repro.analysis.sweep import format_table
 from repro.core.process import ClockConfig
@@ -20,6 +22,8 @@ from repro.detect.strobe_scalar import ScalarStrobeDetector
 from repro.detect.strobe_vector import VectorStrobeDetector
 from repro.net.delay import DeltaBoundedDelay, SynchronousDelay
 from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+
+pytestmark = pytest.mark.slow
 
 DELTAS = [0.0, 0.05, 0.1, 0.2, 0.4, 0.8]
 SEEDS = [0, 1, 2]

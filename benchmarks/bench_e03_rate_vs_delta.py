@@ -12,6 +12,8 @@ F1 of the vector-strobe detector (borderline→positive) and the
 fraction of sensed events involved in Δ-races.
 """
 
+import pytest
+
 from repro.analysis.metrics import BorderlinePolicy, match_detections
 from repro.analysis.races import race_fraction
 from repro.analysis.sweep import format_table
@@ -19,6 +21,8 @@ from repro.core.process import ClockConfig
 from repro.detect.strobe_vector import VectorStrobeDetector
 from repro.net.delay import DeltaBoundedDelay
 from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+
+pytestmark = pytest.mark.slow
 
 DELTA = 0.2
 #: target mean interarrival / Δ ratios (sensed events = 2×arrivals)

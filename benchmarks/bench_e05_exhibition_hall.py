@@ -17,12 +17,16 @@ traffic); fixed Δ.  Reported per d:
   (recall(as-positive) − recall(as-negative)).
 """
 
+import pytest
+
 from repro.analysis.metrics import BorderlinePolicy, match_detections
 from repro.analysis.sweep import format_table
 from repro.core.process import ClockConfig
 from repro.detect.strobe_vector import VectorStrobeDetector
 from repro.net.delay import DeltaBoundedDelay
 from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+
+pytestmark = pytest.mark.slow
 
 DOORS = [2, 4, 8]
 DELTA = 0.3

@@ -35,11 +35,15 @@ EVENT_RATE = 0.05          # sensed events per second per process
 ENERGY = RadioEnergyModel()
 
 
-def strobe_cost(vector: bool, seed: int = 0) -> dict:
+def strobe_cost(vector: bool, seed: int = 0, registry=None) -> dict:
     clocks = ClockConfig(strobe_vector=True) if vector else ClockConfig(strobe_scalar=True)
     system = PervasiveSystem(SystemConfig(
         n_processes=N, seed=seed, delay=DeltaBoundedDelay(0.1), clocks=clocks,
     ))
+    if registry is not None:
+        from repro.obs import instrument_system
+
+        instrument_system(system, registry)
     gens = []
     for i in range(N):
         system.world.create(f"obj{i}", level=0)
@@ -113,7 +117,7 @@ def on_demand_cost(seed: int = 0) -> dict:
     }
 
 
-def run_experiment() -> list[dict]:
+def run_experiment(registry=None) -> list[dict]:
     rows = []
     for period in (1.0, 10.0, 60.0):
         r = periodic_sync_cost(period)
@@ -122,17 +126,22 @@ def run_experiment() -> list[dict]:
     r = on_demand_cost()
     r["option"] = "on-demand sync [3]"
     rows.append(r)
-    r = strobe_cost(vector=True)
+    r = strobe_cost(vector=True, registry=registry)
     r["option"] = "vector strobes (O(n))"
     rows.append(r)
-    r = strobe_cost(vector=False)
+    r = strobe_cost(vector=False, registry=registry)
     r["option"] = "scalar strobes (O(1))"
     rows.append(r)
     return rows
 
 
-def test_e07_sync_cost(benchmark, save_table):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_e07_sync_cost(benchmark, save_table, save_bench_json):
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    rows = benchmark.pedantic(
+        run_experiment, kwargs={"registry": registry}, rounds=1, iterations=1,
+    )
     save_table("e07_sync_cost", format_table(
         rows,
         columns=["option", "messages", "units", "energy_J", "events"],
@@ -140,6 +149,11 @@ def test_e07_sync_cost(benchmark, save_table):
         title=(f"E7: standing cost of time services "
                f"(n={N}, {DURATION:.0f}s, {EVENT_RATE}/s/process sensed events)"),
     ))
+    save_bench_json(
+        "e07_sync_cost", rows,
+        meta={"n": N, "duration_s": DURATION, "event_rate": EVENT_RATE},
+        registry=registry,
+    )
     by = {r["option"]: r for r in rows}
     # Tight periodic sync is the most expensive option.
     assert by["periodic sync T=1s"]["messages"] > by["vector strobes (O(n))"]["messages"]

@@ -20,11 +20,15 @@ match count at near-zero delay.  Reported per point:
   the smallest delay (how much a 200× delay increase costs).
 """
 
+import pytest
+
 from repro.analysis.sweep import format_table
 from repro.detect.conjunctive_interval import ConjunctiveIntervalDetector
 from repro.net.delay import DeltaBoundedDelay
 from repro.predicates.base import Modality
 from repro.scenarios.smart_office import SmartOffice, SmartOfficeConfig
+
+pytestmark = pytest.mark.slow
 
 #: mean delay = delta/2 under the uniform Δ-bounded model
 DELTAS = [0.02, 0.1, 0.5, 1.0, 2.0, 4.0]

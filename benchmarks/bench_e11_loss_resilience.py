@@ -20,6 +20,8 @@ Two harnesses:
   recovers to its before-window level.
 """
 
+import pytest
+
 import numpy as np
 
 from repro.analysis.metrics import BorderlinePolicy, match_detections
@@ -29,6 +31,8 @@ from repro.detect.strobe_vector import VectorStrobeDetector
 from repro.net.delay import DeltaBoundedDelay
 from repro.net.loss import BernoulliLoss, LossModel, NoLoss
 from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+
+pytestmark = pytest.mark.slow
 
 LOSS_RATES = [0.0, 0.05, 0.1, 0.2, 0.4]
 SEEDS = [0, 1, 2, 3]

@@ -17,6 +17,8 @@ from repro.clocks.scalar import LamportClock, ScalarTimestamp
 from repro.clocks.strobe import StrobeScalarClock, StrobeVectorClock
 from repro.clocks.vector import VectorClock, VectorTimestamp
 
+pytestmark = pytest.mark.slow
+
 SIZES = [8, 64, 512]
 
 

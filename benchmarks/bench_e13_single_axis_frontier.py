@@ -24,6 +24,8 @@ at *slow* event rates strobes reach comparable accuracy at lower cost
 within Δ) the synced-clock option pulls ahead on accuracy.
 """
 
+import pytest
+
 from repro.analysis.metrics import BorderlinePolicy, match_detections
 from repro.analysis.sweep import format_table
 from repro.clocks.physical import DriftModel
@@ -34,6 +36,8 @@ from repro.detect.strobe_scalar import ScalarStrobeDetector
 from repro.detect.strobe_vector import VectorStrobeDetector
 from repro.net.delay import DeltaBoundedDelay
 from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+
+pytestmark = pytest.mark.slow
 
 SEEDS = [0, 1, 2]
 DURATION = 150.0          # fast regime; the slow regime runs 4× longer

@@ -29,3 +29,21 @@ def save_table():
         print(f"\n{text}\n[saved to {path}]")
 
     return _save
+
+
+@pytest.fixture
+def save_bench_json():
+    """Persist a machine-readable ``BENCH_<name>.json`` through the
+    :mod:`repro.obs` exporters, so successive PRs accumulate a perf
+    trajectory that scripts (not just humans) can diff."""
+    from repro.obs.exporters import export_bench_json
+
+    def _save(name: str, rows, *, meta=None, registry=None) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = export_bench_json(
+            RESULTS_DIR / f"BENCH_{name}.json", name, rows,
+            meta=meta, registry=registry,
+        )
+        print(f"[bench json saved to {path}]")
+
+    return _save

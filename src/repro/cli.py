@@ -11,10 +11,12 @@ Subcommands::
     hospital  ward monitoring over zone-hopping visitors
     habitat   duty-cycled wildlife monitoring
     clocks    stamp one execution under all four clock families
+    obs       run any scenario fully instrumented and export the report
 
-Example::
+Examples::
 
     python -m repro hall --doors 4 --delta 0.3 --duration 120 --seed 1
+    python -m repro obs run smart_office --export jsonl
 """
 
 from __future__ import annotations
@@ -41,6 +43,13 @@ DETECTORS = {
 
 def _delay(delta: float):
     return SynchronousDelay(0.0) if delta == 0.0 else DeltaBoundedDelay(delta)
+
+
+def _positive_int(text: str) -> int:
+    n = int(text)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
 
 
 def _score_row(name, truth, detections):
@@ -193,6 +202,119 @@ def cmd_clocks(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+OBS_SCENARIOS = ("smart_office", "hall", "hospital", "habitat")
+
+
+def _build_obs_scenario(name: str, args):
+    """Build (scenario, predicate, initials) for an instrumented run."""
+    if name == "smart_office":
+        from repro.scenarios.smart_office import SmartOffice, SmartOfficeConfig
+
+        sc = SmartOffice(SmartOfficeConfig(
+            seed=args.seed, delay=_delay(args.delta),
+            temp_threshold=28.0, temp_base=27.5, temp_sigma=1.5,
+        ))
+        return sc, sc.predicate, sc.initials
+    if name == "hall":
+        from repro.core.process import ClockConfig
+        from repro.scenarios.exhibition_hall import (
+            ExhibitionHall,
+            ExhibitionHallConfig,
+        )
+
+        sc = ExhibitionHall(ExhibitionHallConfig(
+            seed=args.seed, delay=_delay(args.delta),
+            clocks=ClockConfig.everything(),
+        ))
+        return sc, sc.predicate, sc.initials
+    if name == "hospital":
+        from repro.scenarios.hospital import Hospital, HospitalConfig
+
+        sc = Hospital(HospitalConfig(seed=args.seed, delay=_delay(args.delta)))
+        phi = sc.waiting_room_predicate()
+        return sc, phi, sc.initials_for(phi)
+    if name == "habitat":
+        from repro.predicates import RelationalPredicate
+        from repro.scenarios.habitat import Habitat, HabitatConfig
+
+        sc = Habitat(HabitatConfig(seed=args.seed))
+        phi = RelationalPredicate(
+            {"prey": 0, "pred": 1},
+            lambda e: e["prey"] > 0 and e["pred"] > 0,
+            "prey ∧ predator",
+        )
+        return sc, phi, sc.initials
+    raise ValueError(f"unknown obs scenario {name!r}")
+
+
+def cmd_obs_run(args) -> int:
+    """Run one scenario with full instrumentation; export the report."""
+    from repro.detect.lattice_detector import LatticeDetector
+    from repro.detect.online import OnlineVectorStrobeDetector
+    from repro.lattice.lattice import LatticeExplosion
+    from repro.obs import (
+        Observability,
+        SpanTracer,
+        export_csv,
+        export_jsonl,
+        instrument_system,
+        render_console,
+    )
+
+    scenario, phi, initials = _build_obs_scenario(args.scenario, args)
+    system = scenario.system
+    obs = Observability(tracer=SpanTracer(system.sim))
+    instrument_system(system, obs, sample_every=args.sample_every)
+
+    det = OnlineVectorStrobeDetector(
+        system.sim, phi, initials, delta=max(args.delta, 0.0),
+    )
+    det.bind_obs(obs.registry)
+    scenario.attach_detector(det)
+    det.start()
+
+    with obs.tracer.span("scenario.run", t=0.0, scenario=args.scenario):
+        scenario.run(args.duration)
+    with obs.tracer.span("detector.finalize"):
+        det.finalize()
+
+    # Modal query over the same record stream: lattice metrics.
+    lat = LatticeDetector(phi, initials, system.n, max_states=args.max_lattice)
+    lat.bind_obs(obs.registry)
+    lat.feed_many(det.store.all())
+    with obs.tracer.span("lattice.modalities"):
+        try:
+            lat.modalities()
+        except LatticeExplosion:
+            obs.registry.counter("detect.lattice.explosions").inc()
+
+    meta = {
+        "scenario": args.scenario, "seed": args.seed, "delta": args.delta,
+        "duration": args.duration, "predicate": str(phi),
+    }
+    if args.export == "console":
+        print(render_console(
+            obs.registry, obs.tracer,
+            title=f"obs report — {args.scenario}",
+        ))
+    else:
+        ext = "jsonl" if args.export == "jsonl" else "csv"
+        out = args.out or f"obs_{args.scenario}.{ext}"
+        if args.export == "jsonl":
+            path = export_jsonl(
+                out, obs.registry, obs.tracer, meta=meta, t_sim=system.sim.now,
+            )
+        else:
+            path = export_csv(out, obs.registry)
+        print(f"{len(obs.registry)} metrics, {len(obs.tracer)} spans "
+              f"-> {path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -239,6 +361,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=3)
     p.add_argument("--events", type=int, default=3)
     p.set_defaults(fn=cmd_clocks)
+
+    p = sub.add_parser("obs", help="instrumented runs (repro.obs)")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "run", help="run a scenario with instrumentation on and export"
+    )
+    common(p)
+    p.add_argument("scenario", choices=OBS_SCENARIOS)
+    p.add_argument("--export", choices=["console", "jsonl", "csv"],
+                   default="console",
+                   help="report format (default: console table)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="output path (default obs_<scenario>.<ext>)")
+    p.add_argument("--sample-every", type=_positive_int, default=500,
+                   help="metric time-series sample period, in fired events")
+    p.add_argument("--max-lattice", type=int, default=50_000,
+                   help="state cap for the lattice modal query")
+    p.set_defaults(fn=cmd_obs_run)
 
     return parser
 

@@ -34,8 +34,36 @@ from repro.clocks.base import ClockError, StrobeClock, validate_pid
 from repro.clocks.scalar import ScalarTimestamp
 from repro.clocks.vector import VectorTimestamp
 
+#: Buckets for the catch-up (skew) histograms: how many ticks a merge
+#: advanced the local clock by — powers of two up to 2^10.
+_CATCHUP_BUCKETS = [0.0] + [float(2 ** k) for k in range(11)]
 
-class StrobeVectorClock(StrobeClock[VectorTimestamp]):
+
+class _StrobeObsMixin:
+    """Shared ``bind_obs`` for both strobe clock families.
+
+    All strobe clocks in a system share the same aggregate instruments
+    (``clock.strobe.*``); per-clock handles default to ``None`` so the
+    unbound hot path costs one ``is None`` test per protocol rule.
+    """
+
+    _m_emitted = None
+    _m_merged = None
+    _m_payload = None
+    _m_catchup = None
+    _m_skew = None
+
+    def bind_obs(self, registry) -> None:
+        self._m_emitted = registry.counter("clock.strobe.emitted")
+        self._m_merged = registry.counter("clock.strobe.merged")
+        self._m_payload = registry.counter("clock.strobe.payload_units")
+        self._m_catchup = registry.histogram(
+            "clock.strobe.catchup", buckets=_CATCHUP_BUCKETS
+        )
+        self._m_skew = registry.gauge("clock.strobe.skew")
+
+
+class StrobeVectorClock(_StrobeObsMixin, StrobeClock[VectorTimestamp]):
     """Strobe vector clock (rules SVC1–SVC2).
 
     Examples
@@ -76,12 +104,21 @@ class StrobeVectorClock(StrobeClock[VectorTimestamp]):
         """SVC1: tick own component; return the strobe to broadcast."""
         self._v[self._pid] += 1
         self._relevant_events += 1
+        if self._m_emitted is not None:
+            self._m_emitted.inc()
+            self._m_payload.inc(self._n)
         return self.read()
 
     def on_strobe(self, strobe: VectorTimestamp) -> VectorTimestamp:
         """SVC2: component-wise max merge; **no** local tick."""
         if strobe.n != self._n:
             raise ClockError(f"strobe width mismatch: {self._n} vs {strobe.n}")
+        if self._m_merged is not None:
+            # Catch-up: total ticks this merge advances the local view by.
+            gain = int(np.maximum(strobe.as_array() - self._v, 0).sum())
+            self._m_catchup.observe(gain)
+            self._m_skew.set(gain)
+            self._m_merged.inc()
         np.maximum(self._v, strobe.as_array(), out=self._v)
         self._strobes_received += 1
         return self.read()
@@ -97,7 +134,7 @@ class StrobeVectorClock(StrobeClock[VectorTimestamp]):
         return f"StrobeVectorClock(pid={self._pid}, v={tuple(int(x) for x in self._v)})"
 
 
-class StrobeScalarClock(StrobeClock[ScalarTimestamp]):
+class StrobeScalarClock(_StrobeObsMixin, StrobeClock[ScalarTimestamp]):
     """Strobe scalar clock (rules SSC1–SSC2).
 
     Weaker than the vector variant but with O(1) strobes (§4.2.2).
@@ -131,10 +168,18 @@ class StrobeScalarClock(StrobeClock[ScalarTimestamp]):
         """SSC1: tick; return the strobe to broadcast."""
         self._value += 1
         self._relevant_events += 1
+        if self._m_emitted is not None:
+            self._m_emitted.inc()
+            self._m_payload.inc(1)
         return self.read()
 
     def on_strobe(self, strobe: ScalarTimestamp) -> ScalarTimestamp:
         """SSC2: ``C = max(C, T)``; **no** local tick."""
+        if self._m_merged is not None:
+            gain = max(strobe.value - self._value, 0)
+            self._m_catchup.observe(gain)
+            self._m_skew.set(gain)
+            self._m_merged.inc()
         self._value = max(self._value, strobe.value)
         self._strobes_received += 1
         return self.read()

@@ -142,6 +142,17 @@ class VectorClock(Clock[VectorTimestamp]):
         self._pid = int(pid)
         self._n = int(n)
         self._v = np.zeros(n, dtype=np.int64)
+        # Observability handles (None = no-op fast path).
+        self._m_ticks = None
+        self._m_merges = None
+        self._m_piggyback = None
+
+    def bind_obs(self, registry) -> None:
+        """Attach causality-clock metrics: VC1/VC2 ticks, VC3 merges,
+        and piggyback units (each send carries the full n-vector)."""
+        self._m_ticks = registry.counter("clock.vector.ticks")
+        self._m_merges = registry.counter("clock.vector.merges")
+        self._m_piggyback = registry.counter("clock.vector.piggyback_units")
 
     @property
     def pid(self) -> int:
@@ -153,10 +164,15 @@ class VectorClock(Clock[VectorTimestamp]):
 
     def on_local_event(self) -> VectorTimestamp:
         self._v[self._pid] += 1
+        if self._m_ticks is not None:
+            self._m_ticks.inc()
         return self.read()
 
     def on_send(self) -> VectorTimestamp:
         self._v[self._pid] += 1
+        if self._m_ticks is not None:
+            self._m_ticks.inc()
+            self._m_piggyback.inc(self._n)
         return self.read()
 
     def on_receive(self, remote: VectorTimestamp) -> VectorTimestamp:
@@ -164,6 +180,8 @@ class VectorClock(Clock[VectorTimestamp]):
             raise ClockError(f"vector width mismatch: {self._n} vs {remote.n}")
         np.maximum(self._v, remote.as_array(), out=self._v)
         self._v[self._pid] += 1
+        if self._m_merges is not None:
+            self._m_merges.inc()
         return self.read()
 
     def read(self) -> VectorTimestamp:

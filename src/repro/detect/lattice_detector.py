@@ -55,6 +55,19 @@ class LatticeDetector(Detector):
         self._stamp = stamp
         self._max_states = int(max_states)
         self.last_stats = None
+        # Observability handles (None = no-op fast path).
+        self._m_queries = None
+        self._m_cuts = None
+        self._m_states = None
+        self._m_width = None
+
+    def bind_obs(self, registry) -> None:
+        """Attach lattice metrics: modal queries run, cuts enumerated,
+        and the size/width of the most recent lattice."""
+        self._m_queries = registry.counter("detect.lattice.queries")
+        self._m_cuts = registry.counter("detect.lattice.cuts_evaluated")
+        self._m_states = registry.gauge("detect.lattice.states")
+        self._m_width = registry.gauge("detect.lattice.max_width")
 
     def modalities(self) -> tuple[bool, bool]:
         """Returns (possibly, definitely) for φ over the record stream."""
@@ -85,6 +98,11 @@ class LatticeDetector(Detector):
 
         possibly, definitely = lattice.evaluate(state_of, pred)
         self.last_stats = lattice.stats()
+        if self._m_queries is not None:
+            self._m_queries.inc()
+            self._m_cuts.inc(self.last_stats.n_states)
+            self._m_states.set(self.last_stats.n_states)
+            self._m_width.set(self.last_stats.max_width)
         return possibly, definitely
 
     def finalize(self):

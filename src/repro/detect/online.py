@@ -36,8 +36,36 @@ from repro.predicates.base import Predicate
 from repro.sim.kernel import Simulator
 from repro.sim.timers import PeriodicTimer
 
+#: Buckets for detection-latency histograms (simulated seconds).
+_LATENCY_BUCKETS = [10 ** (k / 2) for k in range(-6, 7)]
 
-class OnlineVectorStrobeDetector(VectorStrobeDetector):
+
+class _OnlineObsMixin:
+    """Shared ``bind_obs`` for the online (watermark) detectors.
+
+    Aggregate ``detect.*`` instruments; handles default to ``None`` so
+    uninstrumented runs pay one ``is None`` test per operation.
+    """
+
+    _m_records = None
+    _m_flushes = None
+    _m_processed = None
+    _m_late = None
+    _m_backlog = None
+    _m_latency = None
+
+    def bind_obs(self, registry) -> None:
+        self._m_records = registry.counter("detect.records")
+        self._m_flushes = registry.counter("detect.flushes")
+        self._m_processed = registry.counter("detect.processed")
+        self._m_late = registry.counter("detect.late_records")
+        self._m_backlog = registry.gauge("detect.backlog")
+        self._m_latency = registry.histogram(
+            "detect.emit_latency_s", buckets=_LATENCY_BUCKETS
+        )
+
+
+class OnlineVectorStrobeDetector(_OnlineObsMixin, VectorStrobeDetector):
     """Watermark-based online variant of the vector-strobe detector.
 
     Parameters
@@ -97,12 +125,16 @@ class OnlineVectorStrobeDetector(VectorStrobeDetector):
     def feed(self, record: SensedEventRecord) -> None:
         if self.store.add(record):
             self._arrivals[record.key()] = self._sim.now
+            if self._m_records is not None:
+                self._m_records.inc()
 
     # ------------------------------------------------------------------
     def flush(self) -> None:
         """Advance the watermark: process every record whose position in
         the linearization is final."""
         now = self._sim.now
+        if self._m_flushes is not None:
+            self._m_flushes.inc()
         records = self.store.all()
         self._check_stamps(records)
         ordered = sorted(records, key=self._sort_key)
@@ -119,6 +151,8 @@ class OnlineVectorStrobeDetector(VectorStrobeDetector):
             ]
             if late:
                 self.late_records += len(late)
+                if self._m_late is not None:
+                    self._m_late.inc(len(late))
                 late_keys = {r.key() for r in late}
                 ordered = [r for r in ordered if r.key() not in late_keys]
 
@@ -148,9 +182,15 @@ class OnlineVectorStrobeDetector(VectorStrobeDetector):
             )
             for d in self.detections[before:]:
                 self.emissions.append((d, now))
+                if self._m_latency is not None:
+                    self._m_latency.observe(now - d.trigger.true_time)
             self._processed.append(rec)
             self._prevs.append(prev)
+            if self._m_processed is not None:
+                self._m_processed.inc()
             i += 1
+        if self._m_backlog is not None:
+            self._m_backlog.set(len(self.store.all()) - len(self._processed))
 
     # ------------------------------------------------------------------
     def finalize(self) -> list[Detection]:
@@ -165,7 +205,7 @@ class OnlineVectorStrobeDetector(VectorStrobeDetector):
         return [t - d.trigger.true_time for d, t in self.emissions]
 
 
-class OnlineScalarStrobeDetector(Detector):
+class OnlineScalarStrobeDetector(_OnlineObsMixin, Detector):
     """Watermark-based online scalar-strobe detection.
 
     The 2Δ stability argument holds for the scalar order too: any
@@ -225,9 +265,13 @@ class OnlineScalarStrobeDetector(Detector):
             )
         if self.store.add(record):
             self._arrivals[record.key()] = self._sim.now
+            if self._m_records is not None:
+                self._m_records.inc()
 
     def flush(self) -> None:
         now = self._sim.now
+        if self._m_flushes is not None:
+            self._m_flushes.inc()
         pending = sorted(
             (r for r in self.store.all() if r.key() not in self._processed),
             key=self._sort_key,
@@ -238,6 +282,8 @@ class OnlineScalarStrobeDetector(Detector):
                 # Sorts inside the processed region: a lost strobe broke
                 # the stability argument.  Count and skip.
                 self.late_records += 1
+                if self._m_late is not None:
+                    self._m_late.inc()
                 self._processed.add(rec.key())
                 continue
             if now - self._arrivals[rec.key()] < self._stability_wait:
@@ -253,9 +299,15 @@ class OnlineScalarStrobeDetector(Detector):
                     )
                     self.detections.append(det)
                     self.emissions.append((det, now))
+                    if self._m_latency is not None:
+                        self._m_latency.observe(now - det.trigger.true_time)
                 self._prev = cur
             self._processed.add(rec.key())
             self._last_key = key
+            if self._m_processed is not None:
+                self._m_processed.inc()
+        if self._m_backlog is not None:
+            self._m_backlog.set(len(self.store.all()) - len(self._processed))
 
     def finalize(self) -> list[Detection]:
         self.stop()

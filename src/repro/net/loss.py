@@ -17,7 +17,18 @@ import numpy as np
 
 
 class LossModel(ABC):
-    """Decides, per message, whether it is dropped."""
+    """Decides, per message, whether it is dropped.
+
+    ``bind_obs`` attaches drop accounting to a
+    :class:`~repro.obs.registry.MetricsRegistry`; unbound models pay a
+    single ``is None`` test per decision (subclasses with richer state,
+    e.g. :class:`GilbertElliottLoss`, add their own instruments).
+    """
+
+    _m_drops = None        # Counter | None — the no-op fast path
+
+    def bind_obs(self, registry) -> None:
+        self._m_drops = registry.counter("net.loss.drops")
 
     @abstractmethod
     def drops(self, rng: np.random.Generator) -> bool:
@@ -47,7 +58,10 @@ class BernoulliLoss(LossModel):
         return self._p
 
     def drops(self, rng: np.random.Generator) -> bool:
-        return bool(rng.random() < self._p)
+        dropped = bool(rng.random() < self._p)
+        if dropped and self._m_drops is not None:
+            self._m_drops.inc()
+        return dropped
 
     def __repr__(self) -> str:
         return f"BernoulliLoss({self._p})"
@@ -76,21 +90,35 @@ class GilbertElliottLoss(LossModel):
         self._p_good = p_good
         self._p_bad = p_bad
         self._bad = False
+        self._m_transitions = None
+        self._m_bad = None
 
     @property
     def in_bad_state(self) -> bool:
         return self._bad
 
+    def bind_obs(self, registry) -> None:
+        super().bind_obs(registry)
+        self._m_transitions = registry.counter("net.loss.burst_transitions")
+        self._m_bad = registry.gauge("net.loss.in_bad_state")
+
     def drops(self, rng: np.random.Generator) -> bool:
         # Transition first, then sample loss in the new state.
+        was_bad = self._bad
         if self._bad:
             if rng.random() < self._p_bg:
                 self._bad = False
         else:
             if rng.random() < self._p_gb:
                 self._bad = True
+        if self._m_transitions is not None and was_bad != self._bad:
+            self._m_transitions.inc()
+            self._m_bad.set(1.0 if self._bad else 0.0)
         p = self._p_bad if self._bad else self._p_good
-        return bool(rng.random() < p)
+        dropped = bool(rng.random() < p)
+        if dropped and self._m_drops is not None:
+            self._m_drops.inc()
+        return dropped
 
     def stationary_loss_rate(self) -> float:
         """Long-run average loss probability (for test calibration)."""

@@ -94,6 +94,13 @@ class Network:
         self._record_delays = record_delays
         self._mac = mac
         self.stats = NetworkStats()
+        # Observability handles (None = no-op fast path).
+        self._m_sent = None
+        self._m_delivered = None
+        self._m_drop_loss = None
+        self._m_drop_part = None
+        self._m_delay = None
+        self._m_units = None
 
     # ------------------------------------------------------------------
     @property
@@ -119,6 +126,20 @@ class Network:
 
     def endpoints(self) -> list[int]:
         return sorted(self._endpoints)
+
+    def bind_obs(self, registry) -> None:
+        """Attach transport metrics (sends, deliveries, drops, delay
+        distribution, payload units); also binds the loss model."""
+        self._m_sent = registry.counter("net.sent")
+        self._m_delivered = registry.counter("net.delivered")
+        self._m_drop_loss = registry.counter("net.dropped_loss")
+        self._m_drop_part = registry.counter("net.dropped_partition")
+        self._m_units = registry.counter("net.payload_units")
+        # Delay buckets: sub-ms to ~100 s of *simulated* latency.
+        self._m_delay = registry.histogram(
+            "net.delay_s", buckets=[10 ** (k / 2) for k in range(-8, 5)]
+        )
+        self._loss.bind_obs(registry)
 
     # ------------------------------------------------------------------
     def send(
@@ -204,13 +225,20 @@ class Network:
         else:
             self.stats.app_messages += 1
             self.stats.app_units += msg.size
+        if self._m_sent is not None:
+            self._m_sent.inc()
+            self._m_units.inc(msg.size)
 
     def _dispatch(self, msg: Message) -> None:
         if not self._topo.connected(msg.src, msg.dst):
             self.stats.dropped_partition += 1
+            if self._m_drop_part is not None:
+                self._m_drop_part.inc()
             return
         if self._loss.drops(self._rng):
             self.stats.dropped_loss += 1
+            if self._m_drop_loss is not None:
+                self._m_drop_loss.inc()
             return
         d = self._delay.sample(self._rng)
         if self._mac is not None:
@@ -220,12 +248,16 @@ class Network:
             d = self._mac.delivery_time(msg.dst, arrival) - self._sim.now
         if self._record_delays:
             self.stats.delays.append(d)
+        if self._m_delay is not None:
+            self._m_delay.observe(d)
         self._sim.schedule_after(
             d, lambda m=msg: self._deliver(m), label=f"deliver:{msg.kind}"
         )
 
     def _deliver(self, msg: Message) -> None:
         self.stats.delivered += 1
+        if self._m_delivered is not None:
+            self._m_delivered.inc()
         self._endpoints[msg.dst](msg)
 
 

@@ -1,0 +1,266 @@
+"""Structured exporters for the observability layer.
+
+Three formats, one source of truth (a :class:`MetricsRegistry` and an
+optional :class:`SpanTracer`):
+
+* **JSONL** — one self-describing JSON object per line, every line
+  carrying both a ``t_sim`` and a ``t_wall`` stamp.  Line kinds:
+  ``meta`` (run header), ``metric`` (final value of one instrument),
+  ``sample`` (a mid-run time-series point), ``span`` (one traced
+  region).  :func:`read_jsonl` parses it back;
+  :func:`registry_from_jsonl` reconstructs an equivalent registry —
+  the round-trip contract tests/obs/test_exporters.py pins.
+* **CSV** — flat ``name,type,value,count,sum,mean,min,max`` summary
+  for spreadsheet-grade consumers.
+* **console** — an aligned two-section table (metrics, then spans)
+  for humans; stdlib-only so :mod:`repro.obs` stays dependency-free.
+
+:func:`export_bench_json` is the benchmark flavour: a single JSON
+document (``BENCH_<name>.json``) with rows + metadata, giving future
+PRs a machine-readable perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.obs.registry import Histogram, MetricsRegistry, restore_snapshot
+from repro.obs.tracer import SpanTracer
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# JSONL event stream
+# ---------------------------------------------------------------------------
+
+def jsonl_events(
+    registry: MetricsRegistry,
+    tracer: SpanTracer | None = None,
+    *,
+    meta: Mapping[str, Any] | None = None,
+    t_sim: float = 0.0,
+    t_wall: float | None = None,
+) -> list[dict[str, Any]]:
+    """The JSONL stream as a list of dicts (before serialization).
+
+    ``t_sim`` is the run's final simulation time; final-value lines are
+    stamped with it, samples/spans carry their own stamps.
+    """
+    if t_wall is None:
+        t_wall = time.time()
+    events: list[dict[str, Any]] = [{
+        "kind": "meta",
+        "format_version": FORMAT_VERSION,
+        "t_sim": t_sim,
+        "t_wall": t_wall,
+        "meta": dict(meta or {}),
+    }]
+    for ts, tw, values in registry.samples:
+        events.append({"kind": "sample", "t_sim": ts, "t_wall": tw, "values": values})
+    for name, snap in registry.snapshot().items():
+        events.append({
+            "kind": "metric", "name": name, "t_sim": t_sim, "t_wall": t_wall, **snap,
+        })
+    if tracer is not None:
+        for span in tracer.spans:
+            d = span.to_dict()
+            events.append({"kind": "span", **d})
+    return events
+
+
+def export_jsonl(
+    path: str | Path,
+    registry: MetricsRegistry,
+    tracer: SpanTracer | None = None,
+    *,
+    meta: Mapping[str, Any] | None = None,
+    t_sim: float = 0.0,
+) -> Path:
+    """Write the JSONL event stream; returns the path."""
+    path = Path(path)
+    lines = [
+        json.dumps(ev, default=_fallback)
+        for ev in jsonl_events(registry, tracer, meta=meta, t_sim=t_sim)
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL export back into event dicts (validates header)."""
+    events = [
+        json.loads(line)
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]
+    if not events or events[0].get("kind") != "meta":
+        raise ValueError(f"{path}: not an obs JSONL stream (missing meta header)")
+    version = events[0].get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"{path}: unsupported format_version {version!r}")
+    return events
+
+
+def registry_from_jsonl(events: Sequence[Mapping[str, Any]]) -> MetricsRegistry:
+    """Rebuild a registry equivalent to the exporting one (final values
+    and samples; spans are not registry state)."""
+    snap = {
+        ev["name"]: {k: v for k, v in ev.items() if k not in ("kind", "name", "t_sim", "t_wall")}
+        for ev in events
+        if ev.get("kind") == "metric"
+    }
+    reg = restore_snapshot(snap)
+    for ev in events:
+        if ev.get("kind") == "sample":
+            reg.samples.append((ev["t_sim"], ev["t_wall"], dict(ev["values"])))
+    return reg
+
+
+# ---------------------------------------------------------------------------
+# CSV summary
+# ---------------------------------------------------------------------------
+
+CSV_HEADER = "name,type,value,count,sum,mean,min,max"
+
+
+def csv_rows(registry: MetricsRegistry) -> list[str]:
+    rows = [CSV_HEADER]
+    for m in registry.metrics():
+        if isinstance(m, Histogram):
+            mn = "" if m.count == 0 else f"{m.min:.9g}"
+            mx = "" if m.count == 0 else f"{m.max:.9g}"
+            rows.append(
+                f"{m.name},histogram,,{m.count},{m.sum:.9g},{m.mean:.9g},{mn},{mx}"
+            )
+        else:
+            kind = type(m).__name__.lower()
+            rows.append(f"{m.name},{kind},{m.value:.9g},,,,,")
+    return rows
+
+
+def export_csv(path: str | Path, registry: MetricsRegistry) -> Path:
+    path = Path(path)
+    path.write_text("\n".join(csv_rows(registry)) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Console report
+# ---------------------------------------------------------------------------
+
+def _table(rows: list[tuple[str, ...]], header: tuple[str, ...]) -> str:
+    widths = [
+        max(len(str(r[i])) for r in [header, *rows]) for i in range(len(header))
+    ]
+    def fmt(row: tuple[str, ...]) -> str:
+        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths)).rstrip()
+    rule = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(header), rule, *(fmt(r) for r in rows)])
+
+
+def render_console(
+    registry: MetricsRegistry,
+    tracer: SpanTracer | None = None,
+    *,
+    title: str = "observability report",
+) -> str:
+    """Human-readable report: metric table plus a span roll-up."""
+    out = [f"== {title} =="]
+    rows: list[tuple[str, ...]] = []
+    for m in registry.metrics():
+        if isinstance(m, Histogram):
+            if m.count:
+                detail = (
+                    f"mean={m.mean:.4g} min={m.min:.4g} "
+                    f"p50={m.quantile(0.5):.4g} p99={m.quantile(0.99):.4g} "
+                    f"max={m.max:.4g}"
+                )
+            else:
+                detail = "(empty)"
+            rows.append((m.name, "histogram", str(m.count), detail))
+        else:
+            value = m.value
+            text = f"{value:.6g}" if isinstance(value, float) else str(value)
+            rows.append((m.name, type(m).__name__.lower(), text, ""))
+    if rows:
+        out.append(_table(rows, ("metric", "type", "value", "detail")))
+    else:
+        out.append("(no metrics recorded)")
+    if tracer is not None and len(tracer):
+        agg: dict[str, tuple[int, float, float]] = {}
+        for s in tracer.spans:
+            if s.wall_s is None:
+                continue
+            n, wall, sim = agg.get(s.name, (0, 0.0, 0.0))
+            agg[s.name] = (n + 1, wall + s.wall_s, sim + (s.sim_s or 0.0))
+        span_rows = [
+            (name, str(n), f"{wall:.6g}", f"{sim:.6g}")
+            for name, (n, wall, sim) in sorted(agg.items())
+        ]
+        out.append("")
+        out.append(_table(span_rows, ("span", "count", "wall_s", "sim_s")))
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Benchmark JSON (BENCH_*.json)
+# ---------------------------------------------------------------------------
+
+def export_bench_json(
+    path: str | Path,
+    name: str,
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    meta: Mapping[str, Any] | None = None,
+    registry: MetricsRegistry | None = None,
+) -> Path:
+    """Write a machine-readable benchmark result document.
+
+    ``rows`` is the benchmark's own table (one dict per configuration);
+    ``registry`` optionally embeds the full metric snapshot of the
+    measured run so perf dashboards can drill past the headline rows.
+    """
+    path = Path(path)
+    doc = {
+        "format_version": FORMAT_VERSION,
+        "bench": name,
+        "t_wall": time.time(),
+        "meta": dict(meta or {}),
+        "rows": [dict(r) for r in rows],
+    }
+    if registry is not None:
+        doc["metrics"] = registry.snapshot()
+    path.write_text(json.dumps(doc, indent=1, default=_fallback) + "\n")
+    return path
+
+
+def load_bench_json(path: str | Path) -> dict[str, Any]:
+    doc = json.loads(Path(path).read_text())
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"{path}: unsupported format_version {version!r}")
+    return doc
+
+
+def _fallback(obj: Any) -> Any:
+    # Last-resort serialization for odd attr payloads (mirrors
+    # analysis.export).
+    return repr(obj)
+
+
+__all__ = [
+    "jsonl_events",
+    "export_jsonl",
+    "read_jsonl",
+    "registry_from_jsonl",
+    "csv_rows",
+    "export_csv",
+    "render_console",
+    "export_bench_json",
+    "load_bench_json",
+    "FORMAT_VERSION",
+]

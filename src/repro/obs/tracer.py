@@ -1,0 +1,140 @@
+"""Sim-time-aware span tracing with dual timestamps.
+
+Every :class:`Span` carries **two time axes**, per the DESIGN.md
+two-plane rule: the *simulation* axis (``t_sim_start``/``t_sim_end``,
+seconds of model time) and the *wall* axis (``t_wall_start`` epoch
+seconds plus a high-resolution ``wall_s`` duration from
+``perf_counter``).  Keeping both first-class is the point: a span can
+be instantaneous in sim time (all work inside one event callback) yet
+expensive on the wall, and vice versa — conflating the axes is exactly
+the modelling error the source paper warns against.
+
+Usage::
+
+    tracer = SpanTracer(sim)          # sim optional
+    with tracer.span("deliver", t=sim.now, kind="strobe"):
+        ...                            # nested spans record depth/parent
+
+Spans never schedule events, read RNG streams, or advance the
+simulation — tracing cannot perturb a run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass(slots=True)
+class Span:
+    """One finished (or in-flight) traced region."""
+
+    name: str
+    index: int                      # creation order, unique per tracer
+    parent: int                     # index of enclosing span, -1 at root
+    depth: int                      # nesting depth, 0 at root
+    t_sim_start: float
+    t_wall_start: float             # epoch seconds (time.time)
+    t_sim_end: float | None = None
+    wall_s: float | None = None     # high-resolution duration (perf_counter)
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def sim_s(self) -> float | None:
+        """Simulated duration (None while the span is open)."""
+        if self.t_sim_end is None:
+            return None
+        return self.t_sim_end - self.t_sim_start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "index": self.index,
+            "parent": self.parent,
+            "depth": self.depth,
+            "t_sim": self.t_sim_start,
+            "t_wall": self.t_wall_start,
+            "sim_s": self.sim_s,
+            "wall_s": self.wall_s,
+            "attrs": self.attrs,
+        }
+
+
+class SpanTracer:
+    """Collects nested spans; optionally reads sim time automatically.
+
+    Parameters
+    ----------
+    sim:
+        If given, ``span(...)`` defaults its sim stamps to ``sim.now``
+        at entry and exit; otherwise pass ``t=`` explicitly (exit reuses
+        the entry stamp when no simulator is attached).
+    """
+
+    def __init__(self, sim: "Simulator | None" = None) -> None:
+        self._sim = sim
+        self.spans: list[Span] = []
+        self._stack: list[int] = []
+
+    # ------------------------------------------------------------------
+    def _sim_now(self, fallback: float) -> float:
+        return self._sim.now if self._sim is not None else fallback
+
+    @contextmanager
+    def span(
+        self, name: str, *, t: float | None = None, **attrs: Any
+    ) -> Iterator[Span]:
+        """Open a traced region.  ``t`` overrides the entry sim stamp."""
+        t_sim = float(t) if t is not None else self._sim_now(0.0)
+        sp = Span(
+            name=name,
+            index=len(self.spans),
+            parent=self._stack[-1] if self._stack else -1,
+            depth=len(self._stack),
+            t_sim_start=t_sim,
+            t_wall_start=time.time(),
+            attrs=dict(attrs),
+        )
+        self.spans.append(sp)
+        self._stack.append(sp.index)
+        t0 = time.perf_counter()
+        try:
+            yield sp
+        finally:
+            sp.wall_s = time.perf_counter() - t0
+            sp.t_sim_end = self._sim_now(t_sim)
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    def named(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent == span.index]
+
+    def total_wall_s(self, name: str) -> float:
+        """Summed wall duration of all finished spans with ``name``."""
+        return sum(s.wall_s for s in self.named(name) if s.wall_s is not None)
+
+    def clear(self) -> None:
+        if self._stack:
+            raise RuntimeError("cannot clear tracer with open spans")
+        self.spans.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanTracer({len(self.spans)} spans, {self.open_spans} open)"
+
+
+__all__ = ["SpanTracer", "Span"]

@@ -19,7 +19,11 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import MetricsRegistry
 
 
 class SimulationError(RuntimeError):
@@ -53,10 +57,14 @@ class ScheduledEvent:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     _cancelled: bool = field(default=False, compare=False)
+    _owner: "Simulator | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            if self._owner is not None:
+                self._owner._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -81,14 +89,25 @@ class Simulator:
     [1.5]
     """
 
+    #: Compaction trigger: rebuild the heap once at least this many
+    #: cancelled entries are buried in it *and* they are the majority.
+    COMPACT_THRESHOLD = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: list[ScheduledEvent] = []
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        self._dead = 0            # cancelled entries still in the heap
+        self._compactions = 0
         #: Hooks invoked after every fired event; used by trace recorders.
         self._post_hooks: list[Callable[[ScheduledEvent], None]] = []
+        # Observability handles (None = no-op fast path).
+        self._m_fired = None
+        self._m_heap = None
+        self._m_cb_wall = None
+        self._obs_registry = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -114,6 +133,17 @@ class Simulator:
         """Number of live (non-cancelled) entries still queued."""
         return sum(1 for ev in self._heap if not ev.cancelled)
 
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, dead entries included (compaction keeps
+        this within COMPACT_THRESHOLD + 2x the live count)."""
+        return len(self._heap)
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compaction passes performed so far."""
+        return self._compactions
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -136,7 +166,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={t} (< now={self._now}): {label!r}"
             )
-        ev = ScheduledEvent(t, priority, next(self._seq), callback, label)
+        ev = ScheduledEvent(t, priority, next(self._seq), callback, label, _owner=self)
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -159,6 +189,36 @@ class Simulator:
         """Register a hook called after every fired event (tracing)."""
         self._post_hooks.append(hook)
 
+    def bind_obs(self, registry: "MetricsRegistry") -> None:
+        """Attach kernel metrics (events fired, heap depth, callback
+        wall time).  Unbound, the run loop pays one ``is None`` test
+        per event — the no-op fast path."""
+        self._m_fired = registry.counter("kernel.events_fired")
+        self._m_heap = registry.gauge("kernel.heap_depth")
+        self._m_cb_wall = registry.histogram("kernel.callback_wall_s")
+        registry.counter("kernel.compactions")
+        self._obs_registry = registry
+
+    # ------------------------------------------------------------------
+    # Heap hygiene
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        # Called by ScheduledEvent.cancel().  Compact once cancelled
+        # entries are both numerous and the majority of the heap, so
+        # long runs that churn timers (MAC wake/sleep, watchdogs) keep
+        # O(live) memory instead of growing unboundedly.
+        self._dead += 1
+        if self._dead >= self.COMPACT_THRESHOLD and self._dead * 2 >= len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [ev for ev in self._heap if not ev.cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
+        self._compactions += 1
+        if self._m_fired is not None:
+            self._obs_registry.counter("kernel.compactions").inc()
+
     # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
@@ -167,7 +227,22 @@ class Simulator:
             ev = heapq.heappop(self._heap)
             if not ev.cancelled:
                 return ev
+            if self._dead > 0:
+                self._dead -= 1
         return None
+
+    def _fire(self, ev: ScheduledEvent) -> None:
+        # Shared firing path for step()/run(); the None test is the
+        # instrumentation no-op fast path.
+        if self._m_fired is None:
+            ev.callback()
+        else:
+            t0 = perf_counter()
+            ev.callback()
+            self._m_cb_wall.observe(perf_counter() - t0)
+            self._m_fired.inc()
+            self._m_heap.set(len(self._heap))
+        self._processed += 1
 
     def step(self) -> bool:
         """Fire the single next event.  Returns False if queue is empty."""
@@ -175,8 +250,7 @@ class Simulator:
         if ev is None:
             return False
         self._now = ev.time
-        ev.callback()
-        self._processed += 1
+        self._fire(ev)
         for hook in self._post_hooks:
             hook(ev)
         return True
@@ -207,7 +281,14 @@ class Simulator:
                     self._now = float(until)
                     return
                 self._now = ev.time
-                ev.callback()
+                if self._m_fired is None:
+                    ev.callback()
+                else:
+                    t0 = perf_counter()
+                    ev.callback()
+                    self._m_cb_wall.observe(perf_counter() - t0)
+                    self._m_fired.inc()
+                    self._m_heap.set(len(self._heap))
                 self._processed += 1
                 fired += 1
                 for hook in self._post_hooks:

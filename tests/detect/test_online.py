@@ -67,6 +67,7 @@ def test_waits_for_stability(rec):
     assert probe == [0, 1]
 
 
+@pytest.mark.slow
 def test_matches_offline_on_scenario():
     """End-to-end: online output ≡ offline output on the same traffic
     (no loss, strobe-per-event — the stability assumption holds)."""
@@ -92,6 +93,7 @@ def test_matches_offline_on_scenario():
     assert online.late_records == 0
 
 
+@pytest.mark.slow
 def test_latencies_bounded_on_scenario():
     cfg = ExhibitionHallConfig(
         doors=3, capacity=8, arrival_rate=2.0, mean_dwell=3.0, seed=6,
@@ -113,6 +115,7 @@ def test_latencies_bounded_on_scenario():
     assert max(lats) <= 0.2 + 0.4 + 0.05 + 1e-6
 
 
+@pytest.mark.slow
 def test_loss_yields_late_records_not_crash():
     cfg = ExhibitionHallConfig(
         doors=3, capacity=8, arrival_rate=3.0, mean_dwell=3.0, seed=7,

@@ -12,6 +12,8 @@ from repro.detect.strobe_vector import VectorStrobeDetector
 from repro.net.delay import DeltaBoundedDelay, SynchronousDelay
 from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
 
+pytestmark = pytest.mark.slow
+
 
 def run_hall(delay, seed=0, duration=120.0, doors=3, capacity=8,
              arrival_rate=2.0, mean_dwell=4.0):

@@ -1,0 +1,85 @@
+"""Instrumentation must be a pure observer.
+
+The determinism contract: attaching a registry, tracer, and sampler to
+a run changes **nothing** about the simulation — the record stream
+(values, stamps, ordering), the detections, and the final sim time are
+bit-identical to an uninstrumented run with the same seed.  This is
+why every hook guards on ``is None`` and the sampler rides the
+kernel's post-event hook instead of scheduling events.
+"""
+
+from repro.detect.online import OnlineVectorStrobeDetector
+from repro.net.delay import DeltaBoundedDelay
+from repro.obs import MetricsRegistry, Observability, SpanTracer, instrument_system
+from repro.scenarios.smart_office import SmartOffice, SmartOfficeConfig
+
+DELTA = 0.2
+DURATION = 60.0
+SEED = 11
+
+
+def run_office(instrument: bool):
+    office = SmartOffice(SmartOfficeConfig(
+        seed=SEED, delay=DeltaBoundedDelay(DELTA),
+        temp_threshold=28.0, temp_base=27.5, temp_sigma=1.5,
+    ))
+    obs = None
+    if instrument:
+        obs = Observability(tracer=SpanTracer(office.system.sim))
+        instrument_system(office.system, obs, sample_every=100)
+    detector = OnlineVectorStrobeDetector(
+        office.system.sim, office.predicate, office.initials, delta=DELTA,
+    )
+    if instrument:
+        detector.bind_obs(obs.registry)
+    office.attach_detector(detector)
+    detector.start()
+    office.run(DURATION)
+    detections = detector.finalize()
+    return office, detector, detections, obs
+
+
+def test_instrumentation_does_not_perturb_the_run():
+    office_a, det_a, detections_a, _ = run_office(instrument=False)
+    office_b, det_b, detections_b, obs = run_office(instrument=True)
+
+    # Identical record streams: same values, same stamps, same order.
+    assert det_a.store.all() == det_b.store.all()
+    assert detections_a == detections_b
+    assert office_a.system.sim.now == office_b.system.sim.now
+    assert office_a.system.sim.processed_events == office_b.system.sim.processed_events
+    assert office_a.system.net.stats.sent == office_b.system.net.stats.sent
+
+    # ...while the instrumented run actually recorded something.
+    reg = obs.registry
+    assert reg.get("kernel.events_fired").value == office_b.system.sim.processed_events
+    assert reg.get("net.sent").value == office_b.system.net.stats.sent
+    assert reg.get("net.delivered").value == office_b.system.net.stats.delivered
+    assert reg.get("detect.records").value == len(det_b.store.all())
+    assert len(reg.samples) > 0
+
+
+def test_obs_counters_agree_with_transport_accounting():
+    _, _, _, obs = run_office(instrument=True)
+    reg = obs.registry
+    # Conservation: every sent message was delivered, dropped, or still
+    # in flight at the run horizon (delivery within Δ of the cutoff).
+    sent = reg.get("net.sent").value
+    delivered = reg.get("net.delivered").value
+    dropped = (reg.get("net.dropped_loss").value
+               + reg.get("net.dropped_partition").value)
+    in_flight = sent - delivered - dropped
+    assert 0 <= in_flight <= 4
+    # The delay histogram is observed at dispatch (when the delivery is
+    # scheduled), so it covers every non-dropped send — including any
+    # still in flight at the horizon.
+    assert reg.get("net.delay_s").count == sent - dropped
+
+
+def test_bare_registry_is_accepted_by_instrument_system():
+    office = SmartOffice(SmartOfficeConfig(seed=3))
+    reg = MetricsRegistry()
+    obs = instrument_system(office.system, reg)
+    assert obs.registry is reg
+    office.run(20.0)
+    assert reg.get("kernel.events_fired").value > 0

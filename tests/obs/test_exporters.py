@@ -1,0 +1,126 @@
+"""Exporter round-trip tests (JSONL, CSV, console, BENCH json)."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    CSV_HEADER,
+    FORMAT_VERSION,
+    csv_rows,
+    export_bench_json,
+    export_csv,
+    export_jsonl,
+    jsonl_events,
+    load_bench_json,
+    read_jsonl,
+    registry_from_jsonl,
+    render_console,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import SpanTracer
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("net.sent").inc(12)
+    reg.gauge("detect.backlog").set(3.0)
+    h = reg.histogram("net.delay_s", buckets=[0.01, 0.1, 1.0])
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v)
+    reg.sample(10.0, 100.0)
+    reg.counter("net.sent").inc(8)
+    reg.sample(20.0, 200.0)
+    return reg
+
+
+def test_jsonl_events_stream_shape():
+    reg = populated_registry()
+    tracer = SpanTracer()
+    with tracer.span("run", t=0.0):
+        pass
+    events = jsonl_events(reg, tracer, meta={"scenario": "unit"}, t_sim=20.0)
+    assert events[0]["kind"] == "meta"
+    assert events[0]["format_version"] == FORMAT_VERSION
+    assert events[0]["meta"] == {"scenario": "unit"}
+    kinds = {ev["kind"] for ev in events}
+    assert kinds == {"meta", "sample", "metric", "span"}
+    # The dual-stamp contract: every metric/sample line has both axes.
+    for ev in events:
+        if ev["kind"] in ("metric", "sample"):
+            assert "t_sim" in ev and "t_wall" in ev
+
+
+def test_jsonl_round_trip_rebuilds_registry(tmp_path):
+    reg = populated_registry()
+    path = export_jsonl(tmp_path / "run.jsonl", reg, meta={"seed": 1}, t_sim=20.0)
+    events = read_jsonl(path)
+    rebuilt = registry_from_jsonl(events)
+    assert rebuilt.snapshot() == reg.snapshot()
+    assert rebuilt.samples == reg.samples
+
+
+def test_read_jsonl_rejects_foreign_files(tmp_path):
+    bad = tmp_path / "x.jsonl"
+    bad.write_text(json.dumps({"kind": "metric"}) + "\n")
+    with pytest.raises(ValueError):
+        read_jsonl(bad)
+    worse = tmp_path / "y.jsonl"
+    worse.write_text(json.dumps({"kind": "meta", "format_version": 99}) + "\n")
+    with pytest.raises(ValueError):
+        read_jsonl(worse)
+
+
+def test_csv_summary_has_header_and_one_row_per_metric(tmp_path):
+    reg = populated_registry()
+    rows = csv_rows(reg)
+    assert rows[0] == CSV_HEADER
+    assert len(rows) == 1 + len(reg)
+    by_name = {r.split(",")[0]: r for r in rows[1:]}
+    assert by_name["net.sent"].split(",")[1:3] == ["counter", "20"]
+    hist = by_name["net.delay_s"].split(",")
+    assert hist[1] == "histogram"
+    assert int(hist[3]) == 4
+
+    path = export_csv(tmp_path / "run.csv", reg)
+    assert path.read_text().splitlines() == rows
+
+
+def test_console_report_mentions_every_metric_and_span():
+    reg = populated_registry()
+    tracer = SpanTracer()
+    with tracer.span("scenario.run", t=0.0):
+        pass
+    text = render_console(reg, tracer, title="unit")
+    assert "== unit ==" in text
+    for name in reg.names():
+        assert name in text
+    assert "scenario.run" in text
+    assert "p99" in text        # histogram detail column
+
+
+def test_console_report_handles_empty_registry():
+    text = render_console(MetricsRegistry())
+    assert "no metrics" in text
+
+
+def test_bench_json_round_trip(tmp_path):
+    reg = populated_registry()
+    rows = [{"option": "a", "wall_s": 0.5}, {"option": "b", "wall_s": 0.25}]
+    path = export_bench_json(
+        tmp_path / "BENCH_unit.json", "unit", rows,
+        meta={"n": 4}, registry=reg,
+    )
+    doc = load_bench_json(path)
+    assert doc["bench"] == "unit"
+    assert doc["meta"] == {"n": 4}
+    assert doc["rows"] == rows
+    assert doc["metrics"] == json.loads(json.dumps(reg.snapshot()))
+    assert doc["t_wall"] > 0
+
+
+def test_load_bench_json_rejects_unknown_version(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps({"format_version": 99, "bench": "x"}))
+    with pytest.raises(ValueError):
+        load_bench_json(p)

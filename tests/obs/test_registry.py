@@ -1,0 +1,221 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    restore_snapshot,
+)
+
+
+# ---------------------------------------------------------------------------
+# Counter
+# ---------------------------------------------------------------------------
+
+def test_counter_starts_at_zero_and_accumulates():
+    c = Counter("x")
+    assert c.value == 0
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+
+
+def test_counter_rejects_negative_increment():
+    c = Counter("x")
+    with pytest.raises(MetricError):
+        c.inc(-1)
+    assert c.value == 0
+
+
+# ---------------------------------------------------------------------------
+# Gauge
+# ---------------------------------------------------------------------------
+
+def test_gauge_moves_both_directions():
+    g = Gauge("depth")
+    g.set(10.0)
+    g.inc(2.5)
+    g.dec(5.0)
+    assert g.value == 7.5
+
+
+# ---------------------------------------------------------------------------
+# Histogram
+# ---------------------------------------------------------------------------
+
+def test_histogram_bucket_boundaries_are_inclusive_upper_bounds():
+    h = Histogram("h", buckets=[1.0, 2.0, 4.0])
+    # <= semantics: a value exactly on a bound lands in that bound's bucket.
+    h.observe(1.0)
+    h.observe(2.0)
+    h.observe(4.0)
+    assert h.counts == [1, 1, 1, 0]
+    # Just past the last bound -> overflow bucket.
+    h.observe(4.0001)
+    assert h.counts == [1, 1, 1, 1]
+    # Below the first bound -> first bucket.
+    h.observe(0.1)
+    assert h.counts == [2, 1, 1, 1]
+
+
+def test_histogram_tracks_exact_sum_count_min_max():
+    h = Histogram("h", buckets=[1.0, 10.0])
+    for v in (0.5, 3.0, 20.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.sum == pytest.approx(23.5)
+    assert h.min == 0.5
+    assert h.max == 20.0
+    assert h.mean == pytest.approx(23.5 / 3)
+
+
+def test_histogram_quantile_reports_bucket_upper_bound():
+    h = Histogram("h", buckets=[1.0, 2.0, 4.0])
+    for v in (0.5, 0.6, 1.5, 3.0):
+        h.observe(v)
+    assert h.quantile(0.5) == 1.0       # 2 of 4 in the first bucket
+    assert h.quantile(1.0) == 3.0       # bucket bound 4.0 clamped to max
+    # Overflow values report the observed max.
+    h.observe(100.0)
+    assert h.quantile(1.0) == 100.0
+    with pytest.raises(MetricError):
+        h.quantile(1.5)
+
+
+def test_histogram_quantile_never_exceeds_observed_max():
+    h = Histogram("h", buckets=[1.0, 10.0])
+    h.observe(0.3)
+    assert h.quantile(0.5) == 0.3
+    assert h.quantile(0.99) == 0.3
+
+
+def test_histogram_empty_edge_cases():
+    h = Histogram("h", buckets=[1.0])
+    assert h.mean == 0.0
+    assert h.quantile(0.5) == 0.0
+    snap = h.snapshot()
+    assert snap["min"] is None and snap["max"] is None
+
+
+def test_histogram_validates_bounds():
+    with pytest.raises(MetricError):
+        Histogram("h", buckets=[])
+    with pytest.raises(MetricError):
+        Histogram("h", buckets=[2.0, 1.0])
+    with pytest.raises(MetricError):
+        Histogram("h", buckets=[1.0, 1.0])
+
+
+def test_default_buckets_span_microseconds_to_seconds():
+    assert DEFAULT_BUCKETS[0] == pytest.approx(1e-6)
+    assert DEFAULT_BUCKETS[-1] > 1.0
+    assert all(b2 > b1 for b1, b2 in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:]))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_registry_create_or_return_shares_instruments():
+    reg = MetricsRegistry()
+    c1 = reg.counter("net.sent")
+    c2 = reg.counter("net.sent")
+    assert c1 is c2
+    c1.inc()
+    assert reg.counter("net.sent").value == 1
+    assert "net.sent" in reg
+    assert len(reg) == 1
+
+
+def test_registry_type_clash_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(MetricError):
+        reg.gauge("x")
+    with pytest.raises(MetricError):
+        reg.histogram("x")
+
+
+def test_registry_histogram_bucket_clash_raises():
+    reg = MetricsRegistry()
+    reg.histogram("h", buckets=[1.0, 2.0])
+    assert reg.histogram("h", buckets=[1.0, 2.0]) is reg.get("h")
+    with pytest.raises(MetricError):
+        reg.histogram("h", buckets=[1.0, 3.0])
+
+
+def test_registry_scalar_values_uses_histogram_count():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(3)
+    reg.gauge("g").set(-1.5)
+    h = reg.histogram("h", buckets=[1.0])
+    h.observe(0.5)
+    h.observe(0.7)
+    assert reg.scalar_values() == {"c": 3, "g": -1.5, "h": 2}
+
+
+def test_registry_sample_appends_dual_stamped_points():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.sample(10.0, 1000.0)
+    reg.counter("c").inc()
+    reg.sample(20.0, 2000.0)
+    assert reg.samples == [
+        (10.0, 1000.0, {"c": 1}),
+        (20.0, 2000.0, {"c": 2}),
+    ]
+
+
+def test_registry_sample_defaults_wall_stamp():
+    reg = MetricsRegistry()
+    reg.sample(1.0)
+    (_, t_wall, _), = reg.samples
+    assert t_wall > 0
+
+
+def test_snapshot_restore_round_trip():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(7)
+    reg.gauge("g").set(3.25)
+    h = reg.histogram("h", buckets=[1.0, 2.0])
+    for v in (0.5, 1.5, 9.0):
+        h.observe(v)
+    reg.histogram("empty", buckets=[1.0])
+
+    restored = restore_snapshot(reg.snapshot())
+    assert restored.snapshot() == reg.snapshot()
+    # The restored empty histogram keeps working sentinels.
+    e = restored.get("empty")
+    assert e.min == math.inf and e.max == -math.inf
+
+
+def test_restore_snapshot_rejects_unknown_type():
+    with pytest.raises(MetricError):
+        restore_snapshot({"x": {"type": "summary", "value": 1}})
+
+
+def test_merge_sums_counters_and_histograms():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("c").inc(2)
+    b.counter("c").inc(3)
+    b.gauge("g").set(9.0)
+    ha = a.histogram("h", buckets=[1.0, 2.0])
+    hb = b.histogram("h", buckets=[1.0, 2.0])
+    ha.observe(0.5)
+    hb.observe(1.5)
+    hb.observe(10.0)
+
+    a.merge(b)
+    assert a.counter("c").value == 5
+    assert a.gauge("g").value == 9.0
+    h = a.get("h")
+    assert h.count == 3
+    assert h.counts == [1, 1, 1]
+    assert h.min == 0.5 and h.max == 10.0

@@ -1,0 +1,98 @@
+"""Unit tests for the sim-time-aware span tracer."""
+
+import pytest
+
+from repro.obs.tracer import SpanTracer
+from repro.sim.kernel import Simulator
+
+
+def test_span_records_wall_duration_and_attrs():
+    tracer = SpanTracer()
+    with tracer.span("work", t=5.0, kind="unit") as sp:
+        pass
+    assert sp.name == "work"
+    assert sp.t_sim_start == 5.0
+    assert sp.t_sim_end == 5.0          # no simulator: exit reuses entry stamp
+    assert sp.sim_s == 0.0
+    assert sp.wall_s is not None and sp.wall_s >= 0.0
+    assert sp.t_wall_start > 0
+    assert sp.attrs == {"kind": "unit"}
+
+
+def test_nesting_tracks_depth_and_parent():
+    tracer = SpanTracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("mid") as mid:
+            with tracer.span("inner") as inner:
+                assert tracer.open_spans == 3
+        with tracer.span("mid2") as mid2:
+            pass
+    assert (outer.depth, outer.parent) == (0, -1)
+    assert (mid.depth, mid.parent) == (1, outer.index)
+    assert (inner.depth, inner.parent) == (2, mid.index)
+    assert (mid2.depth, mid2.parent) == (1, outer.index)
+    assert tracer.open_spans == 0
+    assert [s.index for s in tracer.spans] == [0, 1, 2, 3]
+    assert tracer.children(outer) == [mid, mid2]
+
+
+def test_sim_attached_tracer_stamps_sim_time():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+    spans = []
+
+    def work():
+        with tracer.span("cb") as sp:
+            spans.append(sp)
+
+    sim.schedule_at(2.5, work)
+    sim.schedule_at(7.0, work)
+    with tracer.span("run") as run_span:
+        sim.run()
+    assert [s.t_sim_start for s in spans] == [2.5, 7.0]
+    assert [s.sim_s for s in spans] == [0.0, 0.0]
+    # The enclosing span saw the whole simulated interval.
+    assert run_span.t_sim_start == 0.0
+    assert run_span.t_sim_end == 7.0
+    assert run_span.sim_s == 7.0
+
+
+def test_span_still_closes_on_exception():
+    tracer = SpanTracer()
+    with pytest.raises(ValueError):
+        with tracer.span("boom"):
+            raise ValueError
+    assert tracer.open_spans == 0
+    assert tracer.spans[0].wall_s is not None
+
+
+def test_named_and_total_wall_s():
+    tracer = SpanTracer()
+    for _ in range(3):
+        with tracer.span("step"):
+            pass
+    with tracer.span("other"):
+        pass
+    assert len(tracer.named("step")) == 3
+    assert tracer.total_wall_s("step") >= 0.0
+    assert len(tracer) == 4
+
+
+def test_clear_refuses_with_open_spans():
+    tracer = SpanTracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("open"):
+            tracer.clear()
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_to_dict_carries_both_time_axes():
+    tracer = SpanTracer()
+    with tracer.span("s", t=1.0):
+        pass
+    d = tracer.spans[0].to_dict()
+    assert d["t_sim"] == 1.0
+    assert d["t_wall"] > 0
+    assert d["wall_s"] is not None
+    assert d["sim_s"] == 0.0

@@ -189,6 +189,62 @@ def test_drain_yields_live_events_without_firing():
     assert sim.pending_events == 0
 
 
+def test_heap_compaction_bounds_cancelled_garbage():
+    """Cancelling many events must not grow the heap without bound:
+    once dead entries dominate, the kernel compacts in place."""
+    sim = Simulator()
+    keep = sim.schedule_at(1000.0, lambda: None)
+    for i in range(10 * Simulator.COMPACT_THRESHOLD):
+        ev = sim.schedule_at(1.0 + i * 1e-6, lambda: None)
+        ev.cancel()
+        # The heap never holds more than ~2x the threshold of garbage.
+        assert sim.heap_size <= 2 * Simulator.COMPACT_THRESHOLD + 2
+    assert sim.compactions > 0
+    assert sim.pending_events == 1
+    assert not keep.cancelled
+
+
+def test_compaction_preserves_firing_order():
+    sim = Simulator()
+    order = []
+    live = []
+    # Interleave live events with waves of cancelled ones so compaction
+    # triggers mid-build, then check FIFO/time order is untouched.
+    for i in range(200):
+        live.append(sim.schedule_at(10.0 + (i % 7), lambda i=i: order.append(i)))
+        for _ in range(3):
+            sim.schedule_at(5.0, lambda: order.append(-1)).cancel()
+    assert sim.compactions > 0
+    sim.run()
+    assert -1 not in order
+    expected = sorted(range(200), key=lambda i: (10.0 + (i % 7), i))
+    assert order == expected
+
+
+def test_compaction_skips_when_live_events_dominate():
+    sim = Simulator()
+    for i in range(10 * Simulator.COMPACT_THRESHOLD):
+        sim.schedule_at(1.0 + i, lambda: None)
+    # Fewer dead than live: threshold count alone must not trigger.
+    for _ in range(Simulator.COMPACT_THRESHOLD + 5):
+        sim.schedule_at(0.5, lambda: None).cancel()
+    assert sim.compactions == 0
+    sim.run()
+    assert sim.compactions == 0
+
+
+def test_pop_live_accounts_dead_entries():
+    sim = Simulator()
+    # Cancelled events below the compaction threshold are discarded
+    # lazily by the run loop; the dead-counter must follow them out.
+    for _ in range(10):
+        sim.schedule_at(1.0, lambda: None).cancel()
+    sim.schedule_at(2.0, lambda: None)
+    sim.run()
+    assert sim._dead == 0
+    assert sim.heap_size == 0
+
+
 def test_reentrant_run_raises():
     sim = Simulator()
     def reenter():

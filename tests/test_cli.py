@@ -58,6 +58,50 @@ def test_unknown_detector_rejected():
         main(["hall", "--detectors", "quantum"])
 
 
+def test_obs_run_console(capsys):
+    rc = main(["obs", "run", "smart_office", "--duration", "30"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "kernel.events_fired" in out
+    assert "net.sent" in out
+    assert "scenario.run" in out
+
+
+def test_obs_run_jsonl_has_all_metric_families(tmp_path, capsys):
+    from repro.obs.exporters import read_jsonl, registry_from_jsonl
+
+    out_path = tmp_path / "obs.jsonl"
+    rc = main(["obs", "run", "smart_office", "--duration", "40",
+               "--export", "jsonl", "--out", str(out_path)])
+    assert rc == 0
+    events = read_jsonl(out_path)
+    assert events[0]["meta"]["scenario"] == "smart_office"
+    names = {ev["name"] for ev in events if ev["kind"] == "metric"}
+    for family in ("kernel.", "net.", "clock.", "detect."):
+        assert any(n.startswith(family) for n in names), family
+    # Dual stamps on every metric and sample line.
+    for ev in events:
+        if ev["kind"] in ("metric", "sample"):
+            assert "t_sim" in ev and "t_wall" in ev
+    reg = registry_from_jsonl(events)
+    assert reg.get("kernel.events_fired").value > 0
+
+
+def test_obs_run_csv(tmp_path, capsys):
+    out_path = tmp_path / "obs.csv"
+    rc = main(["obs", "run", "hall", "--duration", "30",
+               "--export", "csv", "--out", str(out_path)])
+    assert rc == 0
+    lines = out_path.read_text().splitlines()
+    assert lines[0].startswith("name,type,")
+    assert any(line.startswith("net.sent,counter,") for line in lines)
+
+
+def test_obs_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["obs", "run", "atlantis"])
+
+
 def test_hall_export_bundle(tmp_path, capsys):
     from repro.analysis.export import load_run
     out_path = tmp_path / "run.json"
