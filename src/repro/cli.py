@@ -12,11 +12,13 @@ Subcommands::
     habitat   duty-cycled wildlife monitoring
     clocks    stamp one execution under all four clock families
     obs       run any scenario fully instrumented and export the report
+    lint      determinism & causality static analysis (repro.lint)
 
 Examples::
 
     python -m repro hall --doors 4 --delta 0.3 --duration 120 --seed 1
     python -m repro obs run smart_office --export jsonl
+    python -m repro lint src --json
 """
 
 from __future__ import annotations
@@ -315,6 +317,34 @@ def cmd_obs_run(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+
+def cmd_lint(args) -> int:
+    """Run the determinism/causality analyzer over files or trees.
+
+    Exit codes: 0 clean, 1 findings, 2 usage error.
+    """
+    from repro.lint import RULES, LintUsageError, lint_paths
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id].title}")
+        return 0
+    select = None
+    if args.select:
+        select = [s for chunk in args.select for s in chunk.split(",") if s]
+    try:
+        report = lint_paths(args.paths, select=select)
+    except LintUsageError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_json() if args.json else report.render_text())
+    return 0 if report.clean else 1
+
+
+# ---------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -379,6 +409,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-lattice", type=int, default=50_000,
                    help="state cap for the lattice modal query")
     p.set_defaults(fn=cmd_obs_run)
+
+    p = sub.add_parser(
+        "lint", help="determinism & causality static analysis (repro.lint)"
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report (schema: docs/static_analysis.md)")
+    p.add_argument("--select", action="append", metavar="RULES", default=None,
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(fn=cmd_lint)
 
     return parser
 

@@ -28,11 +28,16 @@ encodes and the tests assert:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.clocks.base import ClockError, StrobeClock, validate_pid
 from repro.clocks.scalar import ScalarTimestamp
 from repro.clocks.vector import VectorTimestamp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 
 #: Buckets for the catch-up (skew) histograms: how many ticks a merge
 #: advanced the local clock by — powers of two up to 2^10.
@@ -47,13 +52,13 @@ class _StrobeObsMixin:
     unbound hot path costs one ``is None`` test per protocol rule.
     """
 
-    _m_emitted = None
-    _m_merged = None
-    _m_payload = None
-    _m_catchup = None
-    _m_skew = None
+    _m_emitted: "Counter | None" = None
+    _m_merged: "Counter | None" = None
+    _m_payload: "Counter | None" = None
+    _m_catchup: "Histogram | None" = None
+    _m_skew: "Gauge | None" = None
 
-    def bind_obs(self, registry) -> None:
+    def bind_obs(self, registry: "MetricsRegistry") -> None:
         self._m_emitted = registry.counter("clock.strobe.emitted")
         self._m_merged = registry.counter("clock.strobe.merged")
         self._m_payload = registry.counter("clock.strobe.payload_units")
@@ -105,6 +110,7 @@ class StrobeVectorClock(_StrobeObsMixin, StrobeClock[VectorTimestamp]):
         self._v[self._pid] += 1
         self._relevant_events += 1
         if self._m_emitted is not None:
+            assert self._m_payload is not None
             self._m_emitted.inc()
             self._m_payload.inc(self._n)
         return self.read()
@@ -114,6 +120,7 @@ class StrobeVectorClock(_StrobeObsMixin, StrobeClock[VectorTimestamp]):
         if strobe.n != self._n:
             raise ClockError(f"strobe width mismatch: {self._n} vs {strobe.n}")
         if self._m_merged is not None:
+            assert self._m_catchup is not None and self._m_skew is not None
             # Catch-up: total ticks this merge advances the local view by.
             gain = int(np.maximum(strobe.as_array() - self._v, 0).sum())
             self._m_catchup.observe(gain)
@@ -169,6 +176,7 @@ class StrobeScalarClock(_StrobeObsMixin, StrobeClock[ScalarTimestamp]):
         self._value += 1
         self._relevant_events += 1
         if self._m_emitted is not None:
+            assert self._m_payload is not None
             self._m_emitted.inc()
             self._m_payload.inc(1)
         return self.read()
@@ -176,6 +184,7 @@ class StrobeScalarClock(_StrobeObsMixin, StrobeClock[ScalarTimestamp]):
     def on_strobe(self, strobe: ScalarTimestamp) -> ScalarTimestamp:
         """SSC2: ``C = max(C, T)``; **no** local tick."""
         if self._m_merged is not None:
+            assert self._m_catchup is not None and self._m_skew is not None
             gain = max(strobe.value - self._value, 0)
             self._m_catchup.observe(gain)
             self._m_skew.set(gain)

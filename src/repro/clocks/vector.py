@@ -7,11 +7,14 @@ are vectorized (relevant for the E12 microbench at n up to 512).
 
 from __future__ import annotations
 
-from typing import Iterable, Literal
+from typing import TYPE_CHECKING, Iterable, Literal
 
 import numpy as np
 
 from repro.clocks.base import Clock, ClockError, validate_pid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import Counter, MetricsRegistry
 
 Ordering = Literal["<", ">", "=", "||"]
 
@@ -143,11 +146,11 @@ class VectorClock(Clock[VectorTimestamp]):
         self._n = int(n)
         self._v = np.zeros(n, dtype=np.int64)
         # Observability handles (None = no-op fast path).
-        self._m_ticks = None
-        self._m_merges = None
-        self._m_piggyback = None
+        self._m_ticks: "Counter | None" = None
+        self._m_merges: "Counter | None" = None
+        self._m_piggyback: "Counter | None" = None
 
-    def bind_obs(self, registry) -> None:
+    def bind_obs(self, registry: "MetricsRegistry") -> None:
         """Attach causality-clock metrics: VC1/VC2 ticks, VC3 merges,
         and piggyback units (each send carries the full n-vector)."""
         self._m_ticks = registry.counter("clock.vector.ticks")
@@ -171,6 +174,7 @@ class VectorClock(Clock[VectorTimestamp]):
     def on_send(self) -> VectorTimestamp:
         self._v[self._pid] += 1
         if self._m_ticks is not None:
+            assert self._m_piggyback is not None
             self._m_ticks.inc()
             self._m_piggyback.inc(self._n)
         return self.read()

@@ -199,7 +199,7 @@ class ConjunctiveIntervalDetector(Detector):
                 for p in pids:           # consume all heads: repeated semantics
                     idx[p] += 1
             else:
-                for p in to_advance:
+                for p in sorted(to_advance):
                     idx[p] += 1
         return self.detections
 

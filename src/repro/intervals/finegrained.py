@@ -137,7 +137,9 @@ def _consistent(code: tuple[str, str, str, str]) -> bool:
     changed = True
     while changed:
         changed = False
-        for (u, v) in edges:
+        # Transitive-closure fixpoint: reach sets converge to the same
+        # value regardless of edge visit order.
+        for (u, v) in edges:  # repro: noqa SIM003 -- order cannot escape
             new = reach[v] - reach[u]
             if new:
                 reach[u] |= new

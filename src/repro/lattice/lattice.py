@@ -99,7 +99,9 @@ class StateLattice:
         frontier = set(levels[0])
         for _ in range(total_events):
             nxt: set[Cut] = set()
-            for cut in frontier:
+            # Set-union fixpoint: the union is order-independent, and the
+            # level itself is sorted before it is stored below.
+            for cut in frontier:  # repro: noqa SIM003 -- order cannot escape
                 nxt.update(self._successors(cut))
             if not nxt:
                 break

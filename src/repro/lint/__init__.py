@@ -1,0 +1,68 @@
+"""Determinism & causality static analysis (``repro lint``).
+
+The reproduction's core guarantee — a run is a pure function of
+``(config, seed)`` — and its causal-ordering semantics are enforced
+here in two complementary layers:
+
+* **Static rules** (:mod:`repro.lint.rules`): AST checks for wall-clock
+  reads, ad-hoc RNG construction, hash-ordered iteration, total-order
+  comparison of partial-order timestamps, mutable defaults, and active
+  observability code.  Run them via :func:`lint_paths` or the
+  ``repro lint`` CLI subcommand.
+
+* **Runtime checkers** (:mod:`repro.lint.runtime`): same-timestamp
+  tie-break divergence between identical-seed runs and non-monotonic
+  clock merges, caught while a kernel actually runs.
+
+Rule catalogue, rationale, and suppression syntax:
+``docs/static_analysis.md``.
+"""
+
+from repro.lint.engine import (
+    JSON_SCHEMA_VERSION,
+    LintReport,
+    LintUsageError,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+)
+from repro.lint.findings import PARSE_ERROR_RULE, Finding
+from repro.lint.rules import RULES, LintContext, Rule
+from repro.lint.runtime import (
+    ClockMonotonicityError,
+    Divergence,
+    FiredEvent,
+    FiringRecorder,
+    MergeViolation,
+    MonotonicClockChecker,
+    check_determinism,
+    checked_clock,
+    count_tied_slots,
+    find_divergence,
+)
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "PARSE_ERROR_RULE",
+    "RULES",
+    "ClockMonotonicityError",
+    "Divergence",
+    "Finding",
+    "FiredEvent",
+    "FiringRecorder",
+    "LintContext",
+    "LintReport",
+    "LintUsageError",
+    "MergeViolation",
+    "MonotonicClockChecker",
+    "Rule",
+    "check_determinism",
+    "checked_clock",
+    "count_tied_slots",
+    "find_divergence",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+]

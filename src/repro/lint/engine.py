@@ -1,0 +1,229 @@
+"""Lint engine: file discovery, suppression, and reporting.
+
+Suppression syntax (documented in docs/static_analysis.md):
+
+* ``# repro: noqa`` — suppress every rule on this line.
+* ``# repro: noqa SIM003`` — suppress the listed rule(s) on this line
+  (comma/space separated).  Everything after ``--`` is a free-form
+  reason and is strongly encouraged.
+* ``# repro: noqa-file SIM001 -- reason`` — suppress the listed
+  rule(s) for the whole file; bare ``noqa-file`` suppresses all rules.
+
+The engine walks paths deterministically (sorted), so output and exit
+codes are stable — the linter holds itself to the invariant it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.findings import PARSE_ERROR_RULE, Finding
+from repro.lint.rules import RULES, LintContext
+
+#: Bump when the JSON output schema changes shape.
+JSON_SCHEMA_VERSION = 1
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<file>-file)?"
+    r"(?P<codes>(?:[ \t,]+[A-Z]+[0-9]+)*)"
+)
+_CODE_RE = re.compile(r"[A-Z]+[0-9]+")
+
+
+class LintUsageError(ValueError):
+    """Raised for bad invocations (unknown rule id, missing path)."""
+
+
+@dataclass(slots=True)
+class Suppressions:
+    """Per-file and per-line noqa directives parsed from source."""
+
+    #: rule ids suppressed file-wide; ``None`` element means "all".
+    file_level: set[str] = field(default_factory=set)
+    file_all: bool = False
+    #: line -> rule ids (empty set means "all rules on this line").
+    lines: dict[int, set[str]] = field(default_factory=dict)
+
+    def suppressed(self, finding: Finding) -> bool:
+        if self.file_all or finding.rule in self.file_level:
+            return True
+        codes = self.lines.get(finding.line)
+        if codes is None:
+            return False
+        return not codes or finding.rule in codes
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    sup = Suppressions()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if m is None:
+            continue
+        codes = set(_CODE_RE.findall(m.group("codes") or ""))
+        if m.group("file"):
+            if codes:
+                sup.file_level |= codes
+            else:
+                sup.file_all = True
+        else:
+            existing = sup.lines.get(lineno)
+            if existing is None:
+                sup.lines[lineno] = codes
+            elif codes and existing:
+                existing |= codes
+            else:
+                sup.lines[lineno] = set()  # a bare noqa wins
+    return sup
+
+
+# ---------------------------------------------------------------------------
+
+
+def _module_name(path: Path) -> str:
+    """Best-effort dotted module name: everything after a ``src``
+    component if present, else the bare stem chain."""
+    parts = list(path.parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _select_rules(select: Sequence[str] | None) -> list[str]:
+    if select is None:
+        return sorted(RULES)
+    unknown = [r for r in select if r not in RULES]
+    if unknown:
+        raise LintUsageError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(RULES))}"
+        )
+    return sorted(set(select))
+
+
+def lint_source(
+    source: str,
+    path: str | Path = "<string>",
+    *,
+    select: Sequence[str] | None = None,
+    respect_noqa: bool = True,
+) -> list[Finding]:
+    """Lint one in-memory module; the backbone of ``lint_paths`` and of
+    the rule fixture tests."""
+    path = Path(path)
+    rule_ids = _select_rules(select)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR_RULE,
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(tree, str(path), _module_name(path))
+    findings = [f for rid in rule_ids for f in RULES[rid]().check(ctx)]
+    if respect_noqa:
+        sup = parse_suppressions(source)
+        findings = [f for f in findings if not sup.suppressed(f)]
+    return sorted(findings, key=Finding.sort_key)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic, sorted file list."""
+    out: set[Path] = set()
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.is_file():
+            out.add(p)
+        else:
+            raise LintUsageError(f"no such file or directory: {p}")
+    return iter(sorted(out))
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Outcome of one lint run over a set of paths."""
+
+    findings: list[Finding]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    def render_text(self) -> str:
+        lines = [f.format() for f in self.findings]
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
+            if self.findings
+            else f"clean: {self.files_checked} file(s) checked"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "tool": "repro-lint",
+            "files_checked": self.files_checked,
+            "clean": self.clean,
+            "counts": self.counts(),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=False)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    select: Sequence[str] | None = None,
+    respect_noqa: bool = True,
+) -> LintReport:
+    """Lint files and directories; directories are walked recursively."""
+    findings: list[Finding] = []
+    n = 0
+    for path in iter_python_files(paths):
+        n += 1
+        findings.extend(
+            lint_source(
+                path.read_text(encoding="utf-8"),
+                path,
+                select=select,
+                respect_noqa=respect_noqa,
+            )
+        )
+    return LintReport(findings=sorted(findings, key=Finding.sort_key), files_checked=n)
+
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "LintReport",
+    "LintUsageError",
+    "Suppressions",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+]

@@ -1,0 +1,45 @@
+"""Finding records produced by the static analyzer.
+
+A :class:`Finding` is one rule violation anchored to a source location.
+Findings are plain value objects so the engine, the text renderer, the
+JSON exporter, and the tests all share one representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Rule id used for files the analyzer cannot parse.
+PARSE_ERROR_RULE = "E999"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at ``path:line:col``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def format(self) -> str:
+        """Render in the conventional ``path:line:col: RULE message`` shape."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping (see docs/static_analysis.md for the schema)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+__all__ = ["Finding", "PARSE_ERROR_RULE"]

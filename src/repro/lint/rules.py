@@ -1,0 +1,481 @@
+"""Project-specific determinism & causality lint rules.
+
+Each rule protects one invariant the reproduction's benchmark suite
+relies on (see docs/static_analysis.md for the catalogue):
+
+* ``SIM001`` — no wall-clock or global-RNG reads in sim-visible code.
+* ``SIM002`` — RNG streams must derive from ``substream_seed``.
+* ``SIM003`` — no iteration over hash-ordered sets that can leak order.
+* ``CLK001`` — no total-order comparison of vector/matrix timestamps.
+* ``DET001`` — no mutable default arguments.
+* ``OBS001`` — observability code must be passive (no scheduling/RNG).
+
+Rules are AST-based and deliberately heuristic: they aim for zero
+false negatives on the idioms this codebase actually uses, and rely on
+the ``# repro: noqa`` mechanism (:mod:`repro.lint.engine`) for audited
+false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.lint.findings import Finding
+
+# ---------------------------------------------------------------------------
+# Context shared by all rules for one module
+# ---------------------------------------------------------------------------
+
+
+class LintContext:
+    """Parsed module plus the name-resolution maps rules consult."""
+
+    def __init__(self, tree: ast.Module, path: str, module: str) -> None:
+        self.tree = tree
+        self.path = path
+        #: Best-effort dotted module name, e.g. ``repro.net.transport``.
+        self.module = module
+        #: local alias -> canonical dotted prefix, e.g. ``np -> numpy``,
+        #: ``perf_counter -> time.perf_counter``.
+        self.aliases = _collect_aliases(tree)
+
+    def canonical(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of a Name/Attribute chain, resolving
+        import aliases on the first segment (``np.random.default_rng``
+        -> ``numpy.random.default_rng``)."""
+        parts = _dotted_parts(node)
+        if not parts:
+            return None
+        head = self.aliases.get(parts[0], parts[0])
+        return ".".join([head, *parts[1:]])
+
+    def in_package(self, dotted_prefix: str) -> bool:
+        return self.module == dotted_prefix or self.module.startswith(
+            dotted_prefix + "."
+        )
+
+
+def _dotted_parts(node: ast.expr) -> list[str] | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+# ---------------------------------------------------------------------------
+# Rule base + registry
+# ---------------------------------------------------------------------------
+
+
+class Rule(ABC):
+    """One lint rule; subclasses register themselves by rule ``id``."""
+
+    id: str
+    title: str
+
+    @abstractmethod
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+RULES: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    RULES[cls.id] = cls
+    return cls
+
+
+# ---------------------------------------------------------------------------
+# SIM001 — wall clock / global randomness in sim-visible code
+# ---------------------------------------------------------------------------
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: numpy.random attributes that are *constructors*, not draws from the
+#: hidden global stream (those are SIM002's business, not SIM001's).
+_NP_RANDOM_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+    "RandomState",
+}
+
+#: Packages whose wall-clock reads are legitimate: repro.obs dual-stamps
+#: every export with (t_sim, t_wall) by design.
+_SIM001_ALLOWED_PACKAGES = ("repro.obs",)
+
+
+@register
+class WallClockRule(Rule):
+    id = "SIM001"
+    title = "wall-clock or global-RNG read in sim-visible code"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for pkg in _SIM001_ALLOWED_PACKAGES:
+            if ctx.in_package(pkg):
+                return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.canonical(node.func)
+            if name is None:
+                continue
+            if name in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read `{name}()` in sim-visible code; use "
+                    "Simulator.now (sim time) — wall time is allowed only "
+                    "under repro.obs, which dual-stamps by design",
+                )
+            elif name.startswith("random.") and name != "random.Random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"global `{name}()` draws from the process-wide stream; "
+                    "draw from a named substream via "
+                    "repro.sim.rng.RngRegistry instead",
+                )
+            elif (
+                name.startswith("numpy.random.")
+                and name.split(".")[2] not in _NP_RANDOM_CONSTRUCTORS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"legacy global `{name}()` bypasses seeded substreams; "
+                    "draw from a generator obtained via "
+                    "repro.sim.rng.RngRegistry",
+                )
+
+
+# ---------------------------------------------------------------------------
+# SIM002 — RNG constructed without substream derivation
+# ---------------------------------------------------------------------------
+
+_RNG_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "random.Random",
+}
+
+
+def _calls_substream_seed(call: ast.Call) -> bool:
+    for arg in [*call.args, *(kw.value for kw in call.keywords)]:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Call):
+                parts = _dotted_parts(sub.func)
+                if parts and parts[-1] == "substream_seed":
+                    return True
+    return False
+
+
+@register
+class AdHocRngRule(Rule):
+    id = "SIM002"
+    title = "RNG constructed outside the named-substream discipline"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.module == "repro.sim.rng":
+            return  # the one module allowed to construct generators
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.canonical(node.func)
+            if name in _RNG_CONSTRUCTORS and not _calls_substream_seed(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"ad-hoc `{name}(...)`: seed it via "
+                    "substream_seed(master, *names) or take the generator "
+                    "from RngRegistry.get(...) so sweeps keep common random "
+                    "numbers across components",
+                )
+
+
+# ---------------------------------------------------------------------------
+# SIM003 — iteration over hash-ordered sets
+# ---------------------------------------------------------------------------
+
+_SET_ANNOTATIONS = re.compile(r"^(set|frozenset|Set|FrozenSet|AbstractSet|MutableSet)\b")
+
+
+def _is_set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    return False
+
+
+def _set_typed_names(scope: ast.AST) -> set[str]:
+    """Names assigned a set-valued expression (or annotated as a set)
+    anywhere in ``scope`` — deliberately flow-insensitive."""
+    names: set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value, names):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    names.add(tgt.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            ann = ast.unparse(node.annotation)
+            if _SET_ANNOTATIONS.match(ann):
+                names.add(node.target.id)
+    return names
+
+
+@register
+class UnorderedIterationRule(Rule):
+    id = "SIM003"
+    title = "iteration over a hash-ordered set"
+
+    _MSG = (
+        "iterating a set: order is hash-randomized across processes and "
+        "can leak into event scheduling or output; iterate "
+        "`sorted(...)`, or suppress with a reason if order provably "
+        "cannot escape"
+    )
+
+    def _scopes(self, ctx: LintContext) -> Iterator[ast.AST]:
+        yield ctx.tree
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        seen: set[tuple[int, int]] = set()
+        for scope in self._scopes(ctx):
+            set_names = _set_typed_names(scope)
+            for node in ast.walk(scope):
+                iters: list[ast.expr] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append(node.iter)
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    iters.extend(gen.iter for gen in node.generators)
+                for it in iters:
+                    if _is_set_expr(it, set_names):
+                        key = (it.lineno, it.col_offset)
+                        if key not in seen:
+                            seen.add(key)
+                            yield self.finding(ctx, it, self._MSG)
+
+
+# ---------------------------------------------------------------------------
+# CLK001 — total-order comparison on vector/matrix timestamps
+# ---------------------------------------------------------------------------
+
+_TS_ATTRS = {"vector", "strobe_vector", "strobe_matrix", "v_start", "v_end", "vts"}
+_TS_NAME = re.compile(r"(^|_)(vts?|vc)\d*$")
+
+
+def _is_timestamp_like(node: ast.expr) -> bool:
+    if isinstance(node, ast.Attribute):
+        return node.attr in _TS_ATTRS
+    if isinstance(node, ast.Name):
+        return bool(_TS_NAME.search(node.id))
+    return False
+
+
+@register
+class ClockOrderingRule(Rule):
+    id = "CLK001"
+    title = "total-order comparison on a vector/matrix timestamp"
+
+    _MSG = (
+        "`{op}` on vector/matrix timestamps is only a partial order: "
+        "`not (a < b)` does not imply `b <= a` for concurrent stamps; "
+        "use repro.clocks.vector.compare()/concurrent_with() and handle "
+        "the `||` case explicitly"
+    )
+    _SORT_MSG = (
+        "`{fn}()` linearizes vector/matrix timestamps whose order is only "
+        "partial; concurrent stamps get an arbitrary, hash-dependent rank "
+        "— sort by an explicit total key or use the lattice machinery"
+    )
+    _OPS = {ast.Lt: "<", ast.Gt: ">", ast.LtE: "<=", ast.GtE: ">="}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.in_package("repro.clocks"):
+            return  # the definitions themselves
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for op, left, right in zip(node.ops, operands, operands[1:]):
+                    if type(op) in self._OPS and (
+                        _is_timestamp_like(left) or _is_timestamp_like(right)
+                    ):
+                        yield self.finding(
+                            ctx, node, self._MSG.format(op=self._OPS[type(op)])
+                        )
+                        break
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in ("sorted", "min", "max") and any(
+                    _is_timestamp_like(a) for a in node.args
+                ):
+                    yield self.finding(
+                        ctx, node, self._SORT_MSG.format(fn=node.func.id)
+                    )
+
+
+# ---------------------------------------------------------------------------
+# DET001 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
+_MUTABLE_DOTTED = {
+    "collections.defaultdict",
+    "collections.OrderedDict",
+    "collections.deque",
+    "collections.Counter",
+}
+
+
+def _is_mutable_default(node: ast.expr, ctx: LintContext) -> bool:
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in _MUTABLE_FACTORIES:
+            return True
+        name = ctx.canonical(node.func)
+        if name in _MUTABLE_DOTTED:
+            return True
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "DET001"
+    title = "mutable default argument"
+
+    _MSG = (
+        "mutable default is created once and shared across every call — "
+        "state bleeds between runs and breaks (config, seed) purity; "
+        "default to None and construct in the body"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = [
+                *node.args.defaults,
+                *(d for d in node.args.kw_defaults if d is not None),
+            ]
+            for default in defaults:
+                if _is_mutable_default(default, ctx):
+                    yield self.finding(ctx, default, self._MSG)
+
+
+# ---------------------------------------------------------------------------
+# OBS001 — observability code must be passive
+# ---------------------------------------------------------------------------
+
+
+@register
+class ActiveObservabilityRule(Rule):
+    id = "OBS001"
+    title = "observability code drives the simulation"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro.obs"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "schedule_at",
+                "schedule_after",
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"obs code calling `{node.func.attr}()` perturbs the "
+                    "event order it is supposed to observe; observability "
+                    "must be passive (read-only hooks)",
+                )
+                continue
+            name = ctx.canonical(node.func)
+            if name is None:
+                continue
+            if (
+                name in _RNG_CONSTRUCTORS
+                or name.startswith(("numpy.random.", "random."))
+                or name.endswith(".substream_seed")
+                or name == "substream_seed"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"obs code touching RNG (`{name}`) advances or forks "
+                    "streams the model depends on; instrumentation must not "
+                    "consume randomness",
+                )
+
+
+__all__ = ["Finding", "LintContext", "Rule", "RULES", "register"]

@@ -1,0 +1,274 @@
+"""Runtime determinism & causality checkers.
+
+The static rules (:mod:`repro.lint.rules`) catch sources of
+nondeterminism they can see in the AST; this module catches the ones
+only an actual run exposes:
+
+* **Same-timestamp tie-break nondeterminism** — two events scheduled
+  for the same ``(time, priority)`` fire in FIFO order of scheduling,
+  so if *scheduling* order differs between identical-seed runs (the
+  classic symptom of iterating a hash-ordered set), the firing order
+  silently differs too.  :func:`check_determinism` runs the same setup
+  twice and :func:`find_divergence` classifies the first mismatch.
+
+* **Non-monotonic clock merges** — every clock protocol in the paper
+  (SC, VC, SVC, SSC) only ever moves timestamps up the lattice; a
+  merge that loses ticks indicates state corruption or a miswired
+  protocol.  :class:`MonotonicClockChecker` wraps any clock object and
+  audits each operation against the previous timestamp.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.sim.kernel import ScheduledEvent, Simulator
+
+# ---------------------------------------------------------------------------
+# Kernel firing traces
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FiredEvent:
+    """One fired kernel event, as much of it as is comparable across runs."""
+
+    time: float
+    priority: int
+    label: str
+
+
+class FiringRecorder:
+    """Record every fired event of a :class:`Simulator` via post-hook."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.trace: list[FiredEvent] = []
+        sim.add_post_hook(self._on_fire)
+
+    def _on_fire(self, ev: ScheduledEvent) -> None:
+        self.trace.append(FiredEvent(ev.time, ev.priority, ev.label))
+
+
+@dataclass(frozen=True, slots=True)
+class Divergence:
+    """First point where two same-seed traces disagree.
+
+    ``kind`` is ``"tie-break"`` when the two runs fired the *same
+    multiset* of events at the diverging ``(time, priority)`` but in a
+    different order — the signature of scheduling-order nondeterminism
+    — and ``"structural"`` when the runs did different work outright.
+    """
+
+    kind: str
+    index: int
+    time: float
+    a: FiredEvent | None
+    b: FiredEvent | None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind} divergence at event #{self.index} (t={self.time}): "
+            f"{self.a} vs {self.b}"
+        )
+
+
+def _tie_group(
+    trace: Sequence[FiredEvent], time: float, priority: int
+) -> Counter[str]:
+    return Counter(
+        ev.label for ev in trace if ev.time == time and ev.priority == priority
+    )
+
+
+def find_divergence(
+    a: Sequence[FiredEvent], b: Sequence[FiredEvent]
+) -> Divergence | None:
+    """First divergence between two firing traces, or None if identical."""
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x == y:
+            continue
+        same_slot = x.time == y.time and x.priority == y.priority
+        if same_slot and _tie_group(a, x.time, x.priority) == _tie_group(
+            b, y.time, y.priority
+        ):
+            return Divergence("tie-break", i, x.time, x, y)
+        return Divergence("structural", i, x.time, x, y)
+    if len(a) != len(b):
+        i = min(len(a), len(b))
+        longer = a if len(a) > len(b) else b
+        return Divergence(
+            "structural",
+            i,
+            longer[i].time,
+            a[i] if i < len(a) else None,
+            b[i] if i < len(b) else None,
+        )
+    return None
+
+
+def check_determinism(
+    build: Callable[[Simulator], None],
+    *,
+    runs: int = 2,
+    until: float | None = None,
+    max_events: int | None = None,
+    start_time: float = 0.0,
+) -> Divergence | None:
+    """Run ``build`` + ``run`` ``runs`` times on fresh simulators and
+    return the first divergence between firing traces (None = clean).
+
+    ``build`` receives a fresh :class:`Simulator` and must do *all* its
+    own seeding — any divergence this reports is nondeterminism in the
+    model construction or scheduling path, by construction.
+    """
+    if runs < 2:
+        raise ValueError(f"need at least 2 runs to compare, got {runs}")
+    traces: list[list[FiredEvent]] = []
+    for _ in range(runs):
+        sim = Simulator(start_time=start_time)
+        rec = FiringRecorder(sim)
+        build(sim)
+        sim.run(until=until, max_events=max_events)
+        traces.append(rec.trace)
+    for other in traces[1:]:
+        div = find_divergence(traces[0], other)
+        if div is not None:
+            return div
+    return None
+
+
+def count_tied_slots(trace: Sequence[FiredEvent]) -> int:
+    """Number of ``(time, priority)`` slots holding >1 event — the
+    places where FIFO tie-breaking was load-bearing in this run."""
+    slots = Counter((ev.time, ev.priority) for ev in trace)
+    return sum(1 for c in slots.values() if c > 1)
+
+
+# ---------------------------------------------------------------------------
+# Clock monotonicity auditing
+# ---------------------------------------------------------------------------
+
+
+class ClockMonotonicityError(RuntimeError):
+    """Raised in strict mode when a clock operation loses ticks."""
+
+
+@dataclass(frozen=True, slots=True)
+class MergeViolation:
+    """One non-monotonic transition observed on a wrapped clock."""
+
+    op: str
+    before: Any
+    after: Any
+
+    def __str__(self) -> str:
+        return f"{self.op}: {self.before} -> {self.after} is not monotone"
+
+
+def _dominates_or_equal(old: Any, new: Any) -> bool:
+    """old <= new under whatever order the timestamps support; vector
+    timestamps use dominance, ndarrays compare component-wise."""
+    try:
+        result = old <= new
+    except Exception:
+        return True  # incomparable representations: cannot audit
+    if isinstance(result, np.ndarray):
+        return bool(np.all(result))
+    return bool(result)
+
+
+@dataclass(slots=True)
+class _AuditState:
+    last: Any = None
+    violations: list[MergeViolation] = field(default_factory=list)
+
+
+class MonotonicClockChecker:
+    """Wrap a causality or strobe clock and audit every operation.
+
+    Duck-typed: delegates whichever of ``on_local_event`` / ``on_send``
+    / ``on_receive`` / ``on_relevant_event`` / ``on_strobe`` / ``read``
+    the wrapped clock provides, and records a :class:`MergeViolation`
+    whenever an operation returns a timestamp that does not dominate
+    the previous one.  With ``strict=True`` it raises instead.
+
+    Examples
+    --------
+    >>> from repro.clocks.vector import VectorClock
+    >>> clk = MonotonicClockChecker(VectorClock(0, 2))
+    >>> _ = clk.on_local_event(); _ = clk.on_send()
+    >>> clk.violations
+    []
+    """
+
+    def __init__(self, clock: Any, *, strict: bool = False) -> None:
+        self._clock = clock
+        self._strict = strict
+        self._state = _AuditState()
+
+    @property
+    def wrapped(self) -> Any:
+        return self._clock
+
+    @property
+    def violations(self) -> list[MergeViolation]:
+        return self._state.violations
+
+    def _audit(self, op: str, new: Any) -> Any:
+        old = self._state.last
+        self._state.last = new
+        if old is not None and not _dominates_or_equal(old, new):
+            violation = MergeViolation(op, old, new)
+            self._state.violations.append(violation)
+            if self._strict:
+                raise ClockMonotonicityError(str(violation))
+        return new
+
+    # -- causality-clock surface (SC/VC rules) --------------------------
+    def on_local_event(self) -> Any:
+        return self._audit("on_local_event", self._clock.on_local_event())
+
+    def on_send(self) -> Any:
+        return self._audit("on_send", self._clock.on_send())
+
+    def on_receive(self, remote: Any) -> Any:
+        return self._audit("on_receive", self._clock.on_receive(remote))
+
+    # -- strobe-clock surface (SSC/SVC rules) ---------------------------
+    def on_relevant_event(self) -> Any:
+        return self._audit("on_relevant_event", self._clock.on_relevant_event())
+
+    def on_strobe(self, strobe: Any) -> Any:
+        return self._audit("on_strobe", self._clock.on_strobe(strobe))
+
+    def read(self) -> Any:
+        return self._audit("read", self._clock.read())
+
+    def strobe_size(self) -> int:
+        return int(self._clock.strobe_size())
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._clock, name)
+
+
+def checked_clock(clock: Any, *, strict: bool = False) -> MonotonicClockChecker:
+    """Convenience factory mirroring the other ``make_*`` helpers."""
+    return MonotonicClockChecker(clock, strict=strict)
+
+
+__all__ = [
+    "ClockMonotonicityError",
+    "Divergence",
+    "FiredEvent",
+    "FiringRecorder",
+    "MergeViolation",
+    "MonotonicClockChecker",
+    "check_determinism",
+    "checked_clock",
+    "count_tied_slots",
+    "find_divergence",
+]

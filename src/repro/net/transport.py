@@ -26,6 +26,7 @@ from repro.net.mac import DutyCycleMAC
 from repro.net.message import Message
 from repro.net.topology import Topology
 from repro.sim.kernel import Simulator
+from repro.sim.rng import substream_seed
 
 Receiver = Callable[[Message], None]
 
@@ -89,7 +90,11 @@ class Network:
         self._topo = topology
         self._delay = delay or SynchronousDelay(0.0)
         self._loss = loss or NoLoss()
-        self._rng = rng or np.random.default_rng(0)
+        if rng is None:
+            # Fallback stream on the named-substream discipline so an
+            # unconfigured Network cannot collide with model substreams.
+            rng = np.random.default_rng(substream_seed(0, "net", "transport"))
+        self._rng = rng
         self._endpoints: dict[int, Receiver] = {}
         self._record_delays = record_delays
         self._mac = mac

@@ -89,7 +89,7 @@ class ComposedPredicate(Predicate):
         if op not in ("and", "or"):
             raise PredicateError(f"unknown op {op!r}")
         conflicts = [
-            v for v in set(a.variables) & set(b.variables)
+            v for v in sorted(set(a.variables) & set(b.variables))
             if a.variables[v] != b.variables[v]
         ]
         if conflicts:

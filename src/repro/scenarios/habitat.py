@@ -31,6 +31,7 @@ from repro.detect.oracle import OracleDetector
 from repro.net.delay import DeltaBoundedDelay
 from repro.net.mac import DutyCycleMAC
 from repro.predicates.conjunctive import Conjunct, ConjunctivePredicate
+from repro.sim.rng import substream_seed
 from repro.world.mobility import RandomWaypoint
 
 
@@ -58,7 +59,9 @@ class Habitat:
         self.mac = DutyCycleMAC(
             n=2, period=config.mac_period, duty=config.mac_duty,
             random_phases=True,
-            rng=np.random.default_rng(config.seed + 1),
+            rng=np.random.default_rng(
+                substream_seed(config.seed, "habitat", "mac-phase")
+            ),
         )
         self.system = PervasiveSystem(
             SystemConfig(

@@ -23,7 +23,7 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.obs.registry import MetricsRegistry
+    from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 
 
 class SimulationError(RuntimeError):
@@ -104,10 +104,10 @@ class Simulator:
         #: Hooks invoked after every fired event; used by trace recorders.
         self._post_hooks: list[Callable[[ScheduledEvent], None]] = []
         # Observability handles (None = no-op fast path).
-        self._m_fired = None
-        self._m_heap = None
-        self._m_cb_wall = None
-        self._obs_registry = None
+        self._m_fired: "Counter | None" = None
+        self._m_heap: "Gauge | None" = None
+        self._m_cb_wall: "Histogram | None" = None
+        self._obs_registry: "MetricsRegistry | None" = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -216,7 +216,7 @@ class Simulator:
         heapq.heapify(self._heap)
         self._dead = 0
         self._compactions += 1
-        if self._m_fired is not None:
+        if self._obs_registry is not None:
             self._obs_registry.counter("kernel.compactions").inc()
 
     # ------------------------------------------------------------------
@@ -237,9 +237,11 @@ class Simulator:
         if self._m_fired is None:
             ev.callback()
         else:
-            t0 = perf_counter()
+            assert self._m_cb_wall is not None and self._m_heap is not None
+            t0 = perf_counter()  # repro: noqa SIM001 -- obs wall-time metric only
             ev.callback()
-            self._m_cb_wall.observe(perf_counter() - t0)
+            dt = perf_counter() - t0  # repro: noqa SIM001 -- obs metric only
+            self._m_cb_wall.observe(dt)
             self._m_fired.inc()
             self._m_heap.set(len(self._heap))
         self._processed += 1
@@ -284,9 +286,11 @@ class Simulator:
                 if self._m_fired is None:
                     ev.callback()
                 else:
-                    t0 = perf_counter()
+                    assert self._m_cb_wall is not None and self._m_heap is not None
+                    t0 = perf_counter()  # repro: noqa SIM001 -- obs wall-time metric only
                     ev.callback()
-                    self._m_cb_wall.observe(perf_counter() - t0)
+                    dt = perf_counter() - t0  # repro: noqa SIM001 -- obs metric only
+                    self._m_cb_wall.observe(dt)
                     self._m_fired.inc()
                     self._m_heap.set(len(self._heap))
                 self._processed += 1

@@ -53,7 +53,7 @@ class RngRegistry:
 
     def __init__(self, seed: int = 0) -> None:
         self._seed = int(seed)
-        self._streams: dict[tuple, np.random.Generator] = {}
+        self._streams: dict[tuple[object, ...], np.random.Generator] = {}
 
     @property
     def seed(self) -> int:
@@ -75,7 +75,7 @@ class RngRegistry:
         of an experiment its own seed space."""
         return RngRegistry(substream_seed(self._seed, "fork", *names))
 
-    def streams(self) -> Iterable[tuple]:
+    def streams(self) -> Iterable[tuple[object, ...]]:
         """Name paths of all streams created so far (for diagnostics)."""
         return tuple(self._streams.keys())
 

@@ -1,0 +1,136 @@
+"""Engine behaviour: suppression, selection, discovery, reporting."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    JSON_SCHEMA_VERSION,
+    PARSE_ERROR_RULE,
+    LintUsageError,
+    lint_paths,
+    lint_source,
+)
+
+TRIGGER = "import time\nt = time.time()\n"
+
+
+def test_finding_anatomy():
+    (f,) = lint_source(TRIGGER, "src/repro/fake.py")
+    assert f.rule == "SIM001"
+    assert f.path == "src/repro/fake.py"
+    assert (f.line, f.col) == (2, 5)
+    assert f.format().startswith("src/repro/fake.py:2:5: SIM001 ")
+
+
+def test_bare_noqa_suppresses_all():
+    src = "import time\nt = time.time()  # repro: noqa\n"
+    assert lint_source(src, "src/repro/fake.py") == []
+
+
+def test_coded_noqa_suppresses_only_that_rule():
+    src = "import time\nt = time.time()  # repro: noqa SIM001 -- wall probe\n"
+    assert lint_source(src, "src/repro/fake.py") == []
+    wrong = "import time\nt = time.time()  # repro: noqa SIM003\n"
+    assert [f.rule for f in lint_source(wrong, "src/repro/fake.py")] == ["SIM001"]
+
+
+def test_noqa_on_other_line_does_not_suppress():
+    src = "import time  # repro: noqa SIM001\nt = time.time()\n"
+    assert [f.rule for f in lint_source(src, "src/repro/fake.py")] == ["SIM001"]
+
+
+def test_file_level_noqa():
+    src = "# repro: noqa-file SIM001 -- benchmark harness\n" + TRIGGER
+    assert lint_source(src, "src/repro/fake.py") == []
+
+
+def test_file_level_bare_noqa_suppresses_everything():
+    src = "# repro: noqa-file\n" + TRIGGER + "for x in {1, 2}:\n    pass\n"
+    assert lint_source(src, "src/repro/fake.py") == []
+
+
+def test_respect_noqa_off_reports_suppressed():
+    src = "import time\nt = time.time()  # repro: noqa\n"
+    out = lint_source(src, "src/repro/fake.py", respect_noqa=False)
+    assert [f.rule for f in out] == ["SIM001"]
+
+
+def test_syntax_error_becomes_e999():
+    (f,) = lint_source("def broken(:\n", "src/repro/fake.py")
+    assert f.rule == PARSE_ERROR_RULE
+
+
+def test_unknown_select_rejected():
+    with pytest.raises(LintUsageError, match="NOPE123"):
+        lint_source(TRIGGER, "src/repro/fake.py", select=["NOPE123"])
+
+
+def test_select_narrows_rules():
+    src = TRIGGER + "def f(acc=[]):\n    return acc\n"
+    all_rules = {f.rule for f in lint_source(src, "src/repro/fake.py")}
+    assert all_rules == {"SIM001", "DET001"}
+    only = lint_source(src, "src/repro/fake.py", select=["DET001"])
+    assert {f.rule for f in only} == {"DET001"}
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "bad.py").write_text(TRIGGER)
+    (pkg / "good.py").write_text("x = 1\n")
+    (pkg / "notes.txt").write_text("not python")
+    report = lint_paths([tmp_path])
+    assert report.files_checked == 2
+    assert [f.rule for f in report.findings] == ["SIM001"]
+    assert not report.clean
+
+
+def test_lint_paths_missing_path_rejected(tmp_path):
+    with pytest.raises(LintUsageError, match="no such file"):
+        lint_paths([tmp_path / "absent"])
+
+
+def test_report_ordering_is_deterministic(tmp_path):
+    for name in ("b.py", "a.py"):
+        (tmp_path / name).write_text(TRIGGER)
+    report = lint_paths([tmp_path])
+    assert [f.path for f in report.findings] == sorted(
+        f.path for f in report.findings
+    )
+
+
+def test_report_text_and_counts(tmp_path):
+    (tmp_path / "bad.py").write_text(TRIGGER)
+    report = lint_paths([tmp_path])
+    assert report.counts() == {"SIM001": 1}
+    text = report.render_text()
+    assert "SIM001" in text and "1 finding(s) in 1 file(s)" in text
+    clean = lint_paths([tmp_path / "bad.py"], select=["DET001"])
+    assert clean.render_text() == "clean: 1 file(s) checked"
+
+
+def test_report_json_schema(tmp_path):
+    (tmp_path / "bad.py").write_text(TRIGGER)
+    doc = lint_paths([tmp_path]).as_dict()
+    assert doc["version"] == JSON_SCHEMA_VERSION
+    assert doc["tool"] == "repro-lint"
+    assert doc["files_checked"] == 1
+    assert doc["clean"] is False
+    assert doc["counts"] == {"SIM001": 1}
+    (finding,) = doc["findings"]
+    assert set(finding) == {"rule", "path", "line", "col", "message"}
+
+
+def test_multiline_sources_and_columns():
+    src = textwrap.dedent("""
+        import time
+
+
+        def probe():
+            return (
+                time.time()
+            )
+    """)
+    (f,) = lint_source(src, "src/repro/fake.py")
+    assert f.line == 7

@@ -102,6 +102,71 @@ def test_obs_rejects_unknown_scenario():
         main(["obs", "run", "atlantis"])
 
 
+LINT_BAD = "import time\nt = time.time()\n"
+
+
+def test_lint_clean_file_exits_zero(tmp_path, capsys):
+    path = tmp_path / "ok.py"
+    path.write_text("x = 1\n")
+    assert main(["lint", str(path)]) == 0
+    assert "clean: 1 file(s) checked" in capsys.readouterr().out
+
+
+def test_lint_violation_exits_one_with_rule_id(tmp_path, capsys):
+    path = tmp_path / "bad.py"
+    path.write_text(LINT_BAD)
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "SIM001" in out and "bad.py:2:" in out
+
+
+def test_lint_json_schema(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "bad.py"
+    path.write_text(LINT_BAD)
+    assert main(["lint", str(path), "--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == 1
+    assert doc["tool"] == "repro-lint"
+    assert doc["files_checked"] == 1
+    assert doc["clean"] is False
+    assert doc["counts"] == {"SIM001": 1}
+    (finding,) = doc["findings"]
+    assert set(finding) == {"rule", "path", "line", "col", "message"}
+    assert finding["rule"] == "SIM001"
+    assert finding["line"] == 2
+
+
+def test_lint_select_filters_rules(tmp_path, capsys):
+    path = tmp_path / "bad.py"
+    path.write_text(LINT_BAD)
+    assert main(["lint", str(path), "--select", "DET001"]) == 0
+    capsys.readouterr()
+
+
+def test_lint_unknown_rule_exits_two(tmp_path, capsys):
+    path = tmp_path / "ok.py"
+    path.write_text("x = 1\n")
+    assert main(["lint", str(path), "--select", "NOPE123"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SIM001", "SIM002", "SIM003", "CLK001", "DET001", "OBS001"):
+        assert rule_id in out
+
+
+def test_lint_repo_src_is_clean(capsys):
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[1] / "src"
+    assert main(["lint", str(src)]) == 0
+    capsys.readouterr()
+
+
 def test_hall_export_bundle(tmp_path, capsys):
     from repro.analysis.export import load_run
     out_path = tmp_path / "run.json"
