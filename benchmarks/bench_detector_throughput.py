@@ -8,50 +8,20 @@ documents where offline replay stops being practical (the online
 watermark detector amortizes the same work incrementally).
 """
 
-import numpy as np
 import pytest
 
-from repro.clocks.strobe import StrobeVectorClock
-from repro.core.records import SensedEventRecord
 from repro.detect.physical import PhysicalClockDetector
 from repro.detect.strobe_scalar import ScalarStrobeDetector
 from repro.detect.strobe_vector import VectorStrobeDetector
-from repro.predicates.relational import SumThresholdPredicate
-from repro.clocks.scalar import ScalarTimestamp
+from repro.sweep.points import synth_records, throughput_predicate
 
 pytestmark = pytest.mark.slow
 
 
-def synth_records(m: int, n: int = 4, seed: int = 0, race_frac: float = 0.3):
-    """Synthesize m records from n processes with a controlled fraction
-    of racing (concurrent) events: strobes delivered with probability
-    (1 - race_frac) before the next event."""
-    rng = np.random.default_rng(seed)
-    clocks = [StrobeVectorClock(i, n) for i in range(n)]
-    records = []
-    seqs = [0] * n
-    scalar = 0
-    for k in range(m):
-        i = int(rng.integers(n))
-        ts = clocks[i].on_relevant_event()
-        seqs[i] += 1
-        scalar += 1
-        records.append(SensedEventRecord(
-            pid=i, seq=seqs[i], var=f"v{i}", value=int(rng.integers(0, 10)),
-            strobe_vector=ts,
-            strobe_scalar=ScalarTimestamp(scalar, i),
-            physical=float(k) + float(rng.normal(0, 0.01)),
-            true_time=float(k),
-        ))
-        if rng.random() > race_frac:
-            for j in range(n):
-                if j != i:
-                    clocks[j].on_strobe(ts)
-    return records
-
-
 def predicate(n=4):
-    return SumThresholdPredicate([(f"v{i}", i, 1.0) for i in range(n)], 18)
+    # Shared with the `repro sweep detector_throughput` matrix — the
+    # bench and the sweep measure the same harness (repro.sweep.points).
+    return throughput_predicate(n)
 
 
 @pytest.mark.parametrize("m", [200, 1000])
@@ -139,3 +109,28 @@ def test_emit_bench_json(save_bench_json):
         meta={"n_processes": 4, "race_frac": 0.3, "seed": 0},
     )
     assert all(r["wall_s"] is not None and r["wall_s"] > 0 for r in rows)
+
+
+def test_sweep_replications(save_bench_json):
+    """Replicated detection counts via the repro.sweep runner, exported
+    as ``BENCH_detector_throughput_sweep.json``.  Rows are deterministic
+    (per-task ``substream_seed``); wall times come from the runner's
+    obs registry, not the rows."""
+    from repro.obs import MetricsRegistry
+    from repro.sweep import SweepRunner, expand_matrix
+    from repro.sweep.points import MATRICES
+
+    registry = MetricsRegistry()
+    tasks = expand_matrix(MATRICES["detector_throughput"], master_seed=0)
+    rows = SweepRunner(workers=1, registry=registry).run(tasks)
+    assert [r["index"] for r in rows] == list(range(len(tasks)))
+    assert all("error" not in r for r in rows)
+    # Same (detector, m, seed) coordinates -> same counts and labels.
+    again = SweepRunner(workers=1).run(tasks)
+    assert [r["result"] for r in again] == [r["result"] for r in rows]
+    save_bench_json(
+        "detector_throughput_sweep",
+        [{"params": r["params"], "seed": r["seed"], **r["result"]} for r in rows],
+        meta={"matrix": "detector_throughput", "master_seed": 0},
+        registry=registry,
+    )

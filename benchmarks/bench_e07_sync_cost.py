@@ -18,103 +18,15 @@ process.  Compared options (messages + energy via the radio model):
   pattern).
 """
 
-from repro.analysis.energy import RadioEnergyModel
 from repro.analysis.sweep import format_table
-from repro.clocks.physical import DriftModel, PhysicalClock
-from repro.clocks.sync import OnDemandSyncProtocol, PeriodicSyncProtocol
-from repro.core.process import ClockConfig
-from repro.core.system import PervasiveSystem, SystemConfig
-from repro.net.delay import DeltaBoundedDelay
-from repro.sim.kernel import Simulator
-from repro.sim.rng import RngRegistry
-from repro.world.generators import PoissonProcess
-
-N = 8
-DURATION = 600.0
-EVENT_RATE = 0.05          # sensed events per second per process
-ENERGY = RadioEnergyModel()
-
-
-def strobe_cost(vector: bool, seed: int = 0, registry=None) -> dict:
-    clocks = ClockConfig(strobe_vector=True) if vector else ClockConfig(strobe_scalar=True)
-    system = PervasiveSystem(SystemConfig(
-        n_processes=N, seed=seed, delay=DeltaBoundedDelay(0.1), clocks=clocks,
-    ))
-    if registry is not None:
-        from repro.obs import instrument_system
-
-        instrument_system(system, registry)
-    gens = []
-    for i in range(N):
-        system.world.create(f"obj{i}", level=0)
-        system.processes[i].track(f"v{i}", f"obj{i}", "level", initial=0)
-        counter = {"k": 0}
-        def bump(i=i, counter=counter):
-            counter["k"] += 1
-            system.world.set_attribute(f"obj{i}", "level", counter["k"])
-        gens.append(PoissonProcess(
-            system.sim, EVENT_RATE, bump, rng=system.rng.get("world", "ev", i),
-        ))
-    for g in gens:
-        g.start()
-    system.run(until=DURATION)
-    stats = system.net.stats
-    events = sum(g.arrivals for g in gens)
-    return {
-        "messages": stats.sent,
-        "units": stats.total_units,
-        "energy_J": ENERGY.network_energy(stats),
-        "events": events,
-    }
-
-
-def periodic_sync_cost(period: float, seed: int = 0) -> dict:
-    sim = Simulator()
-    rng = RngRegistry(seed=seed)
-    clocks = [
-        PhysicalClock(DriftModel.sample(rng.get("drift", i)))
-        for i in range(N)
-    ]
-    proto = PeriodicSyncProtocol(
-        sim, clocks, period=period, epsilon=1e-3, rng=rng.get("sync"),
-    )
-    proto.start()
-    sim.run(until=DURATION)
-    # Each sync message carries ~2 scalar stamps (a 2-unit payload).
-    energy = ENERGY.message_energy(
-        proto.stats.messages, proto.stats.messages,
-        proto.stats.messages * 2, proto.stats.messages * 2,
-    )
-    return {
-        "messages": proto.stats.messages,
-        "units": proto.stats.messages * 2,
-        "energy_J": energy,
-        "events": 0,
-    }
-
-
-def on_demand_cost(seed: int = 0) -> dict:
-    sim = Simulator()
-    rng = RngRegistry(seed=seed)
-    clocks = [PhysicalClock(DriftModel.sample(rng.get("drift", i))) for i in range(N)]
-    proto = OnDemandSyncProtocol(sim, clocks, epsilon=1e-3, rng=rng.get("sync"))
-    events = {"n": 0}
-    def critical_event():
-        events["n"] += 1
-        proto.sync_now()
-    gen = PoissonProcess(sim, EVENT_RATE * N, critical_event, rng=rng.get("ev"))
-    gen.start()
-    sim.run(until=DURATION)
-    energy = ENERGY.message_energy(
-        proto.stats.messages, proto.stats.messages,
-        proto.stats.messages * 2, proto.stats.messages * 2,
-    )
-    return {
-        "messages": proto.stats.messages,
-        "units": proto.stats.messages * 2,
-        "energy_J": energy,
-        "events": events["n"],
-    }
+from repro.sweep.points import (
+    E07_DURATION as DURATION,
+    E07_EVENT_RATE as EVENT_RATE,
+    E07_N as N,
+    on_demand_cost,
+    periodic_sync_cost,
+    strobe_cost,
+)
 
 
 def run_experiment(registry=None) -> list[dict]:
@@ -163,3 +75,31 @@ def test_e07_sync_cost(benchmark, save_table, save_bench_json):
     assert by["scalar strobes (O(1))"]["units"] < by["vector strobes (O(n))"]["units"]
     # On-demand sync costs scale with events, not wall time.
     assert by["on-demand sync [3]"]["messages"] == by["on-demand sync [3]"]["events"] * (N - 1) * 2
+
+
+def test_sweep_replications(save_bench_json):
+    """Seed-replicated sync costs via the repro.sweep runner, exported
+    as ``BENCH_e07_sync_cost_sweep.json`` (the cross-seed spread E7's
+    single-seed table cannot show)."""
+    from repro.obs import MetricsRegistry
+    from repro.sweep import SweepRunner, expand_matrix
+    from repro.sweep.points import MATRICES
+
+    registry = MetricsRegistry()
+    tasks = expand_matrix(MATRICES["sync_cost"], master_seed=0, reps=2)
+    rows = SweepRunner(workers=1, registry=registry).run(tasks)
+    assert all("error" not in r for r in rows)
+    by_option: dict = {}
+    for r in rows:
+        by_option.setdefault(r["result"]["option"], []).append(r["result"])
+    # The E7 ordering claims hold per replication, not just on seed 0.
+    for strobe, periodic in zip(by_option["vector_strobe"], by_option["periodic_10"]):
+        assert strobe["energy_J"] < periodic["energy_J"] * 10  # same order of magnitude guard
+    for scalar, vector in zip(by_option["scalar_strobe"], by_option["vector_strobe"]):
+        assert scalar["units"] < vector["units"]
+    save_bench_json(
+        "e07_sync_cost_sweep",
+        [{"params": r["params"], "seed": r["seed"], **r["result"]} for r in rows],
+        meta={"matrix": "sync_cost", "master_seed": 0, "reps": 2},
+        registry=registry,
+    )

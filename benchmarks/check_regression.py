@@ -1,0 +1,124 @@
+"""Compare fresh benchmark numbers against committed BENCH baselines.
+
+Usage (CI's bench-smoke job, after re-running the benches so the
+``BENCH_*.json`` files in ``benchmarks/results/`` hold *fresh* rows)::
+
+    python benchmarks/check_regression.py \
+        --baseline-ref HEAD -- BENCH_detector_throughput.json
+
+The checker compares, per matching row key:
+
+* wall-clock figures (``wall_s``) within ``--tolerance`` (default 3x —
+  generous, because CI machines vary wildly; the point is to catch
+  order-of-magnitude regressions, not jitter);
+* correctness figures (``detections``, ``messages``, ``units``,
+  ``events``, ``labels_digest``) **exactly** — a speedup that changes
+  detections is a wrong answer, not a fast one.
+
+Baselines are read from git (``git show <ref>:<path>``) so the fresh
+file can overwrite the working-tree copy before the check runs.
+Exit codes: 0 ok, 1 regression/mismatch, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+#: Row fields that must match the baseline exactly.
+EXACT_FIELDS = ("detections", "labels_digest", "messages", "units", "events")
+#: Row fields compared as wall times within the tolerance factor.
+WALL_FIELDS = ("wall_s",)
+#: Fields identifying a row within its document.
+KEY_FIELDS = ("detector", "m", "option", "params", "seed")
+
+
+def row_key(row: dict) -> str:
+    return json.dumps(
+        {k: row[k] for k in KEY_FIELDS if k in row}, sort_keys=True
+    )
+
+
+def load_baseline(name: str, ref: str) -> dict | None:
+    rel = f"benchmarks/results/{name}"
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{rel}"],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def compare(name: str, fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    problems: list[str] = []
+    base_rows = {row_key(r): r for r in baseline.get("rows", [])}
+    for row in fresh.get("rows", []):
+        key = row_key(row)
+        base = base_rows.get(key)
+        if base is None:
+            continue        # new configuration: nothing to compare against
+        for f in EXACT_FIELDS:
+            if f in base and f in row and row[f] != base[f]:
+                problems.append(
+                    f"{name} {key}: {f} changed {base[f]!r} -> {row[f]!r} "
+                    "(must match baseline exactly)"
+                )
+        for f in WALL_FIELDS:
+            if f in base and f in row and base[f] and row[f]:
+                ratio = float(row[f]) / float(base[f])
+                if ratio > tolerance:
+                    problems.append(
+                        f"{name} {key}: {f} {base[f]:.4g}s -> {row[f]:.4g}s "
+                        f"({ratio:.2f}x > {tolerance:g}x tolerance)"
+                    )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+",
+                        help="BENCH_*.json file names under benchmarks/results/")
+    parser.add_argument("--tolerance", type=float, default=3.0,
+                        help="max allowed fresh/baseline wall-time ratio")
+    parser.add_argument("--baseline-ref", default="HEAD",
+                        help="git ref to read committed baselines from")
+    args = parser.parse_args(argv)
+    if args.tolerance <= 0:
+        print("check_regression: tolerance must be positive", file=sys.stderr)
+        return 2
+
+    problems: list[str] = []
+    compared = 0
+    for name in args.files:
+        fresh_path = RESULTS / name
+        if not fresh_path.exists():
+            print(f"check_regression: missing fresh file {fresh_path}",
+                  file=sys.stderr)
+            return 2
+        fresh = json.loads(fresh_path.read_text())
+        baseline = load_baseline(name, args.baseline_ref)
+        if baseline is None:
+            print(f"{name}: no committed baseline at {args.baseline_ref}; skipping")
+            continue
+        compared += 1
+        problems += compare(name, fresh, baseline, args.tolerance)
+
+    if problems:
+        print(f"{len(problems)} regression(s):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"ok: {compared} baseline file(s) within {args.tolerance:g}x "
+          "wall tolerance, correctness fields exact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

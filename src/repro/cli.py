@@ -12,12 +12,14 @@ Subcommands::
     habitat   duty-cycled wildlife monitoring
     clocks    stamp one execution under all four clock families
     obs       run any scenario fully instrumented and export the report
+    sweep     run a (config, seed) replication matrix on a process pool
     lint      determinism & causality static analysis (repro.lint)
 
 Examples::
 
     python -m repro hall --doors 4 --delta 0.3 --duration 120 --seed 1
     python -m repro obs run smart_office --export jsonl
+    python -m repro sweep detector_throughput --workers 4 --out sweep.jsonl
     python -m repro lint src --json
 """
 
@@ -317,6 +319,57 @@ def cmd_obs_run(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Sweeps
+# ---------------------------------------------------------------------------
+
+
+def cmd_sweep(args) -> int:
+    """Run a named (config, seed) replication matrix on a process pool.
+
+    The JSONL output is byte-identical for any ``--workers`` value —
+    the determinism contract of :mod:`repro.sweep`.
+    """
+    from repro.obs import MetricsRegistry
+    from repro.sweep import SweepRunner, expand_matrix, write_sweep_jsonl
+    from repro.sweep.points import MATRICES
+
+    if args.list_matrices:
+        for name in sorted(MATRICES):
+            spec = MATRICES[name]
+            print(f"{name}  [{spec.n_points} points x {spec.reps} reps]  "
+                  f"{spec.description}")
+        return 0
+    if not args.matrix:
+        print("repro sweep: name a matrix or pass --list", file=sys.stderr)
+        return 2
+    spec = MATRICES.get(args.matrix)
+    if spec is None:
+        print(f"repro sweep: unknown matrix {args.matrix!r} "
+              f"(have {', '.join(sorted(MATRICES))})", file=sys.stderr)
+        return 2
+    tasks = expand_matrix(spec, master_seed=args.seed, reps=args.reps)
+    registry = MetricsRegistry()
+    runner = SweepRunner(workers=args.workers, registry=registry)
+    rows = runner.run(tasks)
+    out = args.out or f"sweep_{spec.name}.jsonl"
+    path = write_sweep_jsonl(
+        out, rows, matrix=spec.name, master_seed=args.seed,
+        reps=args.reps or spec.reps,
+    )
+    failed = sum(1 for r in rows if "error" in r)
+    wall = registry.histogram("sweep.task_wall_s")
+    print(f"{len(rows)} tasks ({failed} failed), "
+          f"{runner.workers} worker(s), "
+          f"task wall mean={wall.mean:.3f}s max={wall.max:.3f}s -> {path}")
+    if failed:
+        for r in rows:
+            if "error" in r:
+                print(f"  task {r['index']} {r['params']}: {r['error']}",
+                      file=sys.stderr)
+    return 1 if failed else 0
+
+
+# ---------------------------------------------------------------------------
 # Static analysis
 # ---------------------------------------------------------------------------
 
@@ -409,6 +462,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-lattice", type=int, default=50_000,
                    help="state cap for the lattice modal query")
     p.set_defaults(fn=cmd_obs_run)
+
+    p = sub.add_parser(
+        "sweep", help="run a (config, seed) replication matrix (repro.sweep)"
+    )
+    p.add_argument("matrix", nargs="?", default=None,
+                   help="matrix name (see --list)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed; per-task seeds derive from it")
+    p.add_argument("--reps", type=_positive_int, default=None,
+                   help="replications per grid point (default: the matrix's)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="process-pool size (1 = inline; output is "
+                        "byte-identical for any value)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="output JSONL (default sweep_<matrix>.jsonl)")
+    p.add_argument("--list", dest="list_matrices", action="store_true",
+                   help="list the named matrices and exit")
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
         "lint", help="determinism & causality static analysis (repro.lint)"

@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.clocks.base import ClockError, StrobeClock, validate_pid
 from repro.clocks.scalar import ScalarTimestamp
-from repro.clocks.vector import VectorTimestamp
+from repro.clocks.vector import FASTPATH_MAX_N, VectorTimestamp
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
@@ -83,7 +83,15 @@ class StrobeVectorClock(_StrobeObsMixin, StrobeClock[VectorTimestamp]):
         validate_pid(pid, n)
         self._pid = int(pid)
         self._n = int(n)
-        self._v = np.zeros(n, dtype=np.int64)
+        # List-backed state below the fast-path width threshold, so
+        # read()/on_relevant_event() mint tuple-backed timestamps with
+        # no per-event NumPy allocation (see repro.clocks.vector).
+        self._small = self._n < FASTPATH_MAX_N
+        self._v: "list[int] | np.ndarray"
+        if self._small:
+            self._v = [0] * self._n
+        else:
+            self._v = np.zeros(n, dtype=np.int64)
         self._relevant_events = 0
         self._strobes_received = 0
 
@@ -122,16 +130,26 @@ class StrobeVectorClock(_StrobeObsMixin, StrobeClock[VectorTimestamp]):
         if self._m_merged is not None:
             assert self._m_catchup is not None and self._m_skew is not None
             # Catch-up: total ticks this merge advances the local view by.
-            gain = int(np.maximum(strobe.as_array() - self._v, 0).sum())
+            gain = sum(
+                r - x for r, x in zip(strobe.as_tuple(), self._v) if r > x
+            )
             self._m_catchup.observe(gain)
             self._m_skew.set(gain)
             self._m_merged.inc()
-        np.maximum(self._v, strobe.as_array(), out=self._v)
+        if self._small:
+            v = self._v
+            for k, r in enumerate(strobe.as_tuple()):
+                if r > v[k]:  # type: ignore[index]
+                    v[k] = r  # type: ignore[index]
+        else:
+            np.maximum(self._v, strobe.as_array(), out=self._v)  # type: ignore[call-overload]
         self._strobes_received += 1
         return self.read()
 
     def read(self) -> VectorTimestamp:
-        return VectorTimestamp(self._v)
+        if self._small:
+            return VectorTimestamp._from_trusted_tuple(tuple(self._v))
+        return VectorTimestamp._from_trusted_array(self._v)  # type: ignore[arg-type]
 
     def strobe_size(self) -> int:
         """O(n): a strobe carries the full vector."""

@@ -1,13 +1,29 @@
 """Mattern/Fidge vector clock — rules VC1–VC3 (paper §4.2.1).
 
-Timestamps are immutable :class:`VectorTimestamp` objects backed by a
-NumPy ``int64`` array, so component-wise merges and dominance tests
-are vectorized (relevant for the E12 microbench at n up to 512).
+Timestamps are immutable :class:`VectorTimestamp` objects with two
+interchangeable backends, selected automatically by vector width:
+
+* **tuple backend** (n < :data:`FASTPATH_MAX_N`) — components live in a
+  plain Python tuple, so comparisons, merges and hashing run as C-level
+  tuple operations with no per-event NumPy allocation.  This is the
+  common case: the paper's scenarios run 3–16 processes, and the
+  detectors compare timestamps millions of times per run.
+* **NumPy backend** (n ≥ :data:`FASTPATH_MAX_N`) — an ``int64`` array,
+  so wide vectors (the E12 microbench goes to n=512) keep vectorized
+  component-wise operations.
+
+Either backend can lazily materialize the other view (:meth:`as_array`
+/ :meth:`as_tuple`); both hash and compare identically, a property the
+tests/clocks/test_fastpath.py property suite pins.  Batch helpers
+(:func:`stack_timestamps`, :func:`dominates_matrix`,
+:func:`concurrency_matrix`, :func:`merge_many`) give detectors an
+m-at-a-time API so hot paths stop issuing m² Python-level ``__le__``
+calls.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Literal
+from typing import TYPE_CHECKING, Iterable, Iterator, Literal, Sequence
 
 import numpy as np
 
@@ -17,6 +33,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.registry import Counter, MetricsRegistry
 
 Ordering = Literal["<", ">", "=", "||"]
+
+#: Width threshold for the tuple fast path; at and beyond it the NumPy
+#: backend wins (vectorized compares amortize allocation overhead).
+FASTPATH_MAX_N = 64
+
+#: Bound on the elements of a single broadcast intermediate in the
+#: chunked dominance kernel (keeps the O(m²·n) matrix memory-bounded).
+_CHUNK_ELEMS = 1 << 22
 
 
 class VectorTimestamp:
@@ -28,35 +52,126 @@ class VectorTimestamp:
     lattice machinery.
     """
 
-    __slots__ = ("_v", "_hash")
+    __slots__ = ("_t", "_arr", "_hash", "_sum")
+
+    _t: "tuple[int, ...] | None"
+    _arr: "np.ndarray | None"
+    _hash: "int | None"
+    _sum: "int | None"
 
     def __init__(self, components: Iterable[int]) -> None:
-        v = np.asarray(tuple(components), dtype=np.int64)
-        if v.ndim != 1 or v.size == 0:
-            raise ClockError(f"vector timestamp needs a 1-D nonempty vector, got shape {v.shape}")
-        if np.any(v < 0):
-            raise ClockError("vector components must be non-negative")
-        v.setflags(write=False)
-        self._v = v
-        self._hash = hash(v.tobytes())
+        if isinstance(components, np.ndarray):
+            v = components
+            if v.ndim != 1 or v.size == 0:
+                raise ClockError(
+                    f"vector timestamp needs a 1-D nonempty vector, got shape {v.shape}"
+                )
+            if np.any(v < 0):
+                raise ClockError("vector components must be non-negative")
+            if v.size < FASTPATH_MAX_N:
+                self._t = tuple(int(x) for x in v)
+                self._arr = None
+            else:
+                arr = np.asarray(v, dtype=np.int64).copy()
+                arr.setflags(write=False)
+                self._t = None
+                self._arr = arr
+        else:
+            t = tuple(int(x) for x in components)
+            if not t:
+                raise ClockError(
+                    "vector timestamp needs a 1-D nonempty vector, got shape (0,)"
+                )
+            if any(x < 0 for x in t):
+                raise ClockError("vector components must be non-negative")
+            if len(t) < FASTPATH_MAX_N:
+                self._t = t
+                self._arr = None
+            else:
+                arr = np.asarray(t, dtype=np.int64)
+                arr.setflags(write=False)
+                self._t = None
+                self._arr = arr
+        self._hash = None
+        self._sum = None
+
+    # -- trusted constructors (internal fast paths) ---------------------
+    @classmethod
+    def _from_trusted_tuple(cls, t: "tuple[int, ...]") -> "VectorTimestamp":
+        """Wrap an already-validated component tuple (no checks)."""
+        ts = cls.__new__(cls)
+        ts._t = t
+        ts._arr = None
+        ts._hash = None
+        ts._sum = None
+        return ts
+
+    @classmethod
+    def _from_trusted_array(cls, arr: "np.ndarray") -> "VectorTimestamp":
+        """Wrap an already-validated int64 array (copied, frozen)."""
+        ts = cls.__new__(cls)
+        a = arr.copy()
+        a.setflags(write=False)
+        ts._t = None
+        ts._arr = a
+        ts._hash = None
+        ts._sum = None
+        return ts
+
+    # -- interned constants --------------------------------------------
+    _ZEROS: "dict[int, VectorTimestamp]" = {}
+    _UNITS: "dict[tuple[int, int], VectorTimestamp]" = {}
+
+    @classmethod
+    def zeros(cls, n: int) -> "VectorTimestamp":
+        """The interned all-zero timestamp of width ``n``."""
+        ts = cls._ZEROS.get(n)
+        if ts is None:
+            ts = cls([0] * n)
+            cls._ZEROS[n] = ts
+        return ts
+
+    @classmethod
+    def unit(cls, n: int, pid: int) -> "VectorTimestamp":
+        """The interned width-``n`` timestamp with a single 1 at ``pid``."""
+        key = (n, pid)
+        ts = cls._UNITS.get(key)
+        if ts is None:
+            validate_pid(pid, n)
+            ts = cls([1 if i == pid else 0 for i in range(n)])
+            cls._UNITS[key] = ts
+        return ts
 
     # -- accessors ------------------------------------------------------
     @property
     def n(self) -> int:
-        return self._v.size
+        return len(self._t) if self._t is not None else len(self._arr)  # type: ignore[arg-type]
 
     def __len__(self) -> int:
-        return self._v.size
+        return self.n
 
     def __getitem__(self, i: int) -> int:
-        return int(self._v[i])
+        if self._t is not None:
+            return self._t[i]
+        return int(self._arr[i])  # type: ignore[index]
 
-    def as_tuple(self) -> tuple[int, ...]:
-        return tuple(int(x) for x in self._v)
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.as_tuple())
 
-    def as_array(self) -> np.ndarray:
-        """Read-only view of the underlying array (no copy)."""
-        return self._v
+    def as_tuple(self) -> "tuple[int, ...]":
+        """Component tuple (cached; free on the tuple backend)."""
+        if self._t is None:
+            self._t = tuple(int(x) for x in self._arr)  # type: ignore[union-attr]
+        return self._t
+
+    def as_array(self) -> "np.ndarray":
+        """Read-only int64 view (lazily materialized on the tuple
+        backend, no copy on the NumPy backend)."""
+        if self._arr is None:
+            arr = np.asarray(self._t, dtype=np.int64)
+            arr.setflags(write=False)
+            self._arr = arr
+        return self._arr
 
     # -- order ----------------------------------------------------------
     def _check(self, other: "VectorTimestamp") -> None:
@@ -68,19 +183,34 @@ class VectorTimestamp:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, VectorTimestamp):
             return NotImplemented
-        return self.n == other.n and bool(np.array_equal(self._v, other._v))
+        if self.n != other.n:
+            return False
+        return self.as_tuple() == other.as_tuple()
 
     def __hash__(self) -> int:
-        return self._hash
+        # Both backends hash their component tuple, so mixed-backend
+        # equal timestamps collide correctly in sets/dicts.
+        h = self._hash
+        if h is None:
+            h = hash(self.as_tuple())
+            self._hash = h
+        return h
 
     def __le__(self, other: "VectorTimestamp") -> bool:
         self._check(other)
-        return bool(np.all(self._v <= other._v))
+        a, b = self._t, other._t
+        if a is not None and b is not None:
+            return all(x <= y for x, y in zip(a, b))
+        return bool(np.all(self.as_array() <= other.as_array()))
 
     def __lt__(self, other: "VectorTimestamp") -> bool:
         """Strict vector dominance == happens-before (the isomorphism)."""
         self._check(other)
-        return bool(np.all(self._v <= other._v) and np.any(self._v < other._v))
+        a, b = self._t, other._t
+        if a is not None and b is not None:
+            return a != b and all(x <= y for x, y in zip(a, b))
+        sa, sb = self.as_array(), other.as_array()
+        return bool(np.all(sa <= sb) and np.any(sa < sb))
 
     def __ge__(self, other: "VectorTimestamp") -> bool:
         return other.__le__(self)
@@ -96,11 +226,30 @@ class VectorTimestamp:
     def merge(self, other: "VectorTimestamp") -> "VectorTimestamp":
         """Component-wise max (the join in the timestamp lattice)."""
         self._check(other)
-        return VectorTimestamp(np.maximum(self._v, other._v))
+        a, b = self._t, other._t
+        if a is not None and b is not None:
+            if a == b:
+                return self
+            return VectorTimestamp._from_trusted_tuple(
+                tuple(x if x >= y else y for x, y in zip(a, b))
+            )
+        return VectorTimestamp._from_trusted_array(
+            np.maximum(self.as_array(), other.as_array())
+        )
 
     def sum(self) -> int:
-        """Total event count witnessed (used by lattice level indexing)."""
-        return int(self._v.sum())
+        """Total event count witnessed (used by lattice level indexing).
+
+        Cached — linearization sorts call this once per comparison key.
+        """
+        s = self._sum
+        if s is None:
+            if self._t is not None:
+                s = sum(self._t)
+            else:
+                s = int(self._arr.sum())  # type: ignore[union-attr]
+            self._sum = s
+        return s
 
     def __repr__(self) -> str:
         return f"VectorTimestamp({self.as_tuple()})"
@@ -125,12 +274,90 @@ def concurrent(a: VectorTimestamp, b: VectorTimestamp) -> bool:
     return a.concurrent_with(b)
 
 
+# ---------------------------------------------------------------------------
+# Batch kernels — m-at-a-time operations for detector hot paths
+# ---------------------------------------------------------------------------
+
+def stack_timestamps(timestamps: Sequence[VectorTimestamp]) -> "np.ndarray":
+    """Stack m same-width timestamps into an (m, n) int64 matrix."""
+    ts = list(timestamps)
+    if not ts:
+        return np.zeros((0, 0), dtype=np.int64)
+    n = ts[0].n
+    for t in ts:
+        if t.n != n:
+            raise ClockError(f"vector width mismatch: {n} vs {t.n}")
+    if ts[0]._t is not None:
+        # Tuple backend: one C-level bulk conversion beats stacking m
+        # tiny arrays.
+        return np.asarray([t.as_tuple() for t in ts], dtype=np.int64)
+    return np.stack([t.as_array() for t in ts])
+
+
+def dominates_matrix(
+    timestamps: Sequence[VectorTimestamp], *, vecs: "np.ndarray | None" = None
+) -> "np.ndarray":
+    """Boolean m×m matrix ``leq[i, j] ⇔ timestamps[i] ≤ timestamps[j]``.
+
+    For narrow vectors the kernel works component-sliced (n two-D
+    compares, no (m, m, n) intermediate); for wide vectors it chunks
+    the 3-D broadcast so peak memory stays bounded by
+    :data:`_CHUNK_ELEMS` elements regardless of m.
+    """
+    if vecs is None:
+        vecs = stack_timestamps(timestamps)
+    m = vecs.shape[0]
+    if m == 0:
+        return np.zeros((0, 0), dtype=bool)
+    n = vecs.shape[1]
+    if n <= 8:
+        col = vecs[:, 0]
+        leq = col[:, None] <= col[None, :]
+        for k in range(1, n):
+            col = vecs[:, k]
+            leq &= col[:, None] <= col[None, :]
+        return leq
+    leq = np.empty((m, m), dtype=bool)
+    rows = max(1, _CHUNK_ELEMS // max(1, m * n))
+    for lo in range(0, m, rows):
+        hi = min(m, lo + rows)
+        np.all(vecs[lo:hi, None, :] <= vecs[None, :, :], axis=2, out=leq[lo:hi])
+    return leq
+
+
+def concurrency_matrix(timestamps: Sequence[VectorTimestamp]) -> "np.ndarray":
+    """Boolean m×m matrix: ``conc[i, j]`` iff the two timestamps are
+    concurrent (neither dominates).  Diagonal is False."""
+    leq = dominates_matrix(timestamps)
+    conc = ~(leq | leq.T)
+    np.fill_diagonal(conc, False)
+    return conc
+
+
+def merge_many(timestamps: Sequence[VectorTimestamp]) -> VectorTimestamp:
+    """Join (component-wise max) of m ≥ 1 timestamps in one pass."""
+    ts = list(timestamps)
+    if not ts:
+        raise ClockError("merge_many needs at least one timestamp")
+    if len(ts) == 1:
+        return ts[0]
+    vecs = stack_timestamps(ts)
+    merged = vecs.max(axis=0)
+    if vecs.shape[1] < FASTPATH_MAX_N:
+        return VectorTimestamp._from_trusted_tuple(tuple(int(x) for x in merged))
+    return VectorTimestamp._from_trusted_array(merged)
+
+
 class VectorClock(Clock[VectorTimestamp]):
     """Mattern/Fidge causality-tracking vector clock.
 
     VC1: local event  → ``C[i] += 1``
     VC2: send         → ``C[i] += 1``; piggyback C
     VC3: receive(T)   → ``C = max(C, T)``; ``C[i] += 1``
+
+    Internal state is a plain Python list below :data:`FASTPATH_MAX_N`
+    processes (so ``read()`` mints tuple-backed timestamps with no
+    NumPy allocation) and an int64 array at or above it.
 
     Parameters
     ----------
@@ -144,7 +371,12 @@ class VectorClock(Clock[VectorTimestamp]):
         validate_pid(pid, n)
         self._pid = int(pid)
         self._n = int(n)
-        self._v = np.zeros(n, dtype=np.int64)
+        self._small = self._n < FASTPATH_MAX_N
+        self._v: "list[int] | np.ndarray"
+        if self._small:
+            self._v = [0] * self._n
+        else:
+            self._v = np.zeros(self._n, dtype=np.int64)
         # Observability handles (None = no-op fast path).
         self._m_ticks: "Counter | None" = None
         self._m_merges: "Counter | None" = None
@@ -182,17 +414,36 @@ class VectorClock(Clock[VectorTimestamp]):
     def on_receive(self, remote: VectorTimestamp) -> VectorTimestamp:
         if remote.n != self._n:
             raise ClockError(f"vector width mismatch: {self._n} vs {remote.n}")
-        np.maximum(self._v, remote.as_array(), out=self._v)
+        if self._small:
+            v = self._v
+            for k, r in enumerate(remote.as_tuple()):
+                if r > v[k]:  # type: ignore[index]
+                    v[k] = r  # type: ignore[index]
+        else:
+            np.maximum(self._v, remote.as_array(), out=self._v)  # type: ignore[call-overload]
         self._v[self._pid] += 1
         if self._m_merges is not None:
             self._m_merges.inc()
         return self.read()
 
     def read(self) -> VectorTimestamp:
-        return VectorTimestamp(self._v)
+        if self._small:
+            return VectorTimestamp._from_trusted_tuple(tuple(self._v))
+        return VectorTimestamp._from_trusted_array(self._v)  # type: ignore[arg-type]
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"VectorClock(pid={self._pid}, v={tuple(int(x) for x in self._v)})"
 
 
-__all__ = ["VectorClock", "VectorTimestamp", "compare", "concurrent", "Ordering"]
+__all__ = [
+    "VectorClock",
+    "VectorTimestamp",
+    "compare",
+    "concurrent",
+    "Ordering",
+    "FASTPATH_MAX_N",
+    "stack_timestamps",
+    "dominates_matrix",
+    "concurrency_matrix",
+    "merge_many",
+]

@@ -159,7 +159,7 @@ class OnlineVectorStrobeDetector(_OnlineObsMixin, VectorStrobeDetector):
         # Candidate suffix in order; process while stable.
         suffix = [r for r in ordered if r.key() not in done_keys]
         full = self._processed + suffix
-        conc = self._concurrency_matrix(full)
+        races = self._race_lists(self._concurrency_matrix(full))
 
         # Build the replay structure: processed entries carry their
         # recorded prev values; pending entries need none (their
@@ -177,7 +177,7 @@ class OnlineVectorStrobeDetector(_OnlineObsMixin, VectorStrobeDetector):
             replay[i] = (rec, dict(self._env), prev)
             before = len(self.detections)
             self._step(
-                i, rec, dict(self._env), full, replay, conc, self._state,
+                i, rec, dict(self._env), full, replay, races, self._state,
                 detail_extra={"emit_time": now},
             )
             for d in self.detections[before:]:

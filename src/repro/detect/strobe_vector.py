@@ -32,13 +32,64 @@ item 5; experiment E6).
 from __future__ import annotations
 
 import itertools
+from operator import itemgetter
 from typing import Any, Mapping
 
 import numpy as np
 
+from repro.clocks.vector import concurrency_matrix
 from repro.core.records import SensedEventRecord
 from repro.detect.base import Detection, DetectionLabel, Detector
 from repro.predicates.base import Predicate
+
+#: Cache-key marker for "variable absent from the environment".
+_MISSING = object()
+
+
+class _MemoizedEval:
+    """Per-detector memo over :meth:`Predicate.evaluate_safe`.
+
+    Predicates are pure functions of the environment restricted to
+    their declared ``variables`` (the :class:`Predicate` contract), so
+    evaluation results are cached keyed on exactly those values.  Race
+    analysis re-evaluates the same handful of environments thousands of
+    times per finalize; the memo turns those into dict hits.  Unhashable
+    variable values fall through to direct evaluation.
+    """
+
+    __slots__ = ("_predicate", "_vars", "_getter", "_cache")
+
+    def __init__(self, predicate: Predicate) -> None:
+        self._predicate = predicate
+        self._vars = tuple(predicate.variables)
+        # C-level key extraction for complete environments (the common
+        # case); incomplete ones fall back to the per-variable probe.
+        if len(self._vars) == 1:
+            only = self._vars[0]
+            self._getter = lambda env: (env[only],)
+        else:
+            self._getter = itemgetter(*self._vars)
+        self._cache: dict = {}
+
+    def evaluate_safe(self, env: Mapping[str, Any]) -> bool | None:
+        try:
+            key = self._getter(env)
+            complete = True
+        except KeyError:
+            key = tuple(env.get(v, _MISSING) for v in self._vars)
+            complete = False
+        try:
+            hit = self._cache.get(key, _MISSING)
+        except TypeError:            # unhashable variable value
+            return self._predicate.evaluate_safe(env)
+        if hit is not _MISSING:
+            return hit
+        if complete:
+            result: bool | None = self._predicate.evaluate(env)
+        else:
+            result = None            # a declared variable is absent
+        self._cache[key] = result
+        return result
 
 
 class VectorStrobeDetector(Detector):
@@ -66,63 +117,85 @@ class VectorStrobeDetector(Detector):
     ) -> None:
         super().__init__(predicate, initials)
         self._max_combos = int(max_race_combos)
+        self._eval = _MemoizedEval(predicate)
 
     # ------------------------------------------------------------------
     def _concurrency_matrix(self, records: list[SensedEventRecord]) -> np.ndarray:
         """Boolean m×m matrix: conc[i, j] iff records i and j are
-        concurrent under the strobe vector order (vectorized)."""
-        m = len(records)
-        if m == 0:
-            return np.zeros((0, 0), dtype=bool)
-        vecs = np.stack([r.strobe_vector.as_array() for r in records])
-        # leq[i, j] = all(vecs[i] <= vecs[j])
-        leq = np.all(vecs[:, None, :] <= vecs[None, :, :], axis=2)
-        conc = ~(leq | leq.T)
-        np.fill_diagonal(conc, False)
-        return conc
+        concurrent under the strobe vector order.
 
-    def _alternative_envs(
+        Delegates to the batch dominance kernel in
+        :mod:`repro.clocks.vector`, which is component-sliced for
+        narrow vectors and memory-bounded (chunked) for wide ones."""
+        if not records:
+            return np.zeros((0, 0), dtype=bool)
+        return concurrency_matrix([r.strobe_vector for r in records])
+
+    @staticmethod
+    def _race_lists(conc: np.ndarray) -> list[np.ndarray]:
+        """Per-record arrays of racing-record indices, extracted from
+        the concurrency matrix in one vectorized pass (replaces a
+        per-record ``flatnonzero`` + ``sum`` in the replay loop)."""
+        m = conc.shape[0]
+        if m == 0:
+            return []
+        counts = conc.sum(axis=1)
+        _, cols = np.nonzero(conc)
+        return np.split(cols, np.cumsum(counts)[:-1])
+
+    def _race_results(
         self,
         env: dict,
-        idx: int,
-        ordered: list[SensedEventRecord],
+        cur: bool,
+        race: np.ndarray,
         replay: list[tuple[SensedEventRecord, dict, Any]],
-        conc: np.ndarray,
         applied_upto: int,
-    ) -> list[dict] | None:
-        """Environments reachable by re-resolving the race around
-        record ``idx``.  Returns None when the combination count
-        exceeds the cap."""
-        race = np.flatnonzero(conc[idx])
+    ) -> set[bool] | None:
+        """Truth values of φ over the environments reachable by
+        re-resolving the race (``race`` = indices of records concurrent
+        with the current one).  Returns None when the combination count
+        exceeds the cap.
+
+        ``cur`` is φ's (non-None) value in the linearization
+        environment, which is always among the reachable resolutions.
+        Enumeration stops early once both truth values are witnessed —
+        the result set can no longer change.
+        """
         if race.size == 0:
-            return [env]
+            return {cur}
         # For each racing record: if already applied (position <= applied_upto
         # in the linearization) its variable may alternatively still hold its
         # pre-event value; if not yet applied, it may alternatively already
         # hold its post-event value.
         choices: dict[str, set] = {}
-        for j in race:
+        env_get = env.get
+        setdefault = choices.setdefault
+        for j in race.tolist():      # Python ints: faster indexing below
             rec_j, _, prev_j = replay[j]
             var = rec_j.var
-            current = env.get(var)
+            current = env_get(var)
             alt = prev_j if j <= applied_upto else rec_j.value
-            vals = choices.setdefault(var, {current} if current is not None else set())
+            vals = setdefault(var, {current} if current is not None else set())
             if alt is not None:
                 vals.add(alt)
         vars_ = [v for v, vals in choices.items() if len(vals) > 1]
         if not vars_:
-            return [env]
+            return {cur}
         combos = 1
         for v in vars_:
             combos *= len(choices[v])
             if combos > self._max_combos:
                 return None
-        envs = []
+        results: set[bool] = {cur}
+        evaluate = self._eval.evaluate_safe
         for combo in itertools.product(*(sorted(choices[v], key=repr) for v in vars_)):
             e = dict(env)
             e.update(zip(vars_, combo))
-            envs.append(e)
-        return envs
+            r = evaluate(e)
+            if r is not None and bool(r) not in results:
+                results.add(bool(r))
+                break               # {True, False}: no further combo matters
+        return results
 
     # ------------------------------------------------------------------
     def _step(
@@ -132,35 +205,34 @@ class VectorStrobeDetector(Detector):
         env: dict,
         ordered: list[SensedEventRecord],
         replay: list[tuple[SensedEventRecord, dict, Any]],
-        conc: np.ndarray,
+        races: list[np.ndarray],
         state: dict,
         *,
         detail_extra: dict | None = None,
     ) -> None:
         """Process one linearized record: evaluate φ, run race analysis,
         emit detections.  ``state`` carries ``prev_lin``/``prev_possible``
-        across calls (shared by the offline and online paths)."""
-        cur = self.predicate.evaluate_safe(env)
+        across calls (shared by the offline and online paths).
+
+        ``races`` is the :meth:`_race_lists` decomposition of the
+        concurrency matrix (one index array per record)."""
+        cur = self._eval.evaluate_safe(env)
         if cur is None:
             return
         cur = bool(cur)
-        envs = self._alternative_envs(env, i, ordered, replay, conc, i)
-        if envs is None:
-            results = None           # too tangled: unknown
-        else:
-            evaluated = [self.predicate.evaluate_safe(e) for e in envs]
-            results = {bool(r) for r in evaluated if r is not None}
+        race = races[i]
+        results = self._race_results(env, cur, race, replay, i)
 
-        if results is None:
+        if results is None:          # too tangled: unknown
             possible, certain = True, False
         else:
             possible = True in results
             certain = results == {True}
 
-        detail = {"race_size": int(conc[i].sum())}
-        if detail_extra:
-            detail.update(detail_extra)
         if cur and not state["prev_lin"]:
+            detail = {"race_size": int(race.size)}
+            if detail_extra:
+                detail.update(detail_extra)
             label = DetectionLabel.FIRM if certain else DetectionLabel.BORDERLINE
             self.detections.append(
                 Detection(self.name, rec, env, label, detail=detail)
@@ -168,6 +240,9 @@ class VectorStrobeDetector(Detector):
         elif (not cur) and possible and not state["prev_possible"] and not state["prev_lin"]:
             # The linearization says false, but a race resolution says
             # true: borderline (potential missed occurrence).
+            detail = {"race_size": int(race.size)}
+            if detail_extra:
+                detail.update(detail_extra)
             detail["lin_false"] = True
             self.detections.append(
                 Detection(self.name, rec, env, DetectionLabel.BORDERLINE, detail=detail)
@@ -191,13 +266,13 @@ class VectorStrobeDetector(Detector):
         records = self.store.all()
         self._check_stamps(records)
         ordered = sorted(records, key=self._sort_key)
-        conc = self._concurrency_matrix(ordered)
+        races = self._race_lists(self._concurrency_matrix(ordered))
         replay = self._replay(ordered)
 
         self.detections = []
         state = {"prev_lin": False, "prev_possible": False}
         for i, (rec, env, _prev_val) in enumerate(replay):
-            self._step(i, rec, env, ordered, replay, conc, state)
+            self._step(i, rec, env, ordered, replay, races, state)
         return self.detections
 
 

@@ -19,7 +19,7 @@ consistency w.r.t. the strobe-induced order — the sublattice of
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.clocks.vector import VectorTimestamp
@@ -30,12 +30,19 @@ class Cut:
     """A global state: per-process included-event counts."""
 
     counts: tuple[int, ...]
+    #: Hash of ``counts``, computed once — cuts key the successor-graph,
+    #: satisfaction and evitability dicts on the lattice hot paths.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if not self.counts:
             raise ValueError("cut needs at least one process")
         if any(c < 0 for c in self.counts):
             raise ValueError(f"negative prefix count in {self.counts}")
+        object.__setattr__(self, "_hash", hash(self.counts))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def n(self) -> int:

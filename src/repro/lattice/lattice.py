@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence
 
 from repro.clocks.vector import VectorTimestamp
-from repro.lattice.cut import Cut, is_consistent
+from repro.lattice.cut import Cut
 
 
 class LatticeExplosion(RuntimeError):
@@ -77,17 +77,61 @@ class StateLattice:
         self._n = len(self._ts)
         self._max_states = int(max_states)
         self._levels: list[list[Cut]] | None = None
+        # Memoized structure, shared by enumerate_levels() and the
+        # backward Definitely sweep in evaluate() (which previously
+        # recomputed successors + consistency per cut per sweep):
+        #   _succ     cut -> its consistent successors, built once;
+        #   _interned counts-tuple -> canonical Cut, so a cut reached
+        #             from several predecessors is one object;
+        #   _ts_tup   timestamps as plain int tuples (C-level compares
+        #             in the consistency test, no per-component
+        #             __getitem__ through the timestamp wrapper);
+        #   _n_events per-process event counts.
+        self._succ: dict[Cut, tuple[Cut, ...]] = {}
+        self._interned: dict[tuple[int, ...], Cut] = {}
+        self._ts_tup = [[t.as_tuple() for t in per_proc] for per_proc in self._ts]
+        self._n_events = [len(per_proc) for per_proc in self._ts]
 
     @property
     def n(self) -> int:
         return self._n
 
-    def _successors(self, cut: Cut) -> Iterator[Cut]:
+    def _consistent_counts(self, counts: tuple[int, ...]) -> bool:
+        """``is_consistent`` over pre-extracted timestamp tuples, for
+        counts already known to be in range (successor generation)."""
+        ts_tup = self._ts_tup
+        for i, c_i in enumerate(counts):
+            if c_i == 0:
+                continue
+            v = ts_tup[i][c_i - 1]
+            for j, c_j in enumerate(counts):
+                if v[j] > c_j and j != i:
+                    return False
+        return True
+
+    def _successor_cuts(self, cut: Cut) -> tuple[Cut, ...]:
+        """Consistent successors of ``cut``, memoized and interned."""
+        cached = self._succ.get(cut)
+        if cached is not None:
+            return cached
+        out = []
+        counts = cut.counts
+        interned = self._interned
         for i in range(self._n):
-            if cut.counts[i] < len(self._ts[i]):
-                nxt = cut.advance(i)
-                if is_consistent(nxt, self._ts):
-                    yield nxt
+            if counts[i] < self._n_events[i]:
+                nxt_counts = counts[:i] + (counts[i] + 1,) + counts[i + 1:]
+                if self._consistent_counts(nxt_counts):
+                    nxt = interned.get(nxt_counts)
+                    if nxt is None:
+                        nxt = Cut(nxt_counts)
+                        interned[nxt_counts] = nxt
+                    out.append(nxt)
+        result = tuple(out)
+        self._succ[cut] = result
+        return result
+
+    def _successors(self, cut: Cut) -> Iterator[Cut]:
+        yield from self._successor_cuts(cut)
 
     def enumerate_levels(self) -> list[list[Cut]]:
         """All consistent cuts grouped by level (cached)."""
@@ -102,7 +146,7 @@ class StateLattice:
             # Set-union fixpoint: the union is order-independent, and the
             # level itself is sorted before it is stored below.
             for cut in frontier:  # repro: noqa SIM003 -- order cannot escape
-                nxt.update(self._successors(cut))
+                nxt.update(self._successor_cuts(cut))
             if not nxt:
                 break
             count += len(nxt)
@@ -150,14 +194,15 @@ class StateLattice:
                 s = bool(predicate(state_of(cut)))
                 sat[cut] = s
                 possibly = possibly or s
-        # Backward sweep for Definitely.
+        # Backward sweep for Definitely, over the successor graph built
+        # during enumeration (memoized — nothing is recomputed here).
         evitable: dict[Cut, bool] = {}
         for level in reversed(levels):
             for cut in level:
                 if sat[cut]:
                     evitable[cut] = False
                     continue
-                succs = list(self._successors(cut))
+                succs = self._successor_cuts(cut)
                 if not succs:
                     evitable[cut] = True     # reached the end avoiding φ
                 else:

@@ -153,8 +153,11 @@ _NP_RANDOM_CONSTRUCTORS = {
 }
 
 #: Packages whose wall-clock reads are legitimate: repro.obs dual-stamps
-#: every export with (t_sim, t_wall) by design.
-_SIM001_ALLOWED_PACKAGES = ("repro.obs",)
+#: every export with (t_sim, t_wall) by design, and repro.sweep times
+#: worker tasks for its obs histogram — wall readings feed metrics only
+#: and are excluded from sweep result rows (the byte-identity contract
+#: tests/sweep/test_sweep.py pins).
+_SIM001_ALLOWED_PACKAGES = ("repro.obs", "repro.sweep")
 
 
 @register

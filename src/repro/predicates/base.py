@@ -34,6 +34,10 @@ class Predicate(ABC):
     consumes an environment {variable: value}; missing variables raise
     :class:`PredicateError` so detectors fail loudly rather than
     silently defaulting.
+
+    ``evaluate`` must be a *pure function* of the environment
+    restricted to ``variables`` — detectors rely on this to memoize
+    evaluations on hot paths (see repro.detect.strobe_vector).
     """
 
     @property
@@ -51,9 +55,11 @@ class Predicate(ABC):
         return sorted(set(self.variables.values()))
 
     def check_env(self, env: Mapping[str, Any]) -> None:
-        missing = [v for v in self.variables if v not in env]
-        if missing:
-            raise PredicateError(f"environment missing variables: {missing}")
+        variables = self.variables
+        if all(v in env for v in variables):
+            return
+        missing = [v for v in variables if v not in env]
+        raise PredicateError(f"environment missing variables: {missing}")
 
     def evaluate_safe(self, env: Mapping[str, Any]) -> bool | None:
         """Evaluate, returning None when variables are missing — used

@@ -14,6 +14,7 @@ linear structure lets detectors compute borderline margins cheaply.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.predicates.base import Predicate, PredicateError
@@ -47,12 +48,16 @@ class RelationalPredicate(Predicate):
         if not variables:
             raise PredicateError("need at least one variable")
         self._vars = dict(variables)
+        # Read-only view, built once: ``variables`` sits on detector
+        # hot paths (check_env per evaluation) and a per-access dict
+        # copy dominated profile time there.
+        self._vars_view = MappingProxyType(self._vars)
         self._fn = fn
         self._label = label
 
     @property
     def variables(self) -> Mapping[str, int]:
-        return dict(self._vars)
+        return self._vars_view
 
     def evaluate(self, env: Mapping[str, Any]) -> bool:
         self.check_env(env)
@@ -87,9 +92,11 @@ class SumThresholdPredicate(RelationalPredicate):
         self._weights = {name: float(w) for name, _, w in terms}
         self._threshold = float(threshold)
         variables = {name: pid for name, pid, _ in terms}
+        # The lambda runs under evaluate()'s check_env, so it can use
+        # the unchecked sum (total() would re-validate per call).
         super().__init__(
             variables,
-            lambda env: self.total(env) > self._threshold,
+            lambda env: self._total_unchecked(env) > self._threshold,
             label or f"Σ w·v > {threshold}",
         )
 
@@ -99,6 +106,9 @@ class SumThresholdPredicate(RelationalPredicate):
 
     def total(self, env: Mapping[str, Any]) -> float:
         self.check_env(env)
+        return self._total_unchecked(env)
+
+    def _total_unchecked(self, env: Mapping[str, Any]) -> float:
         return sum(self._weights[v] * env[v] for v in self._weights)
 
     def margin(self, env: Mapping[str, Any]) -> float:

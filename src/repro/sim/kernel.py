@@ -99,6 +99,7 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        self._live = 0            # non-cancelled entries in the heap
         self._dead = 0            # cancelled entries still in the heap
         self._compactions = 0
         #: Hooks invoked after every fired event; used by trace recorders.
@@ -130,8 +131,12 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) entries still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) entries still queued.
+
+        O(1): a counter maintained on push/pop/cancel — watchdogs and
+        progress bars poll this per event, and the previous O(heap)
+        scan made those polls quadratic over a run."""
+        return self._live
 
     @property
     def heap_size(self) -> int:
@@ -168,6 +173,7 @@ class Simulator:
             )
         ev = ScheduledEvent(t, priority, next(self._seq), callback, label, _owner=self)
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     def schedule_after(
@@ -203,10 +209,13 @@ class Simulator:
     # Heap hygiene
     # ------------------------------------------------------------------
     def _note_cancel(self) -> None:
-        # Called by ScheduledEvent.cancel().  Compact once cancelled
-        # entries are both numerous and the majority of the heap, so
-        # long runs that churn timers (MAC wake/sleep, watchdogs) keep
-        # O(live) memory instead of growing unboundedly.
+        # Called by ScheduledEvent.cancel() while the entry is still in
+        # the heap (_pop_live clears _owner on the way out, so cancelling
+        # an already-fired or drained event never reaches here).  Compact
+        # once cancelled entries are both numerous and the majority of
+        # the heap, so long runs that churn timers (MAC wake/sleep,
+        # watchdogs) keep O(live) memory instead of growing unboundedly.
+        self._live -= 1
         self._dead += 1
         if self._dead >= self.COMPACT_THRESHOLD and self._dead * 2 >= len(self._heap):
             self._compact()
@@ -226,6 +235,12 @@ class Simulator:
         while self._heap:
             ev = heapq.heappop(self._heap)
             if not ev.cancelled:
+                # Detach from the accounting: a later cancel() on an
+                # already-fired/drained event must not touch _live/_dead
+                # (it used to inflate _dead and trigger spurious
+                # compactions).
+                ev._owner = None
+                self._live -= 1
                 return ev
             if self._dead > 0:
                 self._dead -= 1
@@ -278,22 +293,15 @@ class Simulator:
                         self._now = float(until)
                     return
                 if until is not None and ev.time > until:
-                    # Put it back; we are done for this horizon.
+                    # Put it back; we are done for this horizon.  The
+                    # entry re-enters the accounting _pop_live detached.
                     heapq.heappush(self._heap, ev)
+                    ev._owner = self
+                    self._live += 1
                     self._now = float(until)
                     return
                 self._now = ev.time
-                if self._m_fired is None:
-                    ev.callback()
-                else:
-                    assert self._m_cb_wall is not None and self._m_heap is not None
-                    t0 = perf_counter()  # repro: noqa SIM001 -- obs wall-time metric only
-                    ev.callback()
-                    dt = perf_counter() - t0  # repro: noqa SIM001 -- obs metric only
-                    self._m_cb_wall.observe(dt)
-                    self._m_fired.inc()
-                    self._m_heap.set(len(self._heap))
-                self._processed += 1
+                self._fire(ev)
                 fired += 1
                 for hook in self._post_hooks:
                     hook(ev)

@@ -265,3 +265,88 @@ def test_exception_in_callback_propagates_and_leaves_kernel_usable():
     # The kernel must not be stuck in "running" state.
     sim.run()
     assert sim.now == 2.0
+
+
+# ---------------------------------------------------------------------------
+# Live-entry accounting (the O(1) pending_events counter)
+# ---------------------------------------------------------------------------
+
+def test_pending_events_is_live_counter():
+    sim = Simulator()
+    evs = [sim.schedule_at(float(i), lambda: None) for i in range(10)]
+    assert sim.pending_events == 10
+    evs[3].cancel()
+    evs[7].cancel()
+    assert sim.pending_events == 8
+    sim.run(until=4.0)
+    # Fired 0,1,2,4 (3 was cancelled); 5,6,8,9 remain live.
+    assert sim.pending_events == 4
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_counts():
+    sim = Simulator()
+    ev = sim.schedule_at(1.0, lambda: None)
+    later = sim.schedule_at(2.0, lambda: None)
+    sim.run(until=1.5)
+    assert sim.pending_events == 1
+    ev.cancel()                      # already fired: must be a no-op
+    assert sim.pending_events == 1
+    assert sim._dead == 0            # and must not count as heap garbage
+    later.cancel()
+    assert sim.pending_events == 0
+    sim.run()
+    assert sim.processed_events == 1
+
+
+def test_cancel_after_drain_is_noop_on_counts():
+    sim = Simulator()
+    evs = [sim.schedule_at(float(i + 1), lambda: None) for i in range(4)]
+    drained = list(sim.drain())
+    assert len(drained) == 4
+    assert sim.pending_events == 0
+    for ev in drained:
+        ev.cancel()
+    assert sim.pending_events == 0
+    assert sim._dead == 0
+
+
+def test_horizon_pushback_keeps_pending_count():
+    sim = Simulator()
+    sim.schedule_at(1.0, lambda: None)
+    beyond = sim.schedule_at(10.0, lambda: None)
+    sim.run(until=5.0)
+    # The beyond-horizon event was popped and re-queued: still pending,
+    # still cancellable with correct accounting.
+    assert sim.pending_events == 1
+    beyond.cancel()
+    assert sim.pending_events == 0
+    assert sim._dead == 1
+    sim.run()
+    assert sim.processed_events == 1
+
+
+def test_pending_count_survives_compaction():
+    sim = Simulator()
+    keep = [sim.schedule_at(1e9 + i, lambda: None) for i in range(5)]
+    for i in range(Simulator.COMPACT_THRESHOLD + 5):
+        sim.schedule_at(float(i + 1), lambda: None).cancel()
+    assert sim.compactions >= 1
+    assert sim.pending_events == len(keep)
+    # Post-compaction garbage stays bounded (sub-threshold stragglers only).
+    assert sim.heap_size < len(keep) + Simulator.COMPACT_THRESHOLD
+
+
+def test_drain_after_cancellations_and_horizon():
+    sim = Simulator()
+    a = sim.schedule_at(1.0, lambda: None)
+    b = sim.schedule_at(2.0, lambda: None)
+    c = sim.schedule_at(3.0, lambda: None)
+    b.cancel()
+    sim.run(until=1.0)
+    assert a.cancelled is False and sim.processed_events == 1
+    remaining = list(sim.drain())
+    assert remaining == [c]
+    assert sim.pending_events == 0
+    assert list(sim.drain()) == []
