@@ -9,28 +9,34 @@ Why no ripple: strobes are merge-only (SVC2 is a max) and the sensed
 variables travel as *cumulative state* in every strobe, so any later
 broadcast from the same process supersedes the lost one.
 
-Two harnesses:
+Three harnesses (E11b/E11c drive :mod:`repro.faults` — the same
+injector the ``repro chaos`` CLI uses):
 
 * **E11a (steady loss)** — sweep a Bernoulli loss rate q; error rate
   grows with q (losses hurt "in the temporal vicinity") but
   gracefully — no compounding blow-up.
-* **E11b (loss burst — the ripple test)** — ALL strobes are dropped
-  during a 20 s window of a 180 s run.  Detection during the window is
-  destroyed; the claim under test is that recall AFTER the window
-  recovers to its before-window level.
+* **E11b (loss burst — the ripple test)** — a ``burst_loss`` fault
+  window drops every message during 20 s of a 180 s run.  Detection
+  during the window is destroyed; the claim under test is that recall
+  AFTER the window recovers to its before-window level.
+* **E11c (crash during strobing)** — a door process fail-recovers
+  mid-run (``crash``/``restart`` fault events).  Its cumulative count
+  re-announces on rejoin, so recall after the outage recovers too.
 """
 
-import pytest
+import math
 
-import numpy as np
+import pytest
 
 from repro.analysis.metrics import BorderlinePolicy, match_detections
 from repro.analysis.sweep import format_table
 from repro.core.process import ClockConfig
 from repro.detect.strobe_vector import VectorStrobeDetector
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.net.delay import DeltaBoundedDelay
-from repro.net.loss import BernoulliLoss, LossModel, NoLoss
+from repro.net.loss import BernoulliLoss, NoLoss
 from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+from repro.sweep.points import detections_digest
 
 pytestmark = pytest.mark.slow
 
@@ -41,16 +47,9 @@ DURATION = 160.0
 BURST_START, BURST_END = 60.0, 80.0
 BURST_DURATION = 180.0
 
-
-class WindowLoss(LossModel):
-    """Drops every message sent inside [t0, t1) — the loss burst."""
-
-    def __init__(self, sim, t0: float, t1: float) -> None:
-        self._sim = sim
-        self._t0, self._t1 = t0, t1
-
-    def drops(self, rng: np.random.Generator) -> bool:
-        return self._t0 <= self._sim.now < self._t1
+CRASH_START, CRASH_END = 60.0, 75.0
+CRASH_DURATION = 150.0
+CRASH_PID = 1
 
 
 def make_hall(seed: int, loss) -> tuple[ExhibitionHall, VectorStrobeDetector]:
@@ -77,38 +76,67 @@ def run_steady(q: float, seed: int) -> dict:
     }
 
 
+def _windowed_recall(truth, detections, t0: float, t1: float) -> float:
+    ivs = [iv for iv in truth if t0 <= iv.start < t1]
+    dets = [d for d in detections if t0 <= d.trigger.true_time < t1]
+    if not ivs:
+        return float("nan")
+    return match_detections(ivs, dets, policy=BorderlinePolicy.AS_POSITIVE).recall
+
+
 def run_burst(seed: int) -> dict:
-    cfg = ExhibitionHallConfig(
-        doors=4, capacity=10, arrival_rate=2.0, mean_dwell=4.0,
-        seed=seed, delay=DeltaBoundedDelay(0.1),
-        clocks=ClockConfig(strobe_vector=True),
-    )
-    hall = ExhibitionHall(cfg)
-    # Swap in the window loss (needs the sim handle, hence post-hoc).
-    hall.system.net._loss = WindowLoss(hall.system.sim, BURST_START, BURST_END)
-    det = VectorStrobeDetector(hall.predicate, hall.initials)
-    hall.attach_detector(det)
+    """E11b: total loss during [BURST_START, BURST_END), injected as a
+    ``burst_loss`` fault window (GE chain pinned to the bad state with
+    p_bad=1 — every message in the window drops)."""
+    hall, det = make_hall(seed, NoLoss())
+    plan = FaultPlan("e11b-burst", (
+        FaultEvent(BURST_START, "burst_loss",
+                   {"p_bad": 1.0, "p_bg": 0.0, "p_gb": 0.0, "start_bad": True},
+                   duration=BURST_END - BURST_START),
+    ))
+    FaultInjector(hall.system, plan).arm()
     hall.run(BURST_DURATION)
     truth = hall.oracle().true_intervals(
         hall.system.world.ground_truth, t_end=BURST_DURATION
     )
     out = det.finalize()
-
-    def recall_in(t0, t1):
-        ivs = [iv for iv in truth if t0 <= iv.start < t1]
-        dets = [d for d in out if t0 <= d.trigger.true_time < t1]
-        if not ivs:
-            return float("nan")
-        return match_detections(ivs, dets, policy=BorderlinePolicy.AS_POSITIVE).recall
-
     return {
-        "recall_before": recall_in(0.0, BURST_START),
-        "recall_during": recall_in(BURST_START, BURST_END),
-        "recall_after": recall_in(BURST_END + 1.0, BURST_DURATION),
+        "detections": out,
+        "dropped_burst": hall.system.net.stats.dropped_burst,
+        "recall_before": _windowed_recall(truth, out, 0.0, BURST_START),
+        "recall_during": _windowed_recall(truth, out, BURST_START, BURST_END),
+        "recall_after": _windowed_recall(truth, out, BURST_END + 1.0, BURST_DURATION),
     }
 
 
-def run_experiment() -> tuple[list[dict], list[dict]]:
+def run_crash(seed: int) -> dict:
+    """E11c: door CRASH_PID fail-recovers during [CRASH_START,
+    CRASH_END).  The door's count is a cumulative world counter, so the
+    restart re-sample + rejoin re-announce supersede everything missed
+    during the outage — recall after the window recovers."""
+    hall, det = make_hall(seed, NoLoss())
+    plan = FaultPlan("e11c-crash", (
+        FaultEvent(CRASH_START, "crash", {"pid": CRASH_PID, "mode": "recover"},
+                   duration=CRASH_END - CRASH_START),
+    ))
+    FaultInjector(hall.system, plan).arm()
+    hall.run(CRASH_DURATION)
+    truth = hall.oracle().true_intervals(
+        hall.system.world.ground_truth, t_end=CRASH_DURATION
+    )
+    out = det.finalize()
+    proc = hall.system.processes[CRASH_PID]
+    return {
+        "detections": out,
+        "restarts": proc.restarts,
+        "dropped_crashed": hall.system.net.stats.dropped_crashed,
+        "recall_before": _windowed_recall(truth, out, 0.0, CRASH_START),
+        "recall_during": _windowed_recall(truth, out, CRASH_START, CRASH_END),
+        "recall_after": _windowed_recall(truth, out, CRASH_END + 1.0, CRASH_DURATION),
+    }
+
+
+def run_experiment() -> tuple[list[dict], list[dict], list[dict]]:
     steady = []
     for q in LOSS_RATES:
         acc: dict[str, float] = {}
@@ -123,25 +151,61 @@ def run_experiment() -> tuple[list[dict], list[dict]]:
 
     burst = []
     for seed in SEEDS:
-        row = {"seed": seed}
-        row.update(run_burst(seed))
-        burst.append(row)
-    return steady, burst
+        burst.append({"seed": seed, **run_burst(seed)})
+
+    crash = []
+    for seed in SEEDS:
+        crash.append({"seed": seed, **run_crash(seed)})
+    return steady, burst, crash
 
 
-def test_e11_loss_resilience(benchmark, save_table):
-    steady, burst = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_e11_loss_resilience(benchmark, save_table, save_bench_json):
+    from repro.obs import SpanTracer
+
+    tracer = SpanTracer()
+    with tracer.span("e11.run") as span:
+        steady, burst, crash = benchmark.pedantic(
+            run_experiment, rounds=1, iterations=1
+        )
     text_a = format_table(
         steady,
         columns=["loss_rate", "n_true", "errors", "error_per_true", "recall"],
         title=(f"E11a: steady strobe loss (Δ=0.1s, mean over {len(SEEDS)} seeds)"),
     )
     text_b = format_table(
-        burst,
-        title=(f"E11b: total loss burst during [{BURST_START:.0f}s, "
+        [{k: v for k, v in r.items() if k != "detections"} for r in burst],
+        title=(f"E11b: burst_loss fault window [{BURST_START:.0f}s, "
                f"{BURST_END:.0f}s) of a {BURST_DURATION:.0f}s run"),
     )
-    save_table("e11_loss_resilience", text_a + "\n\n" + text_b)
+    text_c = format_table(
+        [{k: v for k, v in r.items() if k != "detections"} for r in crash],
+        title=(f"E11c: door {CRASH_PID} crash/restart during "
+               f"[{CRASH_START:.0f}s, {CRASH_END:.0f}s) of a "
+               f"{CRASH_DURATION:.0f}s run"),
+    )
+    save_table("e11_loss_resilience", "\n\n".join([text_a, text_b, text_c]))
+
+    # Per-seed deterministic rows for the committed BENCH baseline; the
+    # single wall figure covers the whole experiment (rounds=1).
+    wall_each = span.wall_s / (2 * len(SEEDS)) if span.wall_s else None
+    rows = []
+    for kind, runs in (("burst", burst), ("crash_restart", crash)):
+        for r in runs:
+            rows.append({
+                "option": kind,
+                "seed": r["seed"],
+                "detections": len(r["detections"]),
+                "labels_digest": detections_digest(r["detections"]),
+                "wall_s": wall_each,
+            })
+    save_bench_json(
+        "e11_loss_resilience", rows,
+        meta={
+            "doors": 4, "capacity": 10, "delta": 0.1,
+            "burst": [BURST_START, BURST_END],
+            "crash": [CRASH_START, CRASH_END, CRASH_PID],
+        },
+    )
 
     # E11a: errors grow with q, but degradation is graceful (no
     # compounding blow-up: 8× the loss < ~6× the errors here).
@@ -152,9 +216,15 @@ def test_e11_loss_resilience(benchmark, save_table):
 
     # E11b: the ripple test.  The burst destroys detection inside the
     # window, and recall recovers after it.
-    import math
     for row in burst:
+        assert row["dropped_burst"] > 0
         if not math.isnan(row["recall_during"]):
             assert row["recall_during"] <= row["recall_before"]
         # Recovery: after-window recall returns to near before-window level.
+        assert row["recall_after"] >= row["recall_before"] - 0.15
+
+    # E11c: crash-during-strobing.  The outage is survived (the door
+    # rejoins and re-announces its cumulative count); no ripple after.
+    for row in crash:
+        assert row["restarts"] == 1
         assert row["recall_after"] >= row["recall_before"] - 0.15

@@ -14,6 +14,7 @@ Subcommands::
     obs       run any scenario fully instrumented and export the report
     sweep     run a (config, seed) replication matrix on a process pool
     lint      determinism & causality static analysis (repro.lint)
+    chaos     fault-injection run vs fault-free twin + §4.2.2 ripple check
 
 Examples::
 
@@ -21,6 +22,7 @@ Examples::
     python -m repro obs run smart_office --export jsonl
     python -m repro sweep detector_throughput --workers 4 --out sweep.jsonl
     python -m repro lint src --json
+    python -m repro chaos --plan default --seed 3 --json
 """
 
 from __future__ import annotations
@@ -398,6 +400,59 @@ def cmd_lint(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+def cmd_chaos(args) -> int:
+    """Run a scenario fault-free and under a fault plan; check §4.2.2.
+
+    Exit codes: 0 ripple check passed, 1 failed (a mismatch before the
+    first fault or beyond the ripple horizon), 2 usage error.
+    """
+    from repro.faults import FaultError, FaultPlan, default_plan, report_json, run_chaos
+
+    if args.plan == "default":
+        plan = default_plan()
+    else:
+        try:
+            with open(args.plan, encoding="utf-8") as fh:
+                plan = FaultPlan.from_json(fh.read())
+        except (OSError, ValueError, FaultError) as exc:
+            print(f"repro chaos: cannot load plan {args.plan!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    report = run_chaos(
+        args.scenario, seed=args.seed, duration=args.duration,
+        plan=plan, ripple_horizon=args.horizon,
+    )
+    text = report_json(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    if args.json:
+        print(text)
+    else:
+        mm = report["mismatches"]
+        print(f"plan      : {plan.name} ({len(plan)} events, "
+              f"{len(report['windows'])} windows)")
+        print(f"baseline  : {report['baseline']['detections']} detections")
+        print(f"faulty    : {report['faulty']['detections']} detections, "
+              f"{report['faulty']['restarts']} restart(s)")
+        print(f"mismatches: {mm['missing']} missing, {mm['spurious']} spurious")
+        for w in report["windows"]:
+            status = "ok" if w["ok"] else "RIPPLE"
+            print(f"  [{w['start']:7.2f}, {w['clear']:7.2f}] {w['action']:<15} "
+                  f"{w['mismatches']:3d} mismatch(es)  "
+                  f"error window {w['error_window_s']:.2f}s  {status}")
+        if report["unattributed"]:
+            print(f"  unattributed (pre-fault!): {report['unattributed']}")
+        print(f"ripple check: {'PASS' if report['ripple_ok'] else 'FAIL'} "
+              f"(horizon {report['ripple_horizon']}s)")
+    return 0 if report["ripple_ok"] else 1
+
+
+# ---------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -493,6 +548,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection run vs fault-free twin (repro.faults)",
+    )
+    p.add_argument("--scenario", default="smart_office",
+                   choices=["smart_office"],
+                   help="target scenario (must consume no network rng)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=180.0)
+    p.add_argument("--plan", default="default", metavar="NAME|PATH",
+                   help="'default' (canned crash+partition+burst+clock plan) "
+                        "or a FaultPlan JSON file")
+    p.add_argument("--horizon", type=float, default=20.0,
+                   help="ripple horizon: max seconds a mismatch may trail "
+                        "its fault window's clearing action")
+    p.add_argument("--json", action="store_true",
+                   help="print the canonical JSON report")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="also write the canonical JSON report to PATH")
+    p.set_defaults(fn=cmd_chaos)
 
     return parser
 

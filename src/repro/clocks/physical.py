@@ -93,6 +93,11 @@ class PhysicalClock:
         self._epoch = float(epoch)
         self._correction = 0.0
         self._adjustments = 0
+        # Fault-injection state (repro.faults): an injected additional
+        # frequency error, and a frozen register value while frozen.
+        self._extra_drift_ppm = 0.0
+        self._frozen_reading: float | None = None
+        self._faults = 0
 
     @property
     def model(self) -> DriftModel:
@@ -103,18 +108,46 @@ class PhysicalClock:
         """Number of sync corrections applied so far."""
         return self._adjustments
 
+    @property
+    def frozen(self) -> bool:
+        """True while the clock register is frozen (a stuck oscillator)."""
+        return self._frozen_reading is not None
+
+    @property
+    def extra_drift_ppm(self) -> float:
+        """Injected frequency error on top of the drift model's."""
+        return self._extra_drift_ppm
+
+    @property
+    def faults(self) -> int:
+        """Number of injected clock faults applied so far."""
+        return self._faults
+
     def rate(self) -> float:
         """Instantaneous clock rate d(local)/d(true)."""
-        return 1.0 + self._model.drift_ppm * 1e-6
+        return 1.0 + (self._model.drift_ppm + self._extra_drift_ppm) * 1e-6
 
-    def read(self, true_time: float) -> float:
-        """Local wall-clock reading at true time ``true_time``."""
-        base = (
+    def _noise_free_read(self, true_time: float) -> float:
+        return (
             self._model.offset
             + self._correction
             + self.rate() * (float(true_time) - self._epoch)
             + self._epoch
         )
+
+    def _rebase(self, true_time: float) -> None:
+        # Re-anchor the linear model at true_time so a rate change is
+        # continuous: the noise-free reading is unchanged at the anchor.
+        t = float(true_time)
+        reading = self._noise_free_read(t)
+        self._correction = reading - self._model.offset - t
+        self._epoch = t
+
+    def read(self, true_time: float) -> float:
+        """Local wall-clock reading at true time ``true_time``."""
+        if self._frozen_reading is not None:
+            return self._frozen_reading
+        base = self._noise_free_read(true_time)
         if self._model.noise_std > 0:
             assert self._rng is not None
             base += float(self._rng.normal(0.0, self._model.noise_std))
@@ -122,16 +155,46 @@ class PhysicalClock:
 
     def error(self, true_time: float) -> float:
         """Signed offset from true time (noise-free), for the oracle."""
-        return (
-            self._model.offset
-            + self._correction
-            + (self.rate() - 1.0) * (float(true_time) - self._epoch)
-        )
+        if self._frozen_reading is not None:
+            return self._frozen_reading - float(true_time)
+        return self._noise_free_read(true_time) - float(true_time)
 
     def adjust(self, delta: float) -> None:
         """Apply an additive correction (a sync step)."""
         self._correction += float(delta)
         self._adjustments += 1
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def perturb_drift(self, delta_ppm: float, true_time: float) -> None:
+        """Inject a drift spike: add ``delta_ppm`` to the frequency
+        error from ``true_time`` on, continuously (no reading jump at
+        the fault instant — a temperature step, not a register write).
+        Inject the negative delta later to end the spike."""
+        if self._frozen_reading is not None:
+            raise ClockError("cannot perturb a frozen clock")
+        self._rebase(true_time)
+        self._extra_drift_ppm += float(delta_ppm)
+        self._faults += 1
+
+    def freeze(self, true_time: float) -> None:
+        """Freeze the register at its current reading (a stuck clock)."""
+        if self._frozen_reading is not None:
+            raise ClockError("clock is already frozen")
+        self._frozen_reading = self._noise_free_read(true_time)
+        self._faults += 1
+
+    def unfreeze(self, true_time: float) -> None:
+        """Thaw a frozen clock: it resumes advancing at its configured
+        rate *from the frozen reading* — the accumulated stoppage stays
+        as offset error until a sync step cancels it."""
+        if self._frozen_reading is None:
+            raise ClockError("clock is not frozen")
+        t = float(true_time)
+        self._correction = self._frozen_reading - self._model.offset - t
+        self._epoch = t
+        self._frozen_reading = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

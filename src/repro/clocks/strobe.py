@@ -151,6 +151,18 @@ class StrobeVectorClock(_StrobeObsMixin, StrobeClock[VectorTimestamp]):
             return VectorTimestamp._from_trusted_tuple(tuple(self._v))
         return VectorTimestamp._from_trusted_array(self._v)  # type: ignore[arg-type]
 
+    def perturb(self, ticks: int) -> VectorTimestamp:
+        """Fault injection: corrupt the own component forward by
+        ``ticks`` — a bit-flipped/glitched register that subsequent
+        strobes will carry.  Forward-only, because SVC2's max-merge
+        silently masks a backward corruption (it never propagates),
+        while a forward jump spreads system-wide — the interesting
+        failure mode for the §4.2.2 resilience claim."""
+        if ticks < 1:
+            raise ClockError(f"perturbation must be >= 1 tick, got {ticks}")
+        self._v[self._pid] += int(ticks)
+        return self.read()
+
     def strobe_size(self) -> int:
         """O(n): a strobe carries the full vector."""
         return self._n
@@ -213,6 +225,14 @@ class StrobeScalarClock(_StrobeObsMixin, StrobeClock[ScalarTimestamp]):
 
     def read(self) -> ScalarTimestamp:
         return ScalarTimestamp(self._value, self._pid)
+
+    def perturb(self, ticks: int) -> ScalarTimestamp:
+        """Fault injection: jump the counter forward by ``ticks``
+        (forward-only — SSC2's max masks backward corruption)."""
+        if ticks < 1:
+            raise ClockError(f"perturbation must be >= 1 tick, got {ticks}")
+        self._value += int(ticks)
+        return self.read()
 
     def strobe_size(self) -> int:
         """O(1): a strobe carries a single integer."""

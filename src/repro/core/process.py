@@ -153,6 +153,11 @@ class SensorProcess:
         self._strobe_every = int(strobe_every)
         self._seen_strobes: set[tuple[int, int]] = set()
         self._crashed = False
+        self._crash_mode: str | None = None
+        self._restarts = 0
+        self._rejoining = False
+        #: (var, obj, attr, plain) per track() call — replayed on restart
+        self._trackings: list[tuple[str, str, str, bool]] = []
 
         net.register(pid, self._on_message)
 
@@ -177,6 +182,7 @@ class SensorProcess:
         zone change into a counter increment.
         """
         self.variables[var] = initial
+        self._trackings.append((var, obj, attr, transform is None))
 
         def on_change(change: AttributeChange) -> None:
             value = change.new if transform is None else transform(change)
@@ -331,16 +337,126 @@ class SensorProcess:
         return ev
 
     # ------------------------------------------------------------------
-    # Failure injection
+    # Failure injection (repro.faults)
     # ------------------------------------------------------------------
     @property
     def crashed(self) -> bool:
         return self._crashed
 
-    def crash(self) -> None:
-        """Fail-stop: the process stops sensing, strobing, sending and
-        receiving.  Irreversible (fail-stop, not fail-recover)."""
+    @property
+    def restarts(self) -> int:
+        """Number of completed reboots (fail-recover cycles)."""
+        return self._restarts
+
+    def crash(self, mode: str = "stop") -> None:
+        """Crash the process: it stops sensing, strobing, sending and
+        receiving, and the transport counts traffic addressed to it as
+        ``dropped_crashed``.
+
+        ``mode="stop"`` (default) is the classic fail-stop — permanent.
+        ``mode="recover"`` marks the crash recoverable: a later
+        :meth:`restart` reboots the process with volatile state lost.
+        """
+        if mode not in ("stop", "recover"):
+            raise ValueError(f"unknown crash mode {mode!r}")
         self._crashed = True
+        self._crash_mode = mode
+        self._rejoining = False
+        self._net.set_endpoint_down(self.pid)
+
+    def restart(self) -> None:
+        """Reboot a fail-recover crashed process (rejoin).
+
+        Volatile state is lost and rebuilt:
+
+        * logical and strobe clocks restart from zero — then re-sync on
+          rejoin: the process broadcasts a ``strobe_hello`` and every
+          live peer replies with its current strobe clocks, which the
+          rebooted node merges (SVC2/SSC2, merge-only on both ends).
+          Because a peer's vector carries *this* process's own pre-crash
+          component, the max-merge restores it — the mechanism behind
+          §4.2.2's no-ripple claim;
+        * the flood-suppression cache (``_seen_strobes``) is dropped —
+          it grew during the crashed epoch and would otherwise poison
+          re-flooded records forever;
+        * tracked variables are re-read: plain-value trackings re-sample
+          the live world attribute (a sensor reads its hardware at
+          boot); transform-based trackings keep their last stored value
+          (recovered from flash).  Once the first sync reply lands the
+          process re-announces every tracked variable so detector hosts
+          re-converge on current state.
+
+        Stable storage survives: the event/sense sequence counters stay
+        monotone across boots so record keys remain unique.  The
+        hardware clock (``physical_clock``) keeps its drift state — an
+        oscillator does not reboot with the software.
+        """
+        if not self._crashed:
+            raise RuntimeError(f"process {self.pid} is not crashed")
+        if self._crash_mode != "recover":
+            raise RuntimeError(
+                f"process {self.pid} crashed fail-stop; only "
+                "crash(mode='recover') is restartable"
+            )
+        self._crashed = False
+        self._crash_mode = None
+        self._restarts += 1
+        self._seen_strobes.clear()
+        cfg = self._config
+        if cfg.lamport:
+            self.lamport = LamportClock(self.pid)
+        if cfg.vector:
+            self.vector = VectorClock(self.pid, self.n)
+        if cfg.strobe_scalar:
+            self.strobe_scalar = self._carry_obs(
+                StrobeScalarClock(self.pid), self.strobe_scalar
+            )
+        if cfg.strobe_vector:
+            self.strobe_vector = self._carry_obs(
+                StrobeVectorClock(self.pid, self.n), self.strobe_vector
+            )
+        if cfg.physical_vector:
+            self.physical_vector = PhysicalVectorClock(
+                self.pid, self.n, self.physical_clock
+            )
+        for var, obj, attr, plain in self._trackings:
+            if plain:
+                self.variables[var] = self._world.get(obj).get(
+                    attr, self.variables.get(var)
+                )
+        self._net.set_endpoint_down(self.pid, down=False)
+        if self.strobe_scalar is not None or self.strobe_vector is not None:
+            # Solicit clock state; _on_strobe_sync re-announces once the
+            # first reply has been merged, so the announce records sort
+            # after everything the observer already processed.
+            self._rejoining = True
+            self._net.broadcast(
+                self.pid, "strobe_hello", payload=self.pid, size=1, control=True
+            )
+        else:
+            self._reannounce()
+
+    @staticmethod
+    def _carry_obs(new_clock, old_clock):
+        # Restarted clocks keep the obs bindings of their predecessors
+        # (instrument_system ran at build time and won't run again).
+        if old_clock is not None:
+            for attr in (
+                "_m_emitted", "_m_merged", "_m_payload", "_m_catchup", "_m_skew",
+            ):
+                handle = getattr(old_clock, attr, None)
+                if handle is not None:
+                    setattr(new_clock, attr, handle)
+        return new_clock
+
+    def _reannounce(self) -> None:
+        """Re-announce every tracked variable (post-restart rejoin)."""
+        for var, obj, attr, plain in self._trackings:
+            if plain:
+                value = self._world.get(obj).get(attr, self.variables.get(var))
+            else:
+                value = self.variables.get(var)
+            self.on_sense(var, value)
 
     # ------------------------------------------------------------------
     # Receive dispatch
@@ -350,6 +466,10 @@ class SensorProcess:
             return
         if msg.kind == "strobe":
             self._on_strobe(msg)
+        elif msg.kind == "strobe_hello":
+            self._on_strobe_hello(msg)
+        elif msg.kind == "strobe_sync":
+            self._on_strobe_sync(msg)
         elif msg.kind.startswith("app:"):
             self._on_app(msg)
         # Unknown kinds are dropped silently: forward-compatibility with
@@ -377,6 +497,43 @@ class SensorProcess:
             )
         for fn in self._strobe_listeners:
             fn(record)
+
+    def _on_strobe_hello(self, msg: Message) -> None:
+        """A rebooted peer lost its strobe clocks; reply with ours.
+
+        The reply is a merge-only catch-up (no tick on either side —
+        rebooting is not a relevant event), the strobe analogue of the
+        on-demand sync round the paper cites [3].  Our vector carries
+        the *sender's own* last-heard component, which its max-merge
+        restores — so its next sensed records continue the pre-crash
+        stamp sequence instead of sorting inside the observer's
+        processed prefix."""
+        payload: dict = {}
+        size = 0
+        if self.strobe_scalar is not None:
+            payload["strobe_scalar"] = self.strobe_scalar.read()
+            size += self.strobe_scalar.strobe_size()
+        if self.strobe_vector is not None:
+            payload["strobe_vector"] = self.strobe_vector.read()
+            size += self.strobe_vector.strobe_size()
+        if payload:
+            self._net.send(
+                self.pid, msg.src, "strobe_sync",
+                payload=payload, size=max(size, 1), control=True,
+            )
+
+    def _on_strobe_sync(self, msg: Message) -> None:
+        """Merge a rejoin catch-up reply (SSC2/SVC2, no tick)."""
+        payload = msg.payload
+        if self.strobe_scalar is not None and "strobe_scalar" in payload:
+            self.strobe_scalar.on_strobe(payload["strobe_scalar"])
+        if self.strobe_vector is not None and "strobe_vector" in payload:
+            self.strobe_vector.on_strobe(payload["strobe_vector"])
+        if self._rejoining:
+            # First reply merged: announce tracked state now, properly
+            # ordered after everything the peers have seen.
+            self._rejoining = False
+            self._reannounce()
 
     def _on_app(self, msg: Message) -> None:
         stamps_in = msg.payload["stamps"]

@@ -53,6 +53,8 @@ class _OnlineObsMixin:
     _m_late = None
     _m_backlog = None
     _m_latency = None
+    _m_quarantined = None
+    _m_quarantine_events = None
 
     def bind_obs(self, registry) -> None:
         self._m_records = registry.counter("detect.records")
@@ -63,9 +65,59 @@ class _OnlineObsMixin:
         self._m_latency = registry.histogram(
             "detect.emit_latency_s", buckets=_LATENCY_BUCKETS
         )
+        self._m_quarantined = registry.gauge("detect.quarantined")
+        self._m_quarantine_events = registry.counter("detect.quarantine_events")
 
 
-class OnlineVectorStrobeDetector(_OnlineObsMixin, VectorStrobeDetector):
+class _LivenessMixin:
+    """Liveness tracking + quarantine for the online detectors.
+
+    A process that has fed the detector nothing for ``liveness_horizon``
+    simulated seconds is *quarantined*: added to :attr:`quarantined`,
+    counted, and flagged through obs.  Quarantine is advisory — the
+    detector keeps processing whatever arrives (its watermark is
+    arrival-driven, so a silent process never stalls it), but consumers
+    evaluating ``Definitely``-style conjunctions over per-process
+    interval queues should drop quarantined conjuncts instead of
+    waiting on a dead process forever (graceful degradation: answers
+    degrade to ``Possibly``/BORDERLINE rather than never arriving).
+    The first record heard from a quarantined process rejoins it.
+    """
+
+    def _liveness_init(self, horizon: "float | None") -> None:
+        if horizon is not None and horizon <= 0:
+            raise ValueError(f"liveness_horizon must be positive, got {horizon}")
+        self._liveness_horizon = None if horizon is None else float(horizon)
+        self._last_heard: dict[int, float] = {}
+        #: pids currently considered silent/dead (advisory)
+        self.quarantined: set[int] = set()
+        #: total quarantine entries over the run (rejoins don't subtract)
+        self.quarantine_events = 0
+
+    def _note_heard(self, pid: int, now: float) -> None:
+        if self._liveness_horizon is None:
+            return
+        self._last_heard[pid] = now
+        if pid in self.quarantined:
+            self.quarantined.discard(pid)
+            if self._m_quarantined is not None:
+                self._m_quarantined.set(len(self.quarantined))
+
+    def _update_quarantine(self, now: float) -> None:
+        horizon = self._liveness_horizon
+        if horizon is None:
+            return
+        for pid in sorted(self._last_heard):
+            if pid not in self.quarantined and now - self._last_heard[pid] > horizon:
+                self.quarantined.add(pid)
+                self.quarantine_events += 1
+                if self._m_quarantine_events is not None:
+                    self._m_quarantine_events.inc()
+                if self._m_quarantined is not None:
+                    self._m_quarantined.set(len(self.quarantined))
+
+
+class OnlineVectorStrobeDetector(_LivenessMixin, _OnlineObsMixin, VectorStrobeDetector):
     """Watermark-based online variant of the vector-strobe detector.
 
     Parameters
@@ -80,6 +132,9 @@ class OnlineVectorStrobeDetector(_OnlineObsMixin, VectorStrobeDetector):
     check_period:
         How often the watermark advances (seconds).  Smaller periods
         reduce detection latency jitter at more bookkeeping.
+    liveness_horizon:
+        Quarantine processes silent for this many simulated seconds
+        (see :class:`_LivenessMixin`); ``None`` disables the tracking.
     """
 
     name = "online_strobe_vector"
@@ -93,12 +148,14 @@ class OnlineVectorStrobeDetector(_OnlineObsMixin, VectorStrobeDetector):
         delta: float,
         check_period: float = 0.1,
         max_race_combos: int = 4096,
+        liveness_horizon: float | None = None,
     ) -> None:
         if delta < 0:
             raise ValueError(f"delta must be non-negative, got {delta}")
         if check_period <= 0:
             raise ValueError(f"check_period must be positive, got {check_period}")
         super().__init__(predicate, initials, max_race_combos=max_race_combos)
+        self._liveness_init(liveness_horizon)
         self._sim = sim
         self._stability_wait = 2.0 * float(delta)
         self._arrivals: dict[tuple[int, int], float] = {}
@@ -107,6 +164,7 @@ class OnlineVectorStrobeDetector(_OnlineObsMixin, VectorStrobeDetector):
         self._processed: list[SensedEventRecord] = []
         self._prevs: list[Any] = []          # prev value per processed record
         self._state = {"prev_lin": False, "prev_possible": False}
+        self._late_keys: set[tuple[int, int]] = set()
         self.late_records = 0
         #: (detection, emit_time) pairs for latency analysis
         self.emissions: list[tuple[Detection, float]] = []
@@ -123,6 +181,7 @@ class OnlineVectorStrobeDetector(_OnlineObsMixin, VectorStrobeDetector):
         self._timer.stop()
 
     def feed(self, record: SensedEventRecord) -> None:
+        self._note_heard(record.pid, self._sim.now)
         if self.store.add(record):
             self._arrivals[record.key()] = self._sim.now
             if self._m_records is not None:
@@ -133,6 +192,7 @@ class OnlineVectorStrobeDetector(_OnlineObsMixin, VectorStrobeDetector):
         """Advance the watermark: process every record whose position in
         the linearization is final."""
         now = self._sim.now
+        self._update_quarantine(now)
         if self._m_flushes is not None:
             self._m_flushes.inc()
         records = self.store.all()
@@ -141,8 +201,10 @@ class OnlineVectorStrobeDetector(_OnlineObsMixin, VectorStrobeDetector):
 
         # Late records sort inside the already-processed region — this
         # is impossible under the no-loss stability argument (module
-        # docstring) and means a strobe was lost; drop them, counted.
-        done_keys = {r.key() for r in self._processed}
+        # docstring) and means a strobe was lost; drop them, counted
+        # once each (they stay in ``_late_keys`` so later flushes skip
+        # them without re-counting).
+        done_keys = {r.key() for r in self._processed} | self._late_keys
         if self._processed:
             last_key = self._sort_key(self._processed[-1])
             late = [
@@ -153,8 +215,10 @@ class OnlineVectorStrobeDetector(_OnlineObsMixin, VectorStrobeDetector):
                 self.late_records += len(late)
                 if self._m_late is not None:
                     self._m_late.inc(len(late))
-                late_keys = {r.key() for r in late}
-                ordered = [r for r in ordered if r.key() not in late_keys]
+                self._late_keys.update(r.key() for r in late)
+                done_keys |= {r.key() for r in late}
+        if self._late_keys:
+            ordered = [r for r in ordered if r.key() not in self._late_keys]
 
         # Candidate suffix in order; process while stable.
         suffix = [r for r in ordered if r.key() not in done_keys]
@@ -205,7 +269,7 @@ class OnlineVectorStrobeDetector(_OnlineObsMixin, VectorStrobeDetector):
         return [t - d.trigger.true_time for d, t in self.emissions]
 
 
-class OnlineScalarStrobeDetector(_OnlineObsMixin, Detector):
+class OnlineScalarStrobeDetector(_LivenessMixin, _OnlineObsMixin, Detector):
     """Watermark-based online scalar-strobe detection.
 
     The 2Δ stability argument holds for the scalar order too: any
@@ -229,12 +293,14 @@ class OnlineScalarStrobeDetector(_OnlineObsMixin, Detector):
         *,
         delta: float,
         check_period: float = 0.1,
+        liveness_horizon: float | None = None,
     ) -> None:
         if delta < 0:
             raise ValueError(f"delta must be non-negative, got {delta}")
         if check_period <= 0:
             raise ValueError(f"check_period must be positive, got {check_period}")
         super().__init__(predicate, initials)
+        self._liveness_init(liveness_horizon)
         self._sim = sim
         self._stability_wait = 2.0 * float(delta)
         self._arrivals: dict[tuple[int, int], float] = {}
@@ -263,6 +329,7 @@ class OnlineScalarStrobeDetector(_OnlineObsMixin, Detector):
             raise ValueError(
                 f"record {record.key()} lacks a strobe_scalar stamp"
             )
+        self._note_heard(record.pid, self._sim.now)
         if self.store.add(record):
             self._arrivals[record.key()] = self._sim.now
             if self._m_records is not None:
@@ -270,6 +337,7 @@ class OnlineScalarStrobeDetector(_OnlineObsMixin, Detector):
 
     def flush(self) -> None:
         now = self._sim.now
+        self._update_quarantine(now)
         if self._m_flushes is not None:
             self._m_flushes.inc()
         pending = sorted(

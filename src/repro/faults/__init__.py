@@ -1,0 +1,32 @@
+"""repro.faults — deterministic fault injection (§4.2.2 robustness).
+
+Declarative fault plans (:class:`FaultPlan`) of crash/restart,
+partition/heal, burst-loss, and clock faults, executed on the sim
+kernel by :class:`FaultInjector`, and a chaos harness
+(:func:`run_chaos`) that certifies the paper's no-ripple claim by
+diffing a faulty run against its fault-free twin.
+"""
+
+from repro.faults.chaos import default_plan, report_json, run_chaos
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ACTIONS,
+    PAIRED,
+    FaultError,
+    FaultEvent,
+    FaultPlan,
+    FaultWindow,
+)
+
+__all__ = [
+    "ACTIONS",
+    "PAIRED",
+    "FaultError",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultWindow",
+    "FaultInjector",
+    "default_plan",
+    "run_chaos",
+    "report_json",
+]

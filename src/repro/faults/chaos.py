@@ -1,0 +1,235 @@
+"""The chaos harness: certify §4.2.2's *no-ripple* claim.
+
+    "a message loss may result in the wrong detection of the predicate
+    in the temporal vicinity of the lost message.  However, there will
+    be no long-term ripple effects."
+
+:func:`run_chaos` runs a scenario twice from the same seed — once
+fault-free, once under a :class:`~repro.faults.plan.FaultPlan` — and
+compares the two online-detection streams.  World randomness lives on
+substreams independent of the network and fault streams, so the two
+runs share the *same ground truth*; every detection mismatch is
+attributable to the injected faults alone.
+
+The ripple check: every mismatch must fall inside a fault window or
+within ``ripple_horizon`` seconds after its clearing action.  A
+mismatch *before* the first fault (un-attributable) or long after the
+last clear (a ripple) fails the run.
+
+Detections are compared as a multiset of ``(true_time, pid, var,
+value)`` keys — the detection *label* (FIRM vs BORDERLINE) is
+deliberately excluded, since a lost strobe legitimately flips
+concurrency information without being a "wrong detection" in the
+paper's sense, and sequence numbers shift after a restart.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultWindow
+
+#: Quarantine horizon used by the chaos detectors (advisory; motion
+#: gaps in the office run tens of seconds, so keep this generous).
+LIVENESS_HORIZON = 30.0
+
+
+def default_plan() -> FaultPlan:
+    """The canned everything-at-once plan: crash→restart, partition→
+    heal, burst loss, a drift spike, and a strobe register glitch —
+    one of each §4.2.2 failure class in a single run."""
+    from repro.faults.plan import FaultEvent
+
+    return FaultPlan(
+        name="default",
+        events=(
+            FaultEvent(40.0, "crash", {"pid": 1, "mode": "recover"}, duration=12.0),
+            FaultEvent(70.0, "partition", {"groups": [[0], [1]]}, duration=10.0),
+            FaultEvent(95.0, "burst_loss",
+                       {"p_bad": 0.9, "p_bg": 0.05, "start_bad": True},
+                       duration=10.0),
+            FaultEvent(110.0, "clock_drift", {"pid": 0, "delta_ppm": 400.0},
+                       duration=10.0),
+            FaultEvent(125.0, "strobe_perturb", {"pid": 1, "ticks": 3}),
+        ),
+    )
+
+
+def _build(scenario: str, seed: int):
+    """Build (scenario_obj, predicate, initials, detector_host_delta).
+
+    Only scenarios whose fault-free run consumes no network randomness
+    qualify (synchronous delay, no loss): the fault plan must not shift
+    any model rng stream, or baseline-vs-faulty mismatches would stop
+    being attributable to the faults.
+    """
+    if scenario == "smart_office":
+        from repro.scenarios.smart_office import SmartOffice, SmartOfficeConfig
+
+        sc = SmartOffice(SmartOfficeConfig(
+            seed=seed,
+            temp_threshold=28.0, temp_base=27.5, temp_sigma=1.5,
+            mean_occupied=40.0, mean_vacant=15.0,
+        ))
+        return sc, sc.predicate, sc.initials, 0.0
+    raise ValueError(f"unknown chaos scenario {scenario!r}")
+
+
+def _run_once(
+    scenario: str,
+    seed: int,
+    duration: float,
+    plan: FaultPlan | None,
+) -> dict[str, Any]:
+    from repro.detect.online import OnlineVectorStrobeDetector
+
+    sc, phi, initials, delta = _build(scenario, seed)
+    system = sc.system
+    det = OnlineVectorStrobeDetector(
+        system.sim, phi, initials,
+        delta=delta, liveness_horizon=LIVENESS_HORIZON,
+    )
+    sc.attach_detector(det)
+    det.start()
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(system, plan)
+        injector.arm()
+    sc.run(duration)
+    det.finalize()
+    stats = system.net.stats
+    return {
+        "detections": [
+            (round(d.trigger.true_time, 9), d.trigger.pid, d.trigger.var,
+             repr(d.trigger.value))
+            for d in det.detections
+        ],
+        "labels": [d.label.name for d in det.detections],
+        "late_records": det.late_records,
+        "quarantine_events": det.quarantine_events,
+        "restarts": sum(p.restarts for p in system.processes),
+        "net": {
+            "sent": stats.sent,
+            "delivered": stats.delivered,
+            "dropped_loss": stats.dropped_loss,
+            "dropped_partition": stats.dropped_partition,
+            "dropped_crashed": stats.dropped_crashed,
+            "dropped_burst": stats.dropped_burst,
+        },
+        "faults_applied": list(injector.applied) if injector else [],
+    }
+
+
+def _attribute(
+    times: list[float], windows: list[FaultWindow], horizon: float, duration: float
+) -> tuple[list[dict[str, Any]], list[float], bool]:
+    """Assign each mismatch time to the latest window that started at
+    or before it; compute per-window error-window lengths."""
+    per_window: list[list[float]] = [[] for _ in windows]
+    unattributed: list[float] = []
+    for t in sorted(times):
+        best = -1
+        for i, w in enumerate(windows):
+            if w.start <= t + 1e-9:
+                best = i
+        if best < 0:
+            unattributed.append(t)
+        else:
+            per_window[best].append(t)
+    rows: list[dict[str, Any]] = []
+    all_ok = not unattributed
+    for w, ts in zip(windows, per_window):
+        clear = min(w.clear, duration)
+        last = max(ts) if ts else None
+        err = max(0.0, last - clear) if last is not None else 0.0
+        ok = err <= horizon
+        all_ok = all_ok and ok
+        rows.append({
+            "action": w.action,
+            "start": w.start,
+            "clear": clear,
+            "params": dict(w.params),
+            "mismatches": len(ts),
+            "last_mismatch": last,
+            "error_window_s": round(err, 9),
+            "ok": ok,
+        })
+    return rows, unattributed, all_ok
+
+
+def run_chaos(
+    scenario: str = "smart_office",
+    *,
+    seed: int = 0,
+    duration: float = 180.0,
+    plan: FaultPlan | None = None,
+    ripple_horizon: float = 20.0,
+) -> dict[str, Any]:
+    """Run the scenario fault-free and under ``plan``; return the
+    chaos report (JSON-serializable, fully deterministic — no wall
+    times, no environment state)."""
+    if plan is None:
+        plan = default_plan()
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if ripple_horizon < 0:
+        raise ValueError(f"ripple_horizon must be >= 0, got {ripple_horizon}")
+
+    base = _run_once(scenario, seed, duration, None)
+    faulty = _run_once(scenario, seed, duration, plan)
+
+    base_keys = Counter(tuple(k) for k in base["detections"])
+    fault_keys = Counter(tuple(k) for k in faulty["detections"])
+    missing = base_keys - fault_keys     # in baseline, lost under faults
+    spurious = fault_keys - base_keys    # only under faults
+
+    times: list[float] = []
+    for key, count in sorted(missing.items()):
+        times.extend([key[0]] * count)
+    for key, count in sorted(spurious.items()):
+        times.extend([key[0]] * count)
+
+    windows, unattributed, ripple_ok = _attribute(
+        times, plan.windows(), ripple_horizon, duration
+    )
+
+    def _summary(run: dict[str, Any]) -> dict[str, Any]:
+        out = dict(run)
+        out["detections"] = len(run["detections"])
+        del out["labels"]
+        return out
+
+    return {
+        "scenario": scenario,
+        "seed": seed,
+        "duration": duration,
+        "ripple_horizon": ripple_horizon,
+        "plan": plan.to_spec(),
+        "baseline": _summary(base),
+        "faulty": _summary(faulty),
+        "mismatches": {
+            "missing": sum(missing.values()),
+            "spurious": sum(spurious.values()),
+            "times": [round(t, 9) for t in sorted(times)],
+        },
+        "windows": windows,
+        "unattributed": [round(t, 9) for t in unattributed],
+        "ripple_ok": ripple_ok,
+    }
+
+
+def report_json(report: dict[str, Any]) -> str:
+    """Canonical JSON for the chaos report — the byte-identical
+    artifact CI compares across runs and worker counts."""
+    return json.dumps(report, sort_keys=True, separators=(",", ":"))
+
+
+__all__ = [
+    "LIVENESS_HORIZON",
+    "default_plan",
+    "run_chaos",
+    "report_json",
+]

@@ -72,7 +72,12 @@ class GilbertElliottLoss(LossModel):
 
     In the good state messages are dropped with probability
     ``p_good`` (usually ~0); in the bad state with ``p_bad`` (high).
-    ``p_gb``/``p_bg`` are per-message transition probabilities.
+    ``p_gb``/``p_bg`` are per-message transition probabilities, so the
+    mean burst (bad-state sojourn, in messages) is ``1 / p_bg``.
+
+    ``start_bad`` starts the chain in the bad state — the shape the
+    fault injector wants for a time-windowed burst episode, where the
+    window *is* the burst and should drop from its first message.
     """
 
     def __init__(
@@ -81,6 +86,8 @@ class GilbertElliottLoss(LossModel):
         p_bg: float = 0.2,
         p_good: float = 0.0,
         p_bad: float = 0.8,
+        *,
+        start_bad: bool = False,
     ) -> None:
         for name, v in (("p_gb", p_gb), ("p_bg", p_bg), ("p_good", p_good), ("p_bad", p_bad)):
             if not 0.0 <= v <= 1.0:
@@ -89,7 +96,8 @@ class GilbertElliottLoss(LossModel):
         self._p_bg = p_bg
         self._p_good = p_good
         self._p_bad = p_bad
-        self._bad = False
+        self._bad = bool(start_bad)
+        self._start_bad = bool(start_bad)
         self._m_transitions = None
         self._m_bad = None
 
@@ -120,6 +128,13 @@ class GilbertElliottLoss(LossModel):
             self._m_drops.inc()
         return dropped
 
+    def mean_burst_length(self) -> float:
+        """Expected bad-state sojourn in messages: geometric, 1/p_bg
+        (the ``r`` of the classic Gilbert model's 1/r mean burst)."""
+        if self._p_bg == 0.0:
+            return float("inf")
+        return 1.0 / self._p_bg
+
     def stationary_loss_rate(self) -> float:
         """Long-run average loss probability (for test calibration)."""
         denom = self._p_gb + self._p_bg
@@ -129,9 +144,10 @@ class GilbertElliottLoss(LossModel):
         return pi_bad * self._p_bad + (1.0 - pi_bad) * self._p_good
 
     def __repr__(self) -> str:
+        extra = ", start_bad=True" if self._start_bad else ""
         return (
             f"GilbertElliottLoss(p_gb={self._p_gb}, p_bg={self._p_bg}, "
-            f"p_good={self._p_good}, p_bad={self._p_bad})"
+            f"p_good={self._p_good}, p_bad={self._p_bad}{extra})"
         )
 
 

@@ -142,4 +142,101 @@ class DynamicTopology(Topology):
         self._g.add_edge(a, b)
 
 
-__all__ = ["Topology", "DynamicTopology"]
+class PartitionOverlay:
+    """A temporary severing of overlay links — the fault-injection view
+    of §2.1's "L is a dynamically changing graph".
+
+    Unlike :class:`DynamicTopology` churn, an overlay never mutates the
+    underlying topology: the :class:`~repro.net.transport.Network`
+    installs one for the fault window and removes it on heal, so the
+    pre-fault graph is restored exactly.  Two specification styles:
+
+    * group-based — ``PartitionOverlay.split([0, 1], [2, 3])``: nodes
+      in different groups cannot communicate (nodes absent from every
+      group form one implicit extra group);
+    * edge-based — ``PartitionOverlay(cut_edges=[(0, 1)])``: the listed
+      links are severed and reachability is recomputed on the residual
+      graph (multi-hop detours still deliver).
+    """
+
+    def __init__(
+        self,
+        cut_edges: "object" = (),
+        groups: "object | None" = None,
+    ) -> None:
+        self._cut = frozenset(
+            (min(int(a), int(b)), max(int(a), int(b)))
+            for a, b in cut_edges  # type: ignore[union-attr]
+        )
+        if groups is None:
+            self._groups: tuple[frozenset, ...] | None = None
+        else:
+            gs = tuple(frozenset(int(x) for x in g) for g in groups)  # type: ignore[union-attr]
+            seen: set[int] = set()
+            for g in gs:
+                if seen & g:
+                    raise ValueError(f"partition groups overlap: {sorted(seen & g)}")
+                seen |= g
+            self._groups = gs
+        # Component-map cache for residual reachability, invalidated on
+        # (graph identity, edge count) change — enough for the static
+        # and churned topologies in this codebase.
+        self._cache_key: tuple | None = None
+        self._components: dict[int, int] = {}
+
+    @classmethod
+    def split(cls, *groups) -> "PartitionOverlay":
+        """Group-based partition: ``split([0, 1], [2, 3])``."""
+        return cls(groups=groups)
+
+    @property
+    def cut_edges(self) -> frozenset:
+        return self._cut
+
+    @property
+    def groups(self) -> "tuple[frozenset, ...] | None":
+        return self._groups
+
+    def _group_of(self, node: int) -> int:
+        assert self._groups is not None
+        for i, g in enumerate(self._groups):
+            if node in g:
+                return i
+        return -1     # the implicit "everyone else" group
+
+    def _component_map(self, topo: Topology) -> dict[int, int]:
+        key = (id(topo.graph), topo.graph.number_of_edges())
+        if key != self._cache_key:
+            g = topo.graph.copy()
+            for a, b in self._cut:
+                if g.has_edge(a, b):
+                    g.remove_edge(a, b)
+            if self._groups is not None:
+                for a, b in list(g.edges):
+                    if self._group_of(int(a)) != self._group_of(int(b)):
+                        g.remove_edge(a, b)
+            comp: dict[int, int] = {}
+            for i, nodes in enumerate(nx.connected_components(g)):
+                for node in nodes:
+                    comp[int(node)] = i
+            self._cache_key = key
+            self._components = comp
+        return self._components
+
+    def connected(self, topo: Topology, a: int, b: int) -> bool:
+        """Reachability under this overlay, on top of ``topo``."""
+        if a == b:
+            return True
+        if self._groups is not None and self._group_of(a) != self._group_of(b):
+            return False
+        comp = self._component_map(topo)
+        ca, cb = comp.get(a), comp.get(b)
+        return ca is not None and ca == cb
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._groups is not None:
+            return f"PartitionOverlay(groups={[sorted(g) for g in self._groups]})"
+        return f"PartitionOverlay(cut_edges={sorted(self._cut)})"
+
+
+__all__ = ["Topology", "DynamicTopology", "PartitionOverlay"]

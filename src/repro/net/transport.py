@@ -24,7 +24,7 @@ from repro.net.delay import DelayModel, SynchronousDelay
 from repro.net.loss import LossModel, NoLoss
 from repro.net.mac import DutyCycleMAC
 from repro.net.message import Message
-from repro.net.topology import Topology
+from repro.net.topology import PartitionOverlay, Topology
 from repro.sim.kernel import Simulator
 from repro.sim.rng import substream_seed
 
@@ -43,6 +43,8 @@ class NetworkStats:
     delivered: int = 0
     dropped_loss: int = 0
     dropped_partition: int = 0
+    dropped_crashed: int = 0    # destination endpoint was down (fail-stop)
+    dropped_burst: int = 0      # dropped by an injected burst-loss override
     app_messages: int = 0
     control_messages: int = 0
     app_units: int = 0       # abstract payload units (ints carried)
@@ -99,11 +101,20 @@ class Network:
         self._record_delays = record_delays
         self._mac = mac
         self.stats = NetworkStats()
+        # Fault-injection state (repro.faults): endpoints that are
+        # fail-stopped, an optional partition overlay, and an optional
+        # burst-loss override layered over the configured loss model.
+        self._down: set[int] = set()
+        self._partition: PartitionOverlay | None = None
+        self._loss_override: LossModel | None = None
+        self._loss_override_rng: np.random.Generator | None = None
         # Observability handles (None = no-op fast path).
         self._m_sent = None
         self._m_delivered = None
         self._m_drop_loss = None
         self._m_drop_part = None
+        self._m_drop_crash = None
+        self._m_drop_burst = None
         self._m_delay = None
         self._m_units = None
 
@@ -132,6 +143,57 @@ class Network:
     def endpoints(self) -> list[int]:
         return sorted(self._endpoints)
 
+    # -- fault-injection hooks (repro.faults) ---------------------------
+    def set_endpoint_down(self, node: int, down: bool = True) -> None:
+        """Mark an endpoint fail-stopped (or back up).  Messages to a
+        down endpoint — including copies already in flight — are
+        counted in ``dropped_crashed``, distinctly from partitions."""
+        if down:
+            self._down.add(node)
+        else:
+            self._down.discard(node)
+
+    def is_endpoint_down(self, node: int) -> bool:
+        return node in self._down
+
+    @property
+    def partition(self) -> PartitionOverlay | None:
+        return self._partition
+
+    def set_partition(self, overlay: PartitionOverlay) -> None:
+        """Install a partition overlay (one at a time — faults compose
+        in the plan, not by stacking overlays)."""
+        if self._partition is not None:
+            raise TransportError("a partition overlay is already installed")
+        self._partition = overlay
+
+    def heal_partition(self) -> None:
+        self._partition = None
+
+    @property
+    def loss_override(self) -> LossModel | None:
+        return self._loss_override
+
+    def set_loss_override(
+        self, model: LossModel, rng: np.random.Generator
+    ) -> None:
+        """Layer a burst-loss model over the configured one.
+
+        The override draws from its *own* generator (substream-seeded
+        by the injector), and it is consulted *after* the base loss and
+        delay draws — so the base RNG stream consumes identically with
+        and without the fault, which is what keeps a faulty run
+        byte-comparable to its fault-free twin outside fault windows.
+        """
+        if self._loss_override is not None:
+            raise TransportError("a loss override is already installed")
+        self._loss_override = model
+        self._loss_override_rng = rng
+
+    def clear_loss_override(self) -> None:
+        self._loss_override = None
+        self._loss_override_rng = None
+
     def bind_obs(self, registry) -> None:
         """Attach transport metrics (sends, deliveries, drops, delay
         distribution, payload units); also binds the loss model."""
@@ -139,6 +201,8 @@ class Network:
         self._m_delivered = registry.counter("net.delivered")
         self._m_drop_loss = registry.counter("net.dropped_loss")
         self._m_drop_part = registry.counter("net.dropped_partition")
+        self._m_drop_crash = registry.counter("net.dropped_crashed")
+        self._m_drop_burst = registry.counter("net.dropped_burst")
         self._m_units = registry.counter("net.payload_units")
         # Delay buckets: sub-ms to ~100 s of *simulated* latency.
         self._m_delay = registry.histogram(
@@ -235,7 +299,20 @@ class Network:
             self._m_units.inc(msg.size)
 
     def _dispatch(self, msg: Message) -> None:
-        if not self._topo.connected(msg.src, msg.dst):
+        if msg.dst in self._down:
+            self.stats.dropped_crashed += 1
+            if self._m_drop_crash is not None:
+                self._m_drop_crash.inc()
+            return
+        if self._partition is not None:
+            # The overlay computes reachability on the residual graph,
+            # so it subsumes the plain topology check.
+            if not self._partition.connected(self._topo, msg.src, msg.dst):
+                self.stats.dropped_partition += 1
+                if self._m_drop_part is not None:
+                    self._m_drop_part.inc()
+                return
+        elif not self._topo.connected(msg.src, msg.dst):
             self.stats.dropped_partition += 1
             if self._m_drop_part is not None:
                 self._m_drop_part.inc()
@@ -246,6 +323,16 @@ class Network:
                 self._m_drop_loss.inc()
             return
         d = self._delay.sample(self._rng)
+        # Burst override last, after the base loss + delay draws, so the
+        # base RNG stream is consumed identically with the fault active
+        # (see set_loss_override).
+        if self._loss_override is not None and self._loss_override.drops(
+            self._loss_override_rng
+        ):
+            self.stats.dropped_burst += 1
+            if self._m_drop_burst is not None:
+                self._m_drop_burst.inc()
+            return
         if self._mac is not None:
             # Sleeping destination: frame buffered until next wake edge
             # (the Δ-inflating mechanism of §3.2.2.b).
@@ -260,6 +347,12 @@ class Network:
         )
 
     def _deliver(self, msg: Message) -> None:
+        if msg.dst in self._down:
+            # In flight when the destination fail-stopped.
+            self.stats.dropped_crashed += 1
+            if self._m_drop_crash is not None:
+                self._m_drop_crash.inc()
+            return
         self.stats.delivered += 1
         if self._m_delivered is not None:
             self._m_delivered.inc()

@@ -245,6 +245,63 @@ def sync_cost(option: str = "vector_strobe", seed: int = 0) -> dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Fault resilience (repro.faults chaos harness, §4.2.2)
+# ---------------------------------------------------------------------------
+
+#: intensity level → fault-plan builder argument sets (see chaos_resilience)
+_CHAOS_INTENSITIES = ("crash", "partition", "burst", "combined")
+
+
+def chaos_resilience(
+    intensity: str = "combined", duration: float = 120.0, seed: int = 0
+) -> dict[str, Any]:
+    """One chaos run (faulty vs fault-free twin) at a fault intensity.
+
+    Returns only deterministic fields from the chaos report, so rows
+    are byte-identical across worker counts (the chaos report itself
+    carries no wall-clock state).
+    """
+    from repro.faults import FaultEvent, FaultPlan, run_chaos
+
+    if intensity not in _CHAOS_INTENSITIES:
+        raise ValueError(
+            f"unknown intensity {intensity!r} (have {_CHAOS_INTENSITIES})"
+        )
+    events = []
+    if intensity in ("crash", "combined"):
+        events.append(
+            FaultEvent(40.0, "crash", {"pid": 1, "mode": "recover"}, duration=12.0)
+        )
+    if intensity in ("partition", "combined"):
+        events.append(
+            FaultEvent(60.0, "partition", {"groups": [[0], [1]]}, duration=10.0)
+        )
+    if intensity in ("burst", "combined"):
+        events.append(
+            FaultEvent(
+                80.0, "burst_loss",
+                {"p_bad": 0.9, "p_bg": 0.05, "start_bad": True},
+                duration=10.0,
+            )
+        )
+    plan = FaultPlan(name=f"sweep-{intensity}", events=tuple(events))
+    report = run_chaos("smart_office", seed=seed, duration=duration, plan=plan)
+    return {
+        "intensity": intensity,
+        "duration": duration,
+        "seed": seed,
+        "detections_base": report["baseline"]["detections"],
+        "detections_faulty": report["faulty"]["detections"],
+        "mismatches": (report["mismatches"]["missing"]
+                       + report["mismatches"]["spurious"]),
+        "max_error_window_s": max(
+            (w["error_window_s"] for w in report["windows"]), default=0.0
+        ),
+        "ripple_ok": report["ripple_ok"],
+    }
+
+
+# ---------------------------------------------------------------------------
 # Named matrices for `repro sweep`
 # ---------------------------------------------------------------------------
 
@@ -271,6 +328,16 @@ MATRICES: Mapping[str, MatrixSpec] = {
         description="E7 standing cost of time services, replicated per "
                     "seed (5 options × reps)",
     ),
+    "fault_resilience": MatrixSpec(
+        name="fault_resilience",
+        ref="repro.sweep.points:chaos_resilience",
+        grid=(
+            ("intensity", _CHAOS_INTENSITIES),
+        ),
+        reps=4,
+        description="§4.2.2 chaos runs (faulty vs fault-free twin) per "
+                    "fault intensity (4 intensities × 4 seeded reps)",
+    ),
 }
 
 
@@ -283,6 +350,7 @@ __all__ = [
     "periodic_sync_cost",
     "on_demand_cost",
     "sync_cost",
+    "chaos_resilience",
     "MATRICES",
     "E07_N",
     "E07_DURATION",

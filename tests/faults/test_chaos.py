@@ -1,0 +1,106 @@
+"""Chaos harness: ripple check semantics and byte-level determinism."""
+
+import json
+
+import pytest
+
+from repro.faults import default_plan, report_json, run_chaos
+from repro.faults.chaos import _attribute
+from repro.faults.plan import FaultWindow
+
+DURATION = 140.0
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_chaos("smart_office", seed=0, duration=DURATION)
+
+
+def test_default_plan_covers_every_fault_class():
+    actions = {e.action for e in default_plan()}
+    assert actions == {
+        "crash", "partition", "burst_loss", "clock_drift", "strobe_perturb",
+    }
+
+
+def test_chaos_ripple_check_passes(report):
+    assert report["ripple_ok"] is True
+    assert report["unattributed"] == []
+    assert all(w["ok"] for w in report["windows"])
+
+
+def test_chaos_faults_all_applied(report):
+    applied = [a for _, a in report["faulty"]["faults_applied"]]
+    assert applied == [
+        "crash", "restart", "partition", "heal", "burst_loss",
+        "burst_loss_end", "clock_drift", "clock_drift_end", "strobe_perturb",
+    ]
+    assert report["faulty"]["restarts"] == 1
+    assert report["baseline"]["restarts"] == 0
+
+
+def test_chaos_mismatches_confined_to_windows(report):
+    starts = [w["start"] for w in report["windows"]]
+    for t in report["mismatches"]["times"]:
+        assert t >= min(starts)
+
+
+def test_chaos_report_is_byte_identical(report):
+    again = run_chaos("smart_office", seed=0, duration=DURATION)
+    assert report_json(again) == report_json(report)
+
+
+def test_chaos_report_is_json_serializable(report):
+    doc = json.loads(report_json(report))
+    assert doc["scenario"] == "smart_office"
+    assert doc["plan"]["name"] == "default"
+
+
+def test_chaos_validation():
+    with pytest.raises(ValueError):
+        run_chaos("unknown_scenario")
+    with pytest.raises(ValueError):
+        run_chaos(duration=0.0)
+    with pytest.raises(ValueError):
+        run_chaos(ripple_horizon=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Attribution unit tests (no simulation)
+# ---------------------------------------------------------------------------
+
+def _win(action, start, clear):
+    return FaultWindow(action, start, clear)
+
+
+def test_attribute_assigns_to_latest_started_window():
+    wins = [_win("crash", 10.0, 20.0), _win("partition", 30.0, 40.0)]
+    rows, unattributed, ok = _attribute([15.0, 35.0, 45.0], wins, 10.0, 100.0)
+    assert not unattributed
+    assert rows[0]["mismatches"] == 1
+    assert rows[1]["mismatches"] == 2
+    assert rows[1]["error_window_s"] == 5.0       # 45 - 40
+    assert ok
+
+
+def test_attribute_flags_ripple_beyond_horizon():
+    wins = [_win("crash", 10.0, 20.0)]
+    rows, _, ok = _attribute([55.0], wins, 10.0, 100.0)
+    assert rows[0]["error_window_s"] == 35.0
+    assert not rows[0]["ok"]
+    assert not ok
+
+
+def test_attribute_flags_prefault_mismatch():
+    wins = [_win("crash", 10.0, 20.0)]
+    rows, unattributed, ok = _attribute([5.0], wins, 10.0, 100.0)
+    assert unattributed == [5.0]
+    assert not ok
+
+
+def test_attribute_clamps_open_windows_to_duration():
+    wins = [_win("partition", 10.0, float("inf"))]
+    rows, _, ok = _attribute([50.0], wins, 10.0, 60.0)
+    assert rows[0]["clear"] == 60.0
+    assert rows[0]["error_window_s"] == 0.0
+    assert ok

@@ -1,0 +1,152 @@
+"""FaultPlan / FaultEvent: validation, expansion, windows, round-trips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.plan import (
+    ACTIONS,
+    PAIRED,
+    FaultError,
+    FaultEvent,
+    FaultPlan,
+)
+
+
+def test_event_validation():
+    with pytest.raises(FaultError):
+        FaultEvent(1.0, "meteor_strike")
+    with pytest.raises(FaultError):
+        FaultEvent(-1.0, "crash")
+    with pytest.raises(FaultError):
+        FaultEvent(1.0, "restart", duration=5.0)      # unpaired action
+    with pytest.raises(FaultError):
+        FaultEvent(1.0, "crash", duration=0.0)
+    with pytest.raises(FaultError):
+        FaultEvent(1.0, "crash", duration=-3.0)
+
+
+def test_paired_actions_are_a_subset_of_actions():
+    assert set(PAIRED) <= ACTIONS
+    assert set(PAIRED.values()) <= ACTIONS
+
+
+def test_clear_event():
+    ev = FaultEvent(10.0, "partition", {"groups": [[0], [1]]}, duration=5.0)
+    clear = ev.clear_event()
+    assert clear.action == "heal"
+    assert clear.time == 15.0
+    assert clear.params == ev.params
+    assert clear.duration is None
+    assert FaultEvent(1.0, "heal").clear_event() is None
+
+
+def test_plan_needs_name():
+    with pytest.raises(FaultError):
+        FaultPlan("")
+
+
+def test_expanded_orders_by_time_with_auto_clears():
+    plan = FaultPlan("p", (
+        FaultEvent(50.0, "burst_loss", {"p_bad": 1.0}, duration=10.0),
+        FaultEvent(40.0, "crash", {"pid": 1, "mode": "recover"}, duration=25.0),
+    ))
+    actions = [(e.time, e.action) for e in plan.expanded()]
+    assert actions == [
+        (40.0, "crash"),
+        (50.0, "burst_loss"),
+        (60.0, "burst_loss_end"),
+        (65.0, "restart"),
+    ]
+
+
+def test_windows_pair_durations_and_instants():
+    plan = FaultPlan("p", (
+        FaultEvent(10.0, "crash", {"pid": 0, "mode": "recover"}, duration=5.0),
+        FaultEvent(20.0, "strobe_perturb", {"pid": 1, "ticks": 2}),
+    ))
+    wins = plan.windows()
+    assert [(w.action, w.start, w.clear) for w in wins] == [
+        ("crash", 10.0, 15.0),
+        ("strobe_perturb", 20.0, 20.0),
+    ]
+
+
+def test_windows_match_explicit_clears_by_pid():
+    plan = FaultPlan("p", (
+        FaultEvent(10.0, "crash", {"pid": 0, "mode": "recover"}),
+        FaultEvent(12.0, "crash", {"pid": 1, "mode": "recover"}),
+        FaultEvent(20.0, "restart", {"pid": 0}),
+        FaultEvent(30.0, "restart", {"pid": 1}),
+    ))
+    wins = {w.params["pid"]: w for w in plan.windows()}
+    assert wins[0].clear == 20.0
+    assert wins[1].clear == 30.0
+
+
+def test_windows_unmatched_start_stays_open():
+    plan = FaultPlan("p", (FaultEvent(10.0, "partition", {"groups": [[0], [1]]}),))
+    (w,) = plan.windows()
+    assert w.clear == float("inf")
+
+
+def test_plan_addition_concatenates():
+    a = FaultPlan("a", (FaultEvent(1.0, "heal"),))
+    b = FaultPlan("b", (FaultEvent(2.0, "heal"),))
+    c = a + b
+    assert c.name == "a+b"
+    assert len(c) == 2
+    assert [e.time for e in c] == [1.0, 2.0]
+
+
+def test_json_roundtrip_and_canonical_form():
+    plan = FaultPlan("rt", (
+        FaultEvent(40.0, "crash", {"pid": 1, "mode": "recover"}, duration=12.0),
+        FaultEvent(95.0, "burst_loss", {"p_bad": 0.9, "start_bad": True},
+                   duration=10.0),
+    ))
+    text = plan.to_json()
+    assert FaultPlan.from_json(text) == plan
+    # Canonical: sorted keys, no whitespace — re-encoding is a no-op.
+    assert json.dumps(json.loads(text), sort_keys=True,
+                      separators=(",", ":")) == text
+
+
+def test_from_spec_rejects_unknown_keys():
+    with pytest.raises(FaultError):
+        FaultPlan.from_spec({"name": "x", "events": [], "extra": 1})
+    with pytest.raises(FaultError):
+        FaultEvent.from_spec({"time": 1.0, "action": "crash", "oops": True})
+    with pytest.raises(FaultError):
+        FaultEvent.from_spec({"action": "crash"})
+
+
+_paired = sorted(PAIRED)
+_instant = sorted(ACTIONS - set(PAIRED) - set(PAIRED.values()))
+
+
+@st.composite
+def _events(draw):
+    action = draw(st.sampled_from(_paired + _instant))
+    duration = None
+    if action in PAIRED and draw(st.booleans()):
+        duration = draw(st.floats(0.5, 50.0, allow_nan=False))
+    params = draw(st.dictionaries(
+        st.sampled_from(["pid", "ticks", "p_bad", "mode"]),
+        st.one_of(st.integers(0, 7), st.floats(0.0, 1.0, allow_nan=False),
+                  st.text(st.characters(codec="ascii"), max_size=5)),
+        max_size=3,
+    ))
+    time = draw(st.floats(0.0, 1000.0, allow_nan=False))
+    return FaultEvent(time, action, params, duration=duration)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_events(), max_size=6).map(tuple))
+def test_property_plan_json_roundtrip(events):
+    plan = FaultPlan("prop", events)
+    assert FaultPlan.from_json(plan.to_json()) == plan
+    # expanded() is deterministic and monotone in time.
+    times = [e.time for e in plan.expanded()]
+    assert times == sorted(times)

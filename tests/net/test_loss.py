@@ -62,3 +62,41 @@ def test_gilbert_elliott_degenerate_no_transitions():
     rng = np.random.default_rng(0)
     assert not any(m.drops(rng) for _ in range(100))   # stuck in good
     assert m.stationary_loss_rate() == 0.0
+
+
+def test_gilbert_elliott_burst_length_distribution():
+    """Bad-state sojourns are geometric with mean 1/p_bg (the classic
+    Gilbert model's 1/r mean burst) — measured over a long fixed-seed
+    chain via the exposed state."""
+    p_bg = 0.2
+    m = GilbertElliottLoss(p_gb=0.1, p_bg=p_bg, p_good=0.0, p_bad=1.0)
+    rng = np.random.default_rng(7)
+    bursts = []
+    current = 0
+    for _ in range(200_000):
+        m.drops(rng)
+        if m.in_bad_state:
+            current += 1
+        elif current:
+            bursts.append(current)
+            current = 0
+    assert len(bursts) > 1000
+    mean = float(np.mean(bursts))
+    assert abs(mean - m.mean_burst_length()) < 0.05 * m.mean_burst_length()
+    assert m.mean_burst_length() == 1.0 / p_bg
+
+
+def test_gilbert_elliott_mean_burst_length_degenerate():
+    assert GilbertElliottLoss(p_bg=0.0).mean_burst_length() == float("inf")
+
+
+def test_gilbert_elliott_start_bad():
+    """start_bad pins the chain in the bad state from the first
+    message — the shape a time-windowed burst fault wants."""
+    rng = np.random.default_rng(0)
+    m = GilbertElliottLoss(p_gb=0.0, p_bg=0.0, p_good=0.0, p_bad=1.0,
+                           start_bad=True)
+    assert m.in_bad_state
+    assert all(m.drops(rng) for _ in range(50))
+    assert "start_bad=True" in repr(m)
+    assert "start_bad" not in repr(GilbertElliottLoss())
