@@ -15,6 +15,7 @@ Subcommands::
     sweep     run a (config, seed) replication matrix on a process pool
     lint      determinism & causality static analysis (repro.lint)
     chaos     fault-injection run vs fault-free twin + §4.2.2 ripple check
+    trace     causal flight recorder: record / report / export / diff
 
 Examples::
 
@@ -23,6 +24,8 @@ Examples::
     python -m repro sweep detector_throughput --workers 4 --out sweep.jsonl
     python -m repro lint src --json
     python -m repro chaos --plan default --seed 3 --json
+    python -m repro trace record hall --out hall.trace
+    python -m repro trace export hall.trace --format perfetto
 """
 
 from __future__ import annotations
@@ -400,6 +403,188 @@ def cmd_lint(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Tracing (repro.trace)
+# ---------------------------------------------------------------------------
+
+
+def _load_plan(name_or_path: "str | None"):
+    """Resolve --plan for trace/chaos: None, 'default', or a JSON path.
+    Returns the plan or raises ValueError with a printable message."""
+    if name_or_path is None:
+        return None
+    if name_or_path == "default":
+        from repro.faults import default_plan
+
+        return default_plan()
+    from repro.faults import FaultError, FaultPlan
+
+    try:
+        with open(name_or_path, encoding="utf-8") as fh:
+            return FaultPlan.from_json(fh.read())
+    except (OSError, FaultError, ValueError) as exc:
+        raise ValueError(f"cannot load plan {name_or_path!r}: {exc}") from exc
+
+
+def cmd_trace_record(args) -> int:
+    """Record a scenario run into a flight-recorder trace file."""
+    from repro.detect.online import OnlineVectorStrobeDetector
+    from repro.trace import FlightRecorder, instrument_trace, write_trace
+
+    try:
+        plan = _load_plan(args.plan)
+    except ValueError as exc:
+        print(f"repro trace record: {exc}", file=sys.stderr)
+        return 2
+    scenario, phi, initials = _build_obs_scenario(args.scenario, args)
+    system = scenario.system
+    recorder = FlightRecorder(system.sim, capacity=args.capacity)
+    instrument_trace(system, recorder)
+
+    det = OnlineVectorStrobeDetector(
+        system.sim, phi, initials, delta=max(args.delta, 0.0),
+    )
+    det.bind_trace(recorder, host=0)
+    scenario.attach_detector(det)
+    det.start()
+    if plan is not None:
+        from repro.faults import FaultInjector
+
+        FaultInjector(system, plan).arm()
+    scenario.run(args.duration)
+    det.finalize()
+
+    recorder.meta.update({
+        "scenario": args.scenario, "seed": args.seed,
+        "delta": args.delta, "duration": args.duration,
+        "predicate": str(phi),
+    })
+    if plan is not None:
+        recorder.meta["plan"] = plan.to_spec()
+    out = args.out or f"{args.scenario}.trace"
+    path = write_trace(out, recorder)
+    evicted = sum(recorder.evicted[p] for p in recorder.pids())
+    print(f"{recorder.total_recorded} events recorded "
+          f"({evicted} evicted), {len(recorder.detections)} detection(s) "
+          f"-> {path}")
+    return 0
+
+
+def cmd_trace_report(args) -> int:
+    """Happens-before stats + per-detection latency attribution."""
+    import json as _json
+
+    from repro.trace import CausalGraph, TraceError, read_trace
+
+    trace = read_trace(args.trace)
+    graph = CausalGraph(trace.events)
+    kinds: dict = {}
+    for e in trace.events:
+        kinds[e.kind] = kinds.get(e.kind, 0) + 1
+    attributions = []
+    for det in trace.detections:
+        try:
+            attributions.append(graph.attribute_latency(det))
+        except TraceError as exc:
+            attributions.append({
+                "trigger": det["trigger"], "host": det["host"],
+                "error": str(exc),
+            })
+    if args.json:
+        print(_json.dumps({
+            "meta": trace.meta,
+            "events": len(trace.events),
+            "by_kind": kinds,
+            "edges": graph.n_edges(),
+            "detections": len(trace.detections),
+            "attributions": attributions,
+        }, sort_keys=True))
+        return 0
+    meta = trace.meta
+    print(f"trace     : {args.trace} "
+          f"(scenario={meta.get('scenario')}, seed={meta.get('seed')})")
+    print(f"events    : {len(trace.events)} retained "
+          f"({', '.join(f'{k}={kinds[k]}' for k in sorted(kinds))})")
+    print(f"hb graph  : {len(graph)} nodes, {graph.n_edges()} edges")
+    print(f"detections: {len(trace.detections)}")
+    for det, att in zip(trace.detections, attributions):
+        tag = f"p{det['trigger'][0]}#{det['trigger'][1]} {det['var']} " \
+              f"({det['label']})"
+        if "error" in att:
+            print(f"  {tag}: {att['error']}")
+        else:
+            print(f"  {tag}: total {att['total_s']:.3f}s = "
+                  f"compute {att['compute_s']:.3f} + "
+                  f"queue {att['queue_s']:.3f} + "
+                  f"transport {att['transport_s']:.3f} + "
+                  f"sync {att['sync_s']:.3f}  "
+                  f"[{att['hops']} hop(s)]")
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    """Export a trace to Perfetto (validated) or canonical JSONL."""
+    from repro.trace import (
+        SchemaError,
+        export_perfetto,
+        perfetto_document,
+        read_trace,
+        validate_perfetto,
+    )
+
+    trace = read_trace(args.trace)
+    if args.format == "perfetto":
+        out = args.out or f"{args.trace}.perfetto.json"
+        doc = perfetto_document(trace)
+        try:
+            validate_perfetto(doc)
+        except SchemaError as exc:
+            print(f"repro trace export: schema violation: {exc}",
+                  file=sys.stderr)
+            return 1
+        path = export_perfetto(trace, out)
+        print(f"{len(doc['traceEvents'])} trace events -> {path} "
+              f"(open in ui.perfetto.dev)")
+    else:
+        out = args.out or f"{args.trace}.jsonl"
+        import shutil
+
+        shutil.copyfile(args.trace, out)
+        print(f"{len(trace.events)} events -> {out}")
+    return 0
+
+
+def cmd_trace_diff(args) -> int:
+    """Structural diff of two traces (twin chaos runs).
+
+    Exit codes: 0 identical, 1 differences found, 2 usage error.
+    """
+    from repro.trace import trace_diff
+
+    try:
+        diff = trace_diff(args.trace_a, args.trace_b)
+    except (OSError, ValueError) as exc:
+        print(f"repro trace diff: {exc}", file=sys.stderr)
+        return 2
+    if diff["identical"]:
+        print(f"identical: {diff['entries_a']} entries on both sides")
+        return 0
+    print(f"a: {diff['entries_a']} entries, b: {diff['entries_b']} entries")
+    print(f"only in a: {diff['only_a']}, only in b: {diff['only_b']}"
+          + ("" if diff["meta_equal"] else "  (meta headers differ)"))
+    for w in diff["windows"]:
+        clear = "∞" if w["clear"] is None else f"{w['clear']:.2f}"
+        print(f"  [{w['start']:7.2f}, {clear:>7}] {w['action']:<15} "
+              f"{w['diffs']:3d} differing entr(ies)")
+    if diff["unattributed"]:
+        print(f"  unattributed (pre-fault!): {diff['unattributed']}")
+    for line in diff["sample_only_a"]:
+        print(f"  -a {line}")
+    for line in diff["sample_only_b"]:
+        print(f"  +b {line}")
+    return 1
+
+
+# ---------------------------------------------------------------------------
 # Fault injection
 # ---------------------------------------------------------------------------
 
@@ -425,8 +610,16 @@ def cmd_chaos(args) -> int:
     report = run_chaos(
         args.scenario, seed=args.seed, duration=args.duration,
         plan=plan, ripple_horizon=args.horizon,
+        trace_capacity=65536 if args.trace else None,
     )
     text = report_json(report)
+    if args.trace:
+        from repro.trace import write_trace
+
+        base_rec, faulty_rec = report["recorders"]
+        for suffix, rec in (("base", base_rec), ("faulty", faulty_rec)):
+            path = write_trace(f"{args.trace}.{suffix}.trace", rec)
+            print(f"{suffix} trace: {rec.total_recorded} events -> {path}")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
@@ -568,7 +761,54 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the canonical JSON report")
     p.add_argument("--out", metavar="PATH", default=None,
                    help="also write the canonical JSON report to PATH")
+    p.add_argument("--trace", metavar="PREFIX", default=None,
+                   help="record both runs; write PREFIX.base.trace and "
+                        "PREFIX.faulty.trace for `repro trace diff`")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "trace", help="causal flight recorder (repro.trace)"
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+
+    p = trace_sub.add_parser(
+        "record", help="run a scenario with the flight recorder attached"
+    )
+    common(p)
+    p.add_argument("scenario", choices=OBS_SCENARIOS)
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="trace file (default <scenario>.trace)")
+    p.add_argument("--capacity", type=_positive_int, default=65536,
+                   help="ring-buffer entries per process")
+    p.add_argument("--plan", default=None, metavar="NAME|PATH",
+                   help="optionally inject faults while recording "
+                        "('default' or a FaultPlan JSON file)")
+    p.set_defaults(fn=cmd_trace_record)
+
+    p = trace_sub.add_parser(
+        "report", help="happens-before stats + detection latency attribution"
+    )
+    p.add_argument("trace", help="trace file from `repro trace record`")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.set_defaults(fn=cmd_trace_report)
+
+    p = trace_sub.add_parser(
+        "export", help="export to Chrome/Perfetto JSON or canonical JSONL"
+    )
+    p.add_argument("trace", help="trace file from `repro trace record`")
+    p.add_argument("--format", choices=["perfetto", "jsonl"],
+                   default="perfetto")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="output path (default <trace>.perfetto.json / .jsonl)")
+    p.set_defaults(fn=cmd_trace_export)
+
+    p = trace_sub.add_parser(
+        "diff", help="structural diff of two traces (twin chaos runs)"
+    )
+    p.add_argument("trace_a")
+    p.add_argument("trace_b")
+    p.set_defaults(fn=cmd_trace_diff)
 
     return parser
 

@@ -158,6 +158,9 @@ class SensorProcess:
         self._rejoining = False
         #: (var, obj, attr, plain) per track() call — replayed on restart
         self._trackings: list[tuple[str, str, str, bool]] = []
+        # Trace handle (None = no-op fast path); survives restart() —
+        # the recorder outlives the process's volatile state.
+        self._trace = None
 
         net.register(pid, self._on_message)
 
@@ -205,6 +208,11 @@ class SensorProcess:
         """Register a handler for semantic messages of ``kind``."""
         self._app_handlers[kind] = handler
 
+    def bind_trace(self, recorder) -> None:
+        """Attach a flight recorder to this process's event log funnel
+        (c/n/a entries; s/r are recorded at the transport)."""
+        self._trace = recorder
+
     # ------------------------------------------------------------------
     # Event machinery
     # ------------------------------------------------------------------
@@ -216,6 +224,8 @@ class SensorProcess:
         )
         if self._keep_log:
             self.events.append(ev)
+        if self._trace is not None:
+            self._trace.record_event(ev)
         return ev
 
     def _stamp_local(self) -> dict:

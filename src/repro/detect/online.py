@@ -55,6 +55,15 @@ class _OnlineObsMixin:
     _m_latency = None
     _m_quarantined = None
     _m_quarantine_events = None
+    _trace = None
+    _trace_host = 0
+
+    def bind_trace(self, recorder, *, host: int = 0) -> None:
+        """Attach a flight recorder: every emission records a detection
+        entry (trigger key, label, emit time) at ``host`` — the process
+        this detector is attached to."""
+        self._trace = recorder
+        self._trace_host = int(host)
 
     def bind_obs(self, registry) -> None:
         self._m_records = registry.counter("detect.records")
@@ -248,6 +257,8 @@ class OnlineVectorStrobeDetector(_LivenessMixin, _OnlineObsMixin, VectorStrobeDe
                 self.emissions.append((d, now))
                 if self._m_latency is not None:
                     self._m_latency.observe(now - d.trigger.true_time)
+                if self._trace is not None:
+                    self._trace.record_detection(d, now, self._trace_host)
             self._processed.append(rec)
             self._prevs.append(prev)
             if self._m_processed is not None:
@@ -369,6 +380,8 @@ class OnlineScalarStrobeDetector(_LivenessMixin, _OnlineObsMixin, Detector):
                     self.emissions.append((det, now))
                     if self._m_latency is not None:
                         self._m_latency.observe(now - det.trigger.true_time)
+                    if self._trace is not None:
+                        self._trace.record_detection(det, now, self._trace_host)
                 self._prev = cur
             self._processed.add(rec.key())
             self._last_key = key

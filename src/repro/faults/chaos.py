@@ -83,7 +83,12 @@ def _run_once(
     seed: int,
     duration: float,
     plan: FaultPlan | None,
-) -> dict[str, Any]:
+    trace_capacity: int | None = None,
+) -> "tuple[dict[str, Any], Any]":
+    """One run; returns (result, recorder-or-None).  A recorder is
+    attached when ``trace_capacity`` is given (the flight recorder is
+    passive, so the result is identical either way — the twin-run test
+    pins this)."""
     from repro.detect.online import OnlineVectorStrobeDetector
 
     sc, phi, initials, delta = _build(scenario, seed)
@@ -93,6 +98,22 @@ def _run_once(
         delta=delta, liveness_horizon=LIVENESS_HORIZON,
     )
     sc.attach_detector(det)
+    recorder = None
+    if trace_capacity is not None:
+        from repro.trace.instrument import instrument_trace
+        from repro.trace.recorder import FlightRecorder
+
+        recorder = FlightRecorder(system.sim, capacity=trace_capacity)
+        instrument_trace(system, recorder)
+        det.bind_trace(recorder, host=0)
+        recorder.meta.update({
+            "scenario": scenario,
+            "seed": seed,
+            "duration": duration,
+            "delta": delta,
+        })
+        if plan is not None:
+            recorder.meta["plan"] = plan.to_spec()
     det.start()
     injector = None
     if plan is not None:
@@ -101,7 +122,7 @@ def _run_once(
     sc.run(duration)
     det.finalize()
     stats = system.net.stats
-    return {
+    result = {
         "detections": [
             (round(d.trigger.true_time, 9), d.trigger.pid, d.trigger.var,
              repr(d.trigger.value))
@@ -121,6 +142,7 @@ def _run_once(
         },
         "faults_applied": list(injector.applied) if injector else [],
     }
+    return result, recorder
 
 
 def _attribute(
@@ -167,10 +189,18 @@ def run_chaos(
     duration: float = 180.0,
     plan: FaultPlan | None = None,
     ripple_horizon: float = 20.0,
+    trace_capacity: int | None = None,
 ) -> dict[str, Any]:
     """Run the scenario fault-free and under ``plan``; return the
     chaos report (JSON-serializable, fully deterministic — no wall
-    times, no environment state)."""
+    times, no environment state).
+
+    With ``trace_capacity``, both runs carry a flight recorder and the
+    report gains a non-serialized ``recorders`` entry —
+    ``(baseline, faulty)`` :class:`~repro.trace.recorder.FlightRecorder`
+    pair — for `repro trace diff`-style twin analysis.  Strip it (or
+    use :func:`report_json`, which ignores it) before serializing.
+    """
     if plan is None:
         plan = default_plan()
     if duration <= 0:
@@ -178,8 +208,8 @@ def run_chaos(
     if ripple_horizon < 0:
         raise ValueError(f"ripple_horizon must be >= 0, got {ripple_horizon}")
 
-    base = _run_once(scenario, seed, duration, None)
-    faulty = _run_once(scenario, seed, duration, plan)
+    base, base_rec = _run_once(scenario, seed, duration, None, trace_capacity)
+    faulty, faulty_rec = _run_once(scenario, seed, duration, plan, trace_capacity)
 
     base_keys = Counter(tuple(k) for k in base["detections"])
     fault_keys = Counter(tuple(k) for k in faulty["detections"])
@@ -202,7 +232,7 @@ def run_chaos(
         del out["labels"]
         return out
 
-    return {
+    report: dict[str, Any] = {
         "scenario": scenario,
         "seed": seed,
         "duration": duration,
@@ -219,12 +249,19 @@ def run_chaos(
         "unattributed": [round(t, 9) for t in unattributed],
         "ripple_ok": ripple_ok,
     }
+    if trace_capacity is not None:
+        report["recorders"] = (base_rec, faulty_rec)
+    return report
 
 
 def report_json(report: dict[str, Any]) -> str:
     """Canonical JSON for the chaos report — the byte-identical
-    artifact CI compares across runs and worker counts."""
-    return json.dumps(report, sort_keys=True, separators=(",", ":"))
+    artifact CI compares across runs and worker counts.  The live
+    ``recorders`` entry (present on traced runs) is excluded."""
+    return json.dumps(
+        {k: v for k, v in report.items() if k != "recorders"},
+        sort_keys=True, separators=(",", ":"),
+    )
 
 
 __all__ = [

@@ -439,6 +439,11 @@ class MutableDefaultRule(Rule):
 # OBS001 — observability code must be passive
 # ---------------------------------------------------------------------------
 
+#: Packages that observe the simulation and must never drive it:
+#: repro.obs (metrics/spans) and repro.trace (the flight recorder,
+#: whose byte-identical-twin-run contract depends on passivity).
+_OBS001_PASSIVE_PACKAGES = ("repro.obs", "repro.trace")
+
 
 @register
 class ActiveObservabilityRule(Rule):
@@ -446,7 +451,7 @@ class ActiveObservabilityRule(Rule):
     title = "observability code drives the simulation"
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
-        if not ctx.in_package("repro.obs"):
+        if not any(ctx.in_package(pkg) for pkg in _OBS001_PASSIVE_PACKAGES):
             return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):

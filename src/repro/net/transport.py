@@ -108,6 +108,8 @@ class Network:
         self._partition: PartitionOverlay | None = None
         self._loss_override: LossModel | None = None
         self._loss_override_rng: np.random.Generator | None = None
+        # Trace handle (None = no-op fast path).
+        self._trace = None
         # Observability handles (None = no-op fast path).
         self._m_sent = None
         self._m_delivered = None
@@ -210,6 +212,12 @@ class Network:
         )
         self._loss.bind_obs(registry)
 
+    def bind_trace(self, recorder) -> None:
+        """Attach a flight recorder: every dispatch records a send
+        entry with a recorder-assigned mid, every delivery a receive
+        entry, every drop branch a drop entry with its reason."""
+        self._trace = recorder
+
     # ------------------------------------------------------------------
     def send(
         self,
@@ -299,10 +307,13 @@ class Network:
             self._m_units.inc(msg.size)
 
     def _dispatch(self, msg: Message) -> None:
+        mid = self._trace.record_send(msg) if self._trace is not None else None
         if msg.dst in self._down:
             self.stats.dropped_crashed += 1
             if self._m_drop_crash is not None:
                 self._m_drop_crash.inc()
+            if self._trace is not None:
+                self._trace.record_drop(mid, msg, "crashed")
             return
         if self._partition is not None:
             # The overlay computes reachability on the residual graph,
@@ -311,16 +322,22 @@ class Network:
                 self.stats.dropped_partition += 1
                 if self._m_drop_part is not None:
                     self._m_drop_part.inc()
+                if self._trace is not None:
+                    self._trace.record_drop(mid, msg, "partition")
                 return
         elif not self._topo.connected(msg.src, msg.dst):
             self.stats.dropped_partition += 1
             if self._m_drop_part is not None:
                 self._m_drop_part.inc()
+            if self._trace is not None:
+                self._trace.record_drop(mid, msg, "partition")
             return
         if self._loss.drops(self._rng):
             self.stats.dropped_loss += 1
             if self._m_drop_loss is not None:
                 self._m_drop_loss.inc()
+            if self._trace is not None:
+                self._trace.record_drop(mid, msg, "loss")
             return
         d = self._delay.sample(self._rng)
         # Burst override last, after the base loss + delay draws, so the
@@ -332,6 +349,8 @@ class Network:
             self.stats.dropped_burst += 1
             if self._m_drop_burst is not None:
                 self._m_drop_burst.inc()
+            if self._trace is not None:
+                self._trace.record_drop(mid, msg, "burst")
             return
         if self._mac is not None:
             # Sleeping destination: frame buffered until next wake edge
@@ -343,19 +362,26 @@ class Network:
         if self._m_delay is not None:
             self._m_delay.observe(d)
         self._sim.schedule_after(
-            d, lambda m=msg: self._deliver(m), label=f"deliver:{msg.kind}"
+            d, lambda m=msg, i=mid: self._deliver(m, i),
+            label=f"deliver:{msg.kind}",
         )
 
-    def _deliver(self, msg: Message) -> None:
+    def _deliver(self, msg: Message, mid: "int | None" = None) -> None:
         if msg.dst in self._down:
             # In flight when the destination fail-stopped.
             self.stats.dropped_crashed += 1
             if self._m_drop_crash is not None:
                 self._m_drop_crash.inc()
+            if self._trace is not None:
+                self._trace.record_drop(mid, msg, "crashed")
             return
         self.stats.delivered += 1
         if self._m_delivered is not None:
             self._m_delivered.inc()
+        # Receive entry before the endpoint callback, so every event
+        # the delivery causes sorts after it in recording order.
+        if self._trace is not None:
+            self._trace.record_receive(mid, msg)
         self._endpoints[msg.dst](msg)
 
 

@@ -105,6 +105,11 @@ class SpanTracer:
         t0 = time.perf_counter()
         try:
             yield sp
+        except BaseException:
+            # Error exit: flag the span so consumers can separate clean
+            # durations from aborted ones; the finally still closes it.
+            sp.attrs["error"] = True
+            raise
         finally:
             sp.wall_s = time.perf_counter() - t0
             sp.t_sim_end = self._sim_now(t_sim)

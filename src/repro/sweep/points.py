@@ -135,8 +135,16 @@ E07_EVENT_RATE = 0.05      # sensed events per second per process
 _ENERGY = RadioEnergyModel()
 
 
-def strobe_cost(vector: bool, seed: int = 0, registry=None) -> dict:
-    """Message/energy cost of strobe clocks over one E7 run."""
+def strobe_cost(
+    vector: bool, seed: int = 0, registry=None, trace_capacity=None
+) -> dict:
+    """Message/energy cost of strobe clocks over one E7 run.
+
+    ``trace_capacity`` attaches a flight recorder (repro.trace) with
+    that ring size and adds ``trace_recorded``/``trace_retained`` to
+    the row — the overhead-budget test's hook.  Sweep matrices never
+    set it, so sweep rows are unaffected.
+    """
     clocks = (
         ClockConfig(strobe_vector=True) if vector
         else ClockConfig(strobe_scalar=True)
@@ -148,6 +156,12 @@ def strobe_cost(vector: bool, seed: int = 0, registry=None) -> dict:
         from repro.obs import instrument_system
 
         instrument_system(system, registry)
+    recorder = None
+    if trace_capacity is not None:
+        from repro.trace import FlightRecorder, instrument_trace
+
+        recorder = FlightRecorder(system.sim, capacity=trace_capacity)
+        instrument_trace(system, recorder)
     gens = []
     for i in range(E07_N):
         system.world.create(f"obj{i}", level=0)
@@ -164,12 +178,18 @@ def strobe_cost(vector: bool, seed: int = 0, registry=None) -> dict:
     system.run(until=E07_DURATION)
     stats = system.net.stats
     events = sum(g.arrivals for g in gens)
-    return {
+    row = {
         "messages": stats.sent,
         "units": stats.total_units,
         "energy_J": _ENERGY.network_energy(stats),
         "events": events,
     }
+    if recorder is not None:
+        row["trace_recorded"] = recorder.total_recorded
+        row["trace_retained"] = sum(
+            len(recorder.ring(p)) for p in recorder.pids()
+        )
+    return row
 
 
 def periodic_sync_cost(period: float, seed: int = 0) -> dict:

@@ -31,6 +31,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
+from repro.obs.registry import restore_snapshot
 from repro.sweep.tasks import SweepTask, execute_task
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,6 +59,7 @@ class SweepRunner:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self._workers = int(workers)
+        self._registry = registry
         self._m_submitted = self._m_completed = self._m_failed = None
         self._m_wall = None
         if registry is not None:
@@ -93,6 +95,13 @@ class SweepRunner:
                     self._m_failed.inc()
             elif self._m_completed is not None:
                 self._m_completed.inc()
+            # Fan worker-side metric snapshots into the parent registry
+            # (tasks that accept a `registry` kwarg report one); outs
+            # are walked in submission order, so the merge order is
+            # deterministic regardless of completion order.
+            metrics = out.get("metrics")
+            if metrics and self._registry is not None:
+                self._registry.merge(restore_snapshot(metrics))
             rows.append(row)
         # pool.map already preserves submission order; the sort makes
         # the merge contract explicit and future-proofs against

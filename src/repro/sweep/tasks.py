@@ -16,6 +16,7 @@ pure function of *what* it is, never of *where or when* it ran.
 from __future__ import annotations
 
 import importlib
+import inspect
 import itertools
 import time
 from dataclasses import dataclass, field
@@ -73,14 +74,26 @@ def resolve_ref(ref: str) -> Callable[..., Mapping[str, Any]]:
     return obj
 
 
+def _accepts_registry(fn: Callable[..., Any]) -> bool:
+    """Whether a task function takes a ``registry`` kwarg (so the
+    worker can hand it a MetricsRegistry and ship the snapshot home)."""
+    try:
+        return "registry" in inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+
+
 def execute_task(task: SweepTask) -> dict[str, Any]:
     """Run one task (in the worker process, for ``workers > 1``).
 
-    Returns ``{"row": <deterministic result row>, "wall_s": <float>}``.
-    The wall time is reported *separately* from the row: rows go into
-    the sweep JSONL, which must be byte-identical across worker counts
-    and machines, so timings live only in the parent's obs registry.
-    Exceptions become an ``error`` field rather than poisoning the pool.
+    Returns ``{"row": <deterministic result row>, "wall_s": <float>}``
+    plus, when the task function accepts a ``registry`` kwarg, a
+    ``"metrics"`` snapshot of the worker-side registry.  Wall time and
+    metrics are reported *separately* from the row: rows go into the
+    sweep JSONL, which must be byte-identical across worker counts and
+    machines, so anything execution-dependent lives only in the
+    parent's obs registry.  Exceptions become an ``error`` field rather
+    than poisoning the pool.
     """
     t0 = time.perf_counter()
     row: dict[str, Any] = {
@@ -90,13 +103,26 @@ def execute_task(task: SweepTask) -> dict[str, Any]:
         "params": dict(task.params),
         "seed": task.seed,
     }
+    out: dict[str, Any] = {"row": row}
     try:
         fn = resolve_ref(task.ref)
-        result = fn(**task.params, seed=task.seed)
+        kwargs = dict(task.params)
+        registry = None
+        if "registry" not in kwargs and _accepts_registry(fn):
+            from repro.obs.registry import MetricsRegistry
+
+            registry = MetricsRegistry()
+            kwargs["registry"] = registry
+        result = fn(**kwargs, seed=task.seed)
         row["result"] = dict(result)
+        if registry is not None:
+            snapshot = registry.snapshot()
+            if snapshot:
+                out["metrics"] = snapshot
     except Exception as exc:  # noqa: BLE001 -- isolate task failures per row
         row["error"] = f"{type(exc).__name__}: {exc}"
-    return {"row": row, "wall_s": time.perf_counter() - t0}
+    out["wall_s"] = time.perf_counter() - t0
+    return out
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,30 @@
+"""Wiring helper: attach a :class:`FlightRecorder` to a built system.
+
+Mirrors :func:`repro.obs.instrument.instrument_system`: every traced
+component exposes ``bind_trace(recorder)`` and keeps a ``None`` handle
+until bound, so an unrecorded run pays one ``is None`` test per hook
+site and nothing else.  Detectors are bound individually (they attach
+after system construction): ``detector.bind_trace(recorder, host=h)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import PervasiveSystem
+    from repro.trace.recorder import FlightRecorder
+
+
+def instrument_trace(
+    system: "PervasiveSystem", recorder: "FlightRecorder"
+) -> "FlightRecorder":
+    """Bind ``recorder`` to the transport and every process of
+    ``system``; returns the recorder for chaining."""
+    system.net.bind_trace(recorder)
+    for proc in system.processes:
+        proc.bind_trace(recorder)
+    return recorder
+
+
+__all__ = ["instrument_trace"]

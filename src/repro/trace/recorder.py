@@ -1,0 +1,308 @@
+"""The causal flight recorder — bounded per-process event rings.
+
+A :class:`FlightRecorder` taps the execution at two levels via the
+same ``bind_obs``-style None-guarded hooks the metrics layer uses
+(``SensorProcess.bind_trace``, ``Network.bind_trace``,
+``OnlineVectorStrobeDetector.bind_trace``):
+
+* **process events** — compute / sense / actuate entries, straight
+  from the process's ``_log`` funnel, carrying the stamping clocks'
+  readings at the event;
+* **transport events** — send / receive / drop entries with a
+  recorder-assigned message id (``mid``) that pairs each delivery (or
+  drop) with its exact send, which is what lets
+  :class:`~repro.trace.graph.CausalGraph` rebuild happens-before
+  without guessing.  (``Message.seq`` is a module-global counter and
+  therefore *not* a pure function of the run — the recorder never
+  exports it.)
+
+Everything is stamped with **sim time only**.  The recorder reads no
+wall clock, consumes no RNG, and schedules no events (the OBS001 lint
+rule checks this statically; the twin-run test pins it dynamically),
+so a recorded run is byte-for-byte the run you would have had without
+the recorder — the trace file itself is a pure function of
+``(config, seed)``.
+
+Memory is bounded: one ring of ``capacity`` entries per process, plus
+the (small) detection list.  Overflow evicts the *oldest* entries and
+counts them in :attr:`FlightRecorder.evicted`, so a long run degrades
+to a suffix window instead of growing without bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from repro.core.events import Event, EventKind
+from repro.core.records import SensedEventRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.detect.base import Detection
+    from repro.net.message import Message
+    from repro.sim.kernel import Simulator
+
+#: Trace-event kind tags: the five §2.2 event kinds plus the
+#: transport-only ``drop`` annotation (a message that never became a
+#: receive, with the reason the transport dropped it).
+KINDS = ("c", "n", "a", "s", "r", "drop")
+
+#: ``drop`` reasons, matching the transport's distinct drop counters.
+DROP_REASONS = ("crashed", "partition", "loss", "burst")
+
+
+def _canon(obj: Any) -> Any:
+    """JSON-safe canonical form of a payload/stamp value.
+
+    Pure function of the value's *content* — never of object identity —
+    so digests are stable across processes and reruns.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, SensedEventRecord):
+        return ["rec", obj.pid, obj.seq, obj.var, repr(obj.value)]
+    if isinstance(obj, np.ndarray):
+        return ["arr", obj.tolist()]
+    as_tuple = getattr(obj, "as_tuple", None)
+    if as_tuple is not None:
+        return ["vec", list(as_tuple())]
+    value = getattr(obj, "value", None)
+    pid = getattr(obj, "pid", None)
+    if value is not None and pid is not None:  # ScalarTimestamp-shaped
+        return ["sc", value, pid]
+    if isinstance(obj, Mapping):
+        return {str(k): _canon(obj[k]) for k in sorted(obj, key=str)}
+    if isinstance(obj, (list, tuple)):
+        return [_canon(x) for x in obj]
+    if isinstance(obj, (bytes, bytearray)):
+        return ["b", obj.hex()]
+    return repr(obj)
+
+
+def payload_digest(payload: Any) -> str:
+    """8-byte blake2b digest of a payload's canonical form.
+
+    A sensed record digests identically whether seen at its sense
+    event, inside a strobe broadcast, or at delivery — digest equality
+    is how the causal path follows one record across hops.
+    """
+    text = json.dumps(_canon(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(text.encode(), digest_size=8).hexdigest()
+
+
+def stamps_to_json(stamps: Mapping[str, Any]) -> dict[str, Any]:
+    """Clock-stamp dict in JSON-safe canonical form."""
+    return {str(k): _canon(stamps[k]) for k in sorted(stamps, key=str)}
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One flight-recorder entry.
+
+    ``pid`` is the *ring owner*: the acting process for c/n/a events,
+    the sender for ``s``, the destination for ``r``/``drop``.  ``gseq``
+    is the recorder-global recording order (total order consistent with
+    the simulator's execution order).  ``key`` is the sensed record's
+    ``(pid, seq)`` identity, set on sense events only.
+    """
+
+    pid: int
+    gseq: int
+    kind: str
+    t: float
+    digest: str
+    stamps: dict | None = None
+    key: tuple | None = None
+    mid: int | None = None
+    src: int | None = None
+    dst: int | None = None
+    msg_kind: str | None = None
+    size: int | None = None
+    drop: str | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "pid": self.pid, "gseq": self.gseq, "kind": self.kind,
+            "t": self.t, "digest": self.digest,
+        }
+        if self.stamps is not None:
+            out["stamps"] = self.stamps
+        if self.key is not None:
+            out["key"] = list(self.key)
+        if self.mid is not None:
+            out["mid"] = self.mid
+        if self.src is not None:
+            out["src"] = self.src
+        if self.dst is not None:
+            out["dst"] = self.dst
+        if self.msg_kind is not None:
+            out["msg_kind"] = self.msg_kind
+        if self.size is not None:
+            out["size"] = self.size
+        if self.drop is not None:
+            out["drop"] = self.drop
+        return out
+
+    @staticmethod
+    def from_json(d: Mapping[str, Any]) -> "TraceEvent":
+        key = d.get("key")
+        return TraceEvent(
+            pid=d["pid"], gseq=d["gseq"], kind=d["kind"], t=d["t"],
+            digest=d["digest"], stamps=d.get("stamps"),
+            key=tuple(key) if key is not None else None,
+            mid=d.get("mid"), src=d.get("src"), dst=d.get("dst"),
+            msg_kind=d.get("msg_kind"), size=d.get("size"),
+            drop=d.get("drop"),
+        )
+
+
+class FlightRecorder:
+    """Bounded per-process trace rings plus the detection log.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel — read for ``now`` at transport-side
+        records only (process events carry their own stamp).
+    capacity:
+        Ring size per process.  When a ring is full the oldest entry
+        is evicted (counted in :attr:`evicted`) — memory is bounded at
+        ``n_processes * capacity`` entries no matter how long the run.
+    """
+
+    def __init__(self, sim: "Simulator", *, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._sim = sim
+        self.capacity = int(capacity)
+        self._rings: dict[int, deque[TraceEvent]] = {}
+        #: per-pid count of entries evicted from a full ring
+        self.evicted: dict[int, int] = {}
+        self._gseq = 0
+        self._next_mid = 0
+        #: detection entries appended by online detectors (JSON-safe)
+        self.detections: list[dict[str, Any]] = []
+        #: run metadata embedded in the trace file header
+        self.meta: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def _ring(self, pid: int) -> deque:
+        ring = self._rings.get(pid)
+        if ring is None:
+            ring = deque(maxlen=self.capacity)
+            self._rings[pid] = ring
+            self.evicted[pid] = 0
+        return ring
+
+    def _append(self, pid: int, ev: TraceEvent) -> None:
+        ring = self._ring(pid)
+        if len(ring) == self.capacity:
+            self.evicted[pid] += 1
+        ring.append(ev)
+
+    def _next_gseq(self) -> int:
+        self._gseq += 1
+        return self._gseq
+
+    # -- hooks (called by instrumented components) ----------------------
+    def record_event(self, ev: Event) -> None:
+        """Process-side hook: one c/n/a entry per logged event.
+
+        SEND/RECEIVE process-log entries are skipped here — the
+        transport hooks record the canonical ``s``/``r`` entries with
+        exact mids, covering control traffic (strobes, sync) the
+        process log never sees.
+        """
+        kind = ev.kind
+        if kind is EventKind.SEND or kind is EventKind.RECEIVE:
+            return
+        key = None
+        if kind is EventKind.SENSE:
+            key = ev.detail.key()
+        self._append(ev.pid, TraceEvent(
+            pid=ev.pid, gseq=self._next_gseq(), kind=kind.value,
+            t=ev.true_time, digest=payload_digest(ev.detail),
+            stamps=stamps_to_json(ev.stamps), key=key,
+        ))
+
+    def record_send(self, msg: "Message") -> int:
+        """Transport-side hook at dispatch; returns the assigned mid."""
+        mid = self._next_mid
+        self._next_mid += 1
+        self._append(msg.src, TraceEvent(
+            pid=msg.src, gseq=self._next_gseq(), kind="s", t=msg.sent_at,
+            digest=payload_digest(msg.payload), mid=mid,
+            src=msg.src, dst=msg.dst, msg_kind=msg.kind, size=msg.size,
+        ))
+        return mid
+
+    def record_receive(self, mid: "int | None", msg: "Message") -> None:
+        """Transport-side hook just before the endpoint callback."""
+        self._append(msg.dst, TraceEvent(
+            pid=msg.dst, gseq=self._next_gseq(), kind="r",
+            t=self._sim.now, digest=payload_digest(msg.payload), mid=mid,
+            src=msg.src, dst=msg.dst, msg_kind=msg.kind, size=msg.size,
+        ))
+
+    def record_drop(self, mid: "int | None", msg: "Message", reason: str) -> None:
+        """Transport-side hook on any drop branch."""
+        if reason not in DROP_REASONS:
+            raise ValueError(f"unknown drop reason {reason!r}")
+        self._append(msg.dst, TraceEvent(
+            pid=msg.dst, gseq=self._next_gseq(), kind="drop",
+            t=self._sim.now, digest=payload_digest(msg.payload), mid=mid,
+            src=msg.src, dst=msg.dst, msg_kind=msg.kind, size=msg.size,
+            drop=reason,
+        ))
+
+    def record_detection(
+        self, detection: "Detection", emit_time: float, host: int
+    ) -> None:
+        """Detector-side hook at emission (watermark flush)."""
+        trig = detection.trigger
+        self.detections.append({
+            "detector": detection.detector,
+            "trigger": [trig.pid, trig.seq],
+            "var": trig.var,
+            "value": repr(trig.value),
+            "label": detection.label.value,
+            "emit_time": emit_time,
+            "host": int(host),
+        })
+
+    # -- views -----------------------------------------------------------
+    @property
+    def total_recorded(self) -> int:
+        """Entries ever recorded, including evicted ones."""
+        return self._gseq
+
+    def pids(self) -> list[int]:
+        return sorted(self._rings)
+
+    def ring(self, pid: int) -> list[TraceEvent]:
+        """The retained entries of one process ring, oldest first."""
+        ring = self._rings.get(pid)
+        return list(ring) if ring is not None else []
+
+    def events(self) -> list[TraceEvent]:
+        """All retained entries in recording (= execution) order."""
+        out: list[TraceEvent] = []
+        for pid in sorted(self._rings):
+            out.extend(self._rings[pid])
+        out.sort(key=lambda e: e.gseq)
+        return out
+
+
+__all__ = [
+    "FlightRecorder",
+    "TraceEvent",
+    "payload_digest",
+    "stamps_to_json",
+    "KINDS",
+    "DROP_REASONS",
+]

@@ -219,3 +219,46 @@ def test_merge_sums_counters_and_histograms():
     assert h.count == 3
     assert h.counts == [1, 1, 1]
     assert h.min == 0.5 and h.max == 10.0
+
+
+def test_merge_round_trip_preserves_overflow_bucket():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    ha = a.histogram("h", buckets=[1.0, 2.0])
+    hb = b.histogram("h", buckets=[1.0, 2.0])
+    for v in (5.0, 7.0):        # beyond the last bound -> overflow bucket
+        ha.observe(v)
+    hb.observe(100.0)
+
+    merged = restore_snapshot(a.snapshot())
+    merged.merge(restore_snapshot(b.snapshot()))
+    h = merged.get("h")
+    assert h.counts == [0, 0, 3]        # all three in overflow
+    assert h.count == 3
+    assert h.max == 100.0
+    # And the merged registry still snapshots/restores losslessly.
+    assert restore_snapshot(merged.snapshot()).snapshot() == merged.snapshot()
+
+
+def test_quantile_edges():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=[1.0, 2.0, 4.0])
+    for v in (0.5, 1.5, 3.0, 9.0):
+        h.observe(v)
+    # q=1 must report the observed max even though the top value sits
+    # in the overflow bucket.
+    assert h.quantile(1.0) == 9.0
+    # q=0 resolves to the first occupied bucket's upper bound, clamped
+    # by the observed max.
+    assert h.quantile(0.0) == 1.0
+    with pytest.raises(MetricError):
+        h.quantile(1.5)
+
+
+def test_quantile_edges_survive_restore():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=[1.0])
+    h.observe(42.0)                     # only the overflow bucket
+    r = restore_snapshot(reg.snapshot()).get("h")
+    assert r.quantile(0.0) == 42.0
+    assert r.quantile(1.0) == 42.0
+    assert r.counts == [0, 1]

@@ -96,3 +96,34 @@ def test_to_dict_carries_both_time_axes():
     assert d["t_wall"] > 0
     assert d["wall_s"] is not None
     assert d["sim_s"] == 0.0
+
+
+def test_span_marks_error_attr_on_exception():
+    tracer = SpanTracer()
+    with pytest.raises(ValueError):
+        with tracer.span("boom", t=1.0):
+            raise ValueError("nope")
+    sp = tracer.spans[0]
+    assert sp.attrs["error"] is True
+    assert sp.wall_s is not None
+    assert tracer.open_spans == 0       # stack popped despite the raise
+
+
+def test_span_without_exception_has_no_error_attr():
+    tracer = SpanTracer()
+    with tracer.span("fine"):
+        pass
+    assert "error" not in tracer.spans[0].attrs
+
+
+def test_nested_span_error_marks_only_the_raising_span():
+    tracer = SpanTracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise RuntimeError
+    by_name = {sp.name: sp for sp in tracer.spans}
+    assert by_name["inner"].attrs["error"] is True
+    # The outer span also saw the exception propagate through it.
+    assert by_name["outer"].attrs["error"] is True
+    assert tracer.open_spans == 0

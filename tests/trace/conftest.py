@@ -1,0 +1,49 @@
+"""Shared fixtures: one recorded hall run used across the trace tests."""
+
+import pytest
+
+from repro.core.process import ClockConfig
+from repro.detect.online import OnlineVectorStrobeDetector
+from repro.net.delay import DeltaBoundedDelay
+from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+from repro.trace import FlightRecorder, instrument_trace
+
+DELTA = 0.2
+DURATION = 60.0
+HOST = 0
+
+
+def record_hall(seed=0, *, capacity=65536, duration=DURATION, recorder=True):
+    """Run the hall scenario online-detected; optionally flight-recorded.
+
+    Returns (scenario, detector, recorder-or-None).
+    """
+    hall = ExhibitionHall(ExhibitionHallConfig(
+        seed=seed, delay=DeltaBoundedDelay(DELTA),
+        clocks=ClockConfig.everything(),
+    ))
+    system = hall.system
+    rec = None
+    if recorder:
+        rec = FlightRecorder(system.sim, capacity=capacity)
+        instrument_trace(system, rec)
+    det = OnlineVectorStrobeDetector(
+        system.sim, hall.predicate, hall.initials, delta=DELTA,
+    )
+    if rec is not None:
+        det.bind_trace(rec, host=HOST)
+    hall.attach_detector(det)
+    det.start()
+    hall.run(duration)
+    det.finalize()
+    if rec is not None:
+        rec.meta.update({
+            "scenario": "hall", "seed": seed,
+            "delta": DELTA, "duration": duration,
+        })
+    return hall, det, rec
+
+
+@pytest.fixture(scope="session")
+def hall_run():
+    return record_hall(seed=0)

@@ -1,0 +1,152 @@
+"""`repro trace` CLI: record / report / export / diff, and the two
+acceptance properties — byte-identical same-seed trace files, and
+recorder passivity (attaching it changes no detection output)."""
+
+import json
+
+from repro.cli import main
+from tests.trace.conftest import record_hall
+
+
+def _record(tmp_path, name, seed=0, extra=()):
+    out = tmp_path / name
+    rc = main([
+        "trace", "record", "hall",
+        "--seed", str(seed), "--duration", "40", "--out", str(out),
+        *extra,
+    ])
+    assert rc == 0
+    return out
+
+
+# ---------------------------------------------------------------------------
+# record
+# ---------------------------------------------------------------------------
+
+def test_record_writes_trace_file(tmp_path, capsys):
+    out = _record(tmp_path, "hall.trace")
+    assert out.exists()
+    lines = out.read_text().splitlines()
+    head = json.loads(lines[0])
+    assert head["kind"] == "meta" and head["format"] == "repro.trace"
+    assert json.loads(lines[-1])["kind"] == "summary"
+    assert "recorded" in capsys.readouterr().out
+
+
+def test_record_is_deterministic_byte_identical(tmp_path):
+    a = _record(tmp_path, "a.trace", seed=3)
+    b = _record(tmp_path, "b.trace", seed=3)
+    assert a.read_bytes() == b.read_bytes()
+    c = _record(tmp_path, "c.trace", seed=4)
+    assert a.read_bytes() != c.read_bytes()
+
+
+def test_record_with_fault_plan(tmp_path):
+    out = _record(tmp_path, "chaotic.trace", extra=("--plan", "default"))
+    head = json.loads(out.read_text().splitlines()[0])
+    assert head["plan"], "plan spec must be embedded in the header"
+
+
+def test_record_rejects_bad_plan(tmp_path, capsys):
+    rc = main([
+        "trace", "record", "hall", "--out", str(tmp_path / "x.trace"),
+        "--plan", str(tmp_path / "missing.json"),
+    ])
+    assert rc == 2
+    assert "repro trace record" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# report / export
+# ---------------------------------------------------------------------------
+
+def test_report_json_has_attributions(tmp_path, capsys):
+    out = _record(tmp_path, "hall.trace")
+    capsys.readouterr()
+    assert main(["trace", "report", str(out), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["events"] > 0
+    assert report["detections"] == len(report["attributions"])
+    for att in report["attributions"]:
+        if "error" in att:
+            continue
+        assert att["total_s"] >= 0.0
+
+
+def test_report_text_table(tmp_path, capsys):
+    out = _record(tmp_path, "hall.trace")
+    assert main(["trace", "report", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "detections" in text and "total" in text
+
+
+def test_export_perfetto_valid(tmp_path, capsys):
+    from repro.trace import validate_perfetto
+
+    out = _record(tmp_path, "hall.trace")
+    pf = tmp_path / "hall.perfetto.json"
+    assert main([
+        "trace", "export", str(out), "--format", "perfetto",
+        "--out", str(pf),
+    ]) == 0
+    validate_perfetto(json.loads(pf.read_text()))
+
+
+def test_export_jsonl_copy(tmp_path):
+    out = _record(tmp_path, "hall.trace")
+    cp = tmp_path / "copy.jsonl"
+    assert main([
+        "trace", "export", str(out), "--format", "jsonl", "--out", str(cp),
+    ]) == 0
+    assert cp.read_bytes() == out.read_bytes()
+
+
+# ---------------------------------------------------------------------------
+# diff
+# ---------------------------------------------------------------------------
+
+def test_diff_exit_codes(tmp_path, capsys):
+    a = _record(tmp_path, "a.trace", seed=0)
+    b = _record(tmp_path, "b.trace", seed=0)
+    assert main(["trace", "diff", str(a), str(b)]) == 0
+    assert "identical" in capsys.readouterr().out
+    c = _record(tmp_path, "c.trace", seed=1)
+    assert main(["trace", "diff", str(a), str(c)]) == 1
+
+
+def test_chaos_trace_twins_diff(tmp_path, capsys):
+    prefix = tmp_path / "twin"
+    assert main([
+        "chaos", "--seed", "0", "--duration", "60",
+        "--trace", str(prefix),
+    ]) == 0
+    capsys.readouterr()
+    base = f"{prefix}.base.trace"
+    faulty = f"{prefix}.faulty.trace"
+    assert main(["trace", "diff", base, faulty]) == 1
+    text = capsys.readouterr().out
+    assert "only in a" in text
+    assert "crash" in text            # per-window attribution lines
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: recorder passivity — attaching the flight recorder must
+# not change a single detection (twin runs, same seed, with/without).
+# ---------------------------------------------------------------------------
+
+def _detection_signature(det):
+    return [
+        (d.trigger.key(), d.trigger.var, repr(d.trigger.value), d.label.value)
+        for d in det.detections
+    ]
+
+
+def test_recorder_attachment_changes_no_detection_output():
+    _, det_plain, rec = record_hall(seed=7, duration=40.0, recorder=False)
+    assert rec is None
+    _, det_traced, rec = record_hall(seed=7, duration=40.0, recorder=True)
+    assert rec is not None and rec.total_recorded > 0
+    assert _detection_signature(det_plain) == _detection_signature(det_traced)
+    assert len(det_plain.emissions) == len(det_traced.emissions)
+    for (_, ta), (_, tb) in zip(det_plain.emissions, det_traced.emissions):
+        assert ta == tb

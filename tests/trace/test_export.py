@@ -1,0 +1,165 @@
+"""Trace serialization: JSONL round-trip, Perfetto validity, diffing."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    SchemaError,
+    export_perfetto,
+    perfetto_document,
+    read_trace,
+    trace_diff,
+    trace_jsonl_lines,
+    validate_json,
+    validate_perfetto,
+    write_trace,
+)
+
+
+# ---------------------------------------------------------------------------
+# JSONL round-trip
+# ---------------------------------------------------------------------------
+
+def test_write_read_round_trip(hall_run, tmp_path):
+    _, _, rec = hall_run
+    path = write_trace(tmp_path / "hall.trace", rec)
+    trace = read_trace(path)
+    assert trace.meta["scenario"] == "hall"
+    assert trace.meta["format"] == "repro.trace"
+    assert len(trace.events) == len(rec.events())
+    assert trace.events == rec.events()
+    assert len(trace.detections) == len(rec.detections)
+    assert trace.summary["recorded"] == rec.total_recorded
+    assert trace.summary["retained"] == len(rec.events())
+
+
+def test_read_rejects_non_trace_files(tmp_path):
+    p = tmp_path / "bogus.jsonl"
+    p.write_text('{"kind":"meta","format":"something-else"}\n')
+    with pytest.raises(ValueError, match="missing meta header"):
+        read_trace(p)
+    p.write_text(
+        '{"kind":"meta","format":"repro.trace","format_version":99}\n'
+    )
+    with pytest.raises(ValueError, match="format_version"):
+        read_trace(p)
+
+
+def test_jsonl_lines_are_canonical_json(hall_run):
+    _, _, rec = hall_run
+    for line in trace_jsonl_lines(rec):
+        row = json.loads(line)
+        assert line == json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Perfetto export
+# ---------------------------------------------------------------------------
+
+def test_perfetto_document_validates(hall_run, tmp_path):
+    _, _, rec = hall_run
+    trace = read_trace(write_trace(tmp_path / "hall.trace", rec))
+    doc = perfetto_document(trace)
+    validate_perfetto(doc)                      # checked-in schema
+    events = doc["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert {"M", "i", "s", "f"} <= phases
+    # Every flow start has a matching finish with the same id.
+    starts = {e["id"] for e in events if e["ph"] == "s"}
+    ends = {e["id"] for e in events if e["ph"] == "f"}
+    assert starts == ends and starts
+    # Detections appear as instants on the detect category.
+    assert any(e.get("cat") == "detect" for e in events)
+
+
+def test_perfetto_export_writes_valid_json(hall_run, tmp_path):
+    _, _, rec = hall_run
+    trace = read_trace(write_trace(tmp_path / "hall.trace", rec))
+    out = export_perfetto(trace, tmp_path / "hall.perfetto.json")
+    doc = json.loads(out.read_text())
+    validate_perfetto(doc)
+
+
+def test_perfetto_fault_windows_from_plan(tmp_path):
+    from repro.faults.chaos import run_chaos
+
+    report = run_chaos("smart_office", seed=0, duration=60.0, trace_capacity=4096)
+    _, faulty_rec = report["recorders"]
+    trace = read_trace(write_trace(tmp_path / "f.trace", faulty_rec))
+    doc = perfetto_document(trace)
+    validate_perfetto(doc)
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert slices, "fault plan must yield X duration slices"
+    assert {s["name"] for s in slices} <= {
+        "crash", "partition", "burst_loss", "clock_drift", "strobe_perturb",
+    }
+    assert all(s["dur"] >= 1 for s in slices)
+
+
+# ---------------------------------------------------------------------------
+# Subset schema validator
+# ---------------------------------------------------------------------------
+
+def test_validate_json_type_and_required():
+    schema = {
+        "type": "object",
+        "required": ["a"],
+        "properties": {"a": {"type": "integer"}},
+    }
+    validate_json({"a": 1}, schema)
+    with pytest.raises(SchemaError, match="missing required"):
+        validate_json({}, schema)
+    with pytest.raises(SchemaError, match="expected integer"):
+        validate_json({"a": "x"}, schema)
+    with pytest.raises(SchemaError, match="expected object"):
+        validate_json([], schema)
+
+
+def test_validate_json_enum_items_min_items():
+    schema = {
+        "type": "array", "minItems": 1,
+        "items": {"type": "string", "enum": ["x", "y"]},
+    }
+    validate_json(["x", "y"], schema)
+    with pytest.raises(SchemaError, match="at least 1"):
+        validate_json([], schema)
+    with pytest.raises(SchemaError, match="not in enum"):
+        validate_json(["z"], schema)
+
+
+def test_validate_json_bool_is_not_a_number():
+    with pytest.raises(SchemaError):
+        validate_json(True, {"type": "integer"})
+    validate_json(True, {"type": "boolean"})
+
+
+# ---------------------------------------------------------------------------
+# Diff
+# ---------------------------------------------------------------------------
+
+def test_diff_identical_traces(hall_run, tmp_path):
+    _, _, rec = hall_run
+    a = write_trace(tmp_path / "a.trace", rec)
+    b = write_trace(tmp_path / "b.trace", rec)
+    diff = trace_diff(a, b)
+    assert diff["identical"] is True
+    assert diff["only_a"] == diff["only_b"] == 0
+
+
+def test_diff_chaos_twins_attributes_to_fault_windows(tmp_path):
+    from repro.faults.chaos import run_chaos
+
+    report = run_chaos("smart_office", seed=0, duration=60.0, trace_capacity=4096)
+    base_rec, faulty_rec = report["recorders"]
+    a = write_trace(tmp_path / "base.trace", base_rec)
+    b = write_trace(tmp_path / "faulty.trace", faulty_rec)
+    diff = trace_diff(a, b)
+    assert diff["identical"] is False
+    assert diff["only_a"] + diff["only_b"] > 0
+    # Every differing entry lands in (or after the start of) a fault
+    # window — none precede the first fault.
+    assert diff["unattributed"] == 0
+    assert sum(w["diffs"] for w in diff["windows"]) == (
+        diff["only_a"] + diff["only_b"]
+    )

@@ -1,0 +1,64 @@
+"""Satellite: recorder overhead budget and provable ring bounds.
+
+The flight recorder must be cheap enough to leave on (bounded wall
+overhead on the e07 bench point) and strictly bounded in memory (per
+process ring of ``capacity`` entries, evictions counted, never grown).
+"""
+
+import time
+
+from repro.sweep.points import E07_N, strobe_cost
+
+# Wall-clock factor the instrumented run may cost over the bare run.
+# Generous on purpose: CI machines are noisy and the absolute times
+# are tens of milliseconds; the test guards against pathological
+# regressions (e.g. per-event serialization), not small drift.
+OVERHEAD_FACTOR = 3.0
+# Floor for the denominator so a very fast bare run cannot make the
+# ratio explode on timer granularity alone.
+MIN_BASE_S = 0.05
+
+
+def _timed(fn, reps=3):
+    best = float("inf")
+    row = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        row = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, row
+
+
+def test_recorder_is_passive_on_e07_row():
+    bare = strobe_cost(True, seed=0)
+    traced = strobe_cost(True, seed=0, trace_capacity=65536)
+    extra = {"trace_recorded", "trace_retained"}
+    assert set(traced) == set(bare) | extra
+    for k in bare:
+        assert traced[k] == bare[k], f"recorder perturbed row key {k!r}"
+    assert traced["trace_recorded"] > 0
+    assert traced["trace_retained"] == traced["trace_recorded"]  # no eviction
+
+
+def test_recorder_overhead_within_budget():
+    base_s, _ = _timed(lambda: strobe_cost(True, seed=0))
+    traced_s, _ = _timed(lambda: strobe_cost(True, seed=0, trace_capacity=65536))
+    budget = OVERHEAD_FACTOR * max(base_s, MIN_BASE_S)
+    assert traced_s <= budget, (
+        f"instrumented e07 run took {traced_s:.3f}s, "
+        f"budget {budget:.3f}s (bare {base_s:.3f}s)"
+    )
+
+
+def test_ring_buffer_is_provably_bounded():
+    capacity = 16
+    row = strobe_cost(True, seed=0, trace_capacity=capacity)
+    # E07_N process rings at most; retention can never exceed
+    # capacity entries per ring regardless of how many were recorded.
+    assert row["trace_retained"] <= E07_N * capacity
+    assert row["trace_recorded"] > row["trace_retained"]  # eviction happened
+    # Same run with a huge ring retains everything — the bound really
+    # is the capacity, not the workload.
+    full = strobe_cost(True, seed=0, trace_capacity=1 << 20)
+    assert full["trace_retained"] == full["trace_recorded"]
+    assert full["trace_recorded"] == row["trace_recorded"]
