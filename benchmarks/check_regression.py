@@ -56,8 +56,15 @@ def load_baseline(name: str, ref: str) -> dict | None:
     return json.loads(proc.stdout)
 
 
-def compare(name: str, fresh: dict, baseline: dict, tolerance: float) -> list[str]:
-    problems: list[str] = []
+def compare(name: str, fresh: dict, baseline: dict, tolerance: float) -> list[dict]:
+    """One problem record per offending metric.
+
+    Each record carries the full diagnosis — file, row key, metric
+    name, baseline value, observed value, and what was allowed — so
+    a CI failure names every number needed to judge it without
+    re-running the bench locally.
+    """
+    problems: list[dict] = []
     base_rows = {row_key(r): r for r in baseline.get("rows", [])}
     for row in fresh.get("rows", []):
         key = row_key(row)
@@ -66,19 +73,39 @@ def compare(name: str, fresh: dict, baseline: dict, tolerance: float) -> list[st
             continue        # new configuration: nothing to compare against
         for f in EXACT_FIELDS:
             if f in base and f in row and row[f] != base[f]:
-                problems.append(
-                    f"{name} {key}: {f} changed {base[f]!r} -> {row[f]!r} "
-                    "(must match baseline exactly)"
-                )
+                problems.append({
+                    "file": name, "row": key, "metric": f,
+                    "baseline": base[f], "observed": row[f],
+                    "allowed": "exact match (correctness field)",
+                })
         for f in WALL_FIELDS:
             if f in base and f in row and base[f] and row[f]:
                 ratio = float(row[f]) / float(base[f])
                 if ratio > tolerance:
-                    problems.append(
-                        f"{name} {key}: {f} {base[f]:.4g}s -> {row[f]:.4g}s "
-                        f"({ratio:.2f}x > {tolerance:g}x tolerance)"
-                    )
+                    problems.append({
+                        "file": name, "row": key, "metric": f,
+                        "baseline": base[f], "observed": row[f],
+                        "ratio": ratio,
+                        "allowed": f"<= {tolerance:g}x baseline wall time",
+                    })
     return problems
+
+
+def format_problem(p: dict) -> str:
+    """Multi-line rendering: metric, baseline, observed, allowed."""
+    lines = [f"{p['file']} {p['row']}", f"    metric:   {p['metric']}"]
+    if "ratio" in p:
+        lines += [
+            f"    baseline: {p['baseline']:.4g}s",
+            f"    observed: {p['observed']:.4g}s ({p['ratio']:.2f}x baseline)",
+        ]
+    else:
+        lines += [
+            f"    baseline: {p['baseline']!r}",
+            f"    observed: {p['observed']!r}",
+        ]
+    lines.append(f"    allowed:  {p['allowed']}")
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -94,7 +121,7 @@ def main(argv: list[str] | None = None) -> int:
         print("check_regression: tolerance must be positive", file=sys.stderr)
         return 2
 
-    problems: list[str] = []
+    problems: list[dict] = []
     compared = 0
     for name in args.files:
         fresh_path = RESULTS / name
@@ -111,9 +138,12 @@ def main(argv: list[str] | None = None) -> int:
         problems += compare(name, fresh, baseline, args.tolerance)
 
     if problems:
-        print(f"{len(problems)} regression(s):")
+        n_exact = sum(1 for p in problems if "ratio" not in p)
+        n_wall = len(problems) - n_exact
+        print(f"{len(problems)} offending metric(s) "
+              f"({n_exact} correctness, {n_wall} wall-time):")
         for p in problems:
-            print(f"  {p}")
+            print("  " + format_problem(p).replace("\n", "\n  "))
         return 1
     print(f"ok: {compared} baseline file(s) within {args.tolerance:g}x "
           "wall tolerance, correctness fields exact")

@@ -16,6 +16,7 @@ Subcommands::
     lint      determinism & causality static analysis (repro.lint)
     chaos     fault-injection run vs fault-free twin + §4.2.2 ripple check
     trace     causal flight recorder: record / report / export / diff
+    replay    deterministic replay: verify / run / counterfactual / matrix
 
 Examples::
 
@@ -26,6 +27,9 @@ Examples::
     python -m repro chaos --plan default --seed 3 --json
     python -m repro trace record hall --out hall.trace
     python -m repro trace export hall.trace --format perfetto
+    python -m repro replay verify hall.trace
+    python -m repro replay counterfactual hall.trace --clock-family physical
+    python -m repro replay matrix hall.trace --clock-families vector_strobe,physical
 """
 
 from __future__ import annotations
@@ -218,45 +222,14 @@ OBS_SCENARIOS = ("smart_office", "hall", "hospital", "habitat")
 
 
 def _build_obs_scenario(name: str, args):
-    """Build (scenario, predicate, initials) for an instrumented run."""
-    if name == "smart_office":
-        from repro.scenarios.smart_office import SmartOffice, SmartOfficeConfig
+    """Build (scenario, predicate, initials) for an instrumented run.
 
-        sc = SmartOffice(SmartOfficeConfig(
-            seed=args.seed, delay=_delay(args.delta),
-            temp_threshold=28.0, temp_base=27.5, temp_sigma=1.5,
-        ))
-        return sc, sc.predicate, sc.initials
-    if name == "hall":
-        from repro.core.process import ClockConfig
-        from repro.scenarios.exhibition_hall import (
-            ExhibitionHall,
-            ExhibitionHallConfig,
-        )
+    Delegates to the shared profile registry so the CLI, the chaos
+    harness and ``repro.replay`` construct byte-identical systems.
+    """
+    from repro.scenarios.builders import build_scenario
 
-        sc = ExhibitionHall(ExhibitionHallConfig(
-            seed=args.seed, delay=_delay(args.delta),
-            clocks=ClockConfig.everything(),
-        ))
-        return sc, sc.predicate, sc.initials
-    if name == "hospital":
-        from repro.scenarios.hospital import Hospital, HospitalConfig
-
-        sc = Hospital(HospitalConfig(seed=args.seed, delay=_delay(args.delta)))
-        phi = sc.waiting_room_predicate()
-        return sc, phi, sc.initials_for(phi)
-    if name == "habitat":
-        from repro.predicates import RelationalPredicate
-        from repro.scenarios.habitat import Habitat, HabitatConfig
-
-        sc = Habitat(HabitatConfig(seed=args.seed))
-        phi = RelationalPredicate(
-            {"prey": 0, "pred": 1},
-            lambda e: e["prey"] > 0 and e["pred"] > 0,
-            "prey ∧ predator",
-        )
-        return sc, phi, sc.initials
-    raise ValueError(f"unknown obs scenario {name!r}")
+    return build_scenario(name, seed=args.seed, delta=args.delta)
 
 
 def cmd_obs_run(args) -> int:
@@ -353,17 +326,25 @@ def cmd_sweep(args) -> int:
               f"(have {', '.join(sorted(MATRICES))})", file=sys.stderr)
         return 2
     tasks = expand_matrix(spec, master_seed=args.seed, reps=args.reps)
+    out = args.out or f"sweep_{spec.name}.jsonl"
+    cached: list = []
+    if args.resume:
+        from repro.sweep import partition_resumable, read_completed_rows
+
+        tasks, cached = partition_resumable(tasks, read_completed_rows(out))
+        if cached:
+            print(f"resume: {len(cached)} point(s) already in {out}, "
+                  f"{len(tasks)} to run")
     registry = MetricsRegistry()
     runner = SweepRunner(workers=args.workers, registry=registry)
-    rows = runner.run(tasks)
-    out = args.out or f"sweep_{spec.name}.jsonl"
+    rows = sorted(runner.run(tasks) + cached, key=lambda r: r["index"])
     path = write_sweep_jsonl(
         out, rows, matrix=spec.name, master_seed=args.seed,
         reps=args.reps or spec.reps,
     )
     failed = sum(1 for r in rows if "error" in r)
     wall = registry.histogram("sweep.task_wall_s")
-    print(f"{len(rows)} tasks ({failed} failed), "
+    print(f"{len(rows)} tasks ({failed} failed, {len(cached)} cached), "
           f"{runner.workers} worker(s), "
           f"task wall mean={wall.mean:.3f}s max={wall.max:.3f}s -> {path}")
     if failed:
@@ -426,46 +407,43 @@ def _load_plan(name_or_path: "str | None"):
 
 
 def cmd_trace_record(args) -> int:
-    """Record a scenario run into a flight-recorder trace file."""
-    from repro.detect.online import OnlineVectorStrobeDetector
-    from repro.trace import FlightRecorder, instrument_trace, write_trace
+    """Record a scenario run into a replayable flight-recorder trace.
+
+    Recording goes through the replay engine's shared execute path and
+    embeds a :class:`~repro.replay.manifest.RunManifest` in the trace
+    header, so the file is re-executable by ``repro replay``.
+    """
+    from repro.replay import ReplayEngine, RunManifest, code_digest
+    from repro.trace import write_trace
 
     try:
         plan = _load_plan(args.plan)
     except ValueError as exc:
         print(f"repro trace record: {exc}", file=sys.stderr)
         return 2
-    scenario, phi, initials = _build_obs_scenario(args.scenario, args)
-    system = scenario.system
-    recorder = FlightRecorder(system.sim, capacity=args.capacity)
-    instrument_trace(system, recorder)
-
-    det = OnlineVectorStrobeDetector(
-        system.sim, phi, initials, delta=max(args.delta, 0.0),
+    manifest = RunManifest(
+        scenario=args.scenario,
+        seed=args.seed,
+        duration=args.duration,
+        delta=max(args.delta, 0.0),
+        clock_family=args.clock_family,
+        check_period=args.check_period,
+        capacity=args.capacity,
+        plan=plan,
+        code_digest=code_digest(),
     )
-    det.bind_trace(recorder, host=0)
-    scenario.attach_detector(det)
-    det.start()
-    if plan is not None:
-        from repro.faults import FaultInjector
-
-        FaultInjector(system, plan).arm()
-    scenario.run(args.duration)
-    det.finalize()
-
-    recorder.meta.update({
-        "scenario": args.scenario, "seed": args.seed,
-        "delta": args.delta, "duration": args.duration,
-        "predicate": str(phi),
-    })
-    if plan is not None:
-        recorder.meta["plan"] = plan.to_spec()
+    result = ReplayEngine().execute(manifest)
+    recorder = result.recorder
     out = args.out or f"{args.scenario}.trace"
     path = write_trace(out, recorder)
     evicted = sum(recorder.evicted[p] for p in recorder.pids())
     print(f"{recorder.total_recorded} events recorded "
           f"({evicted} evicted), {len(recorder.detections)} detection(s) "
           f"-> {path}")
+    if evicted:
+        print(f"warning: ring overflow evicted {evicted} entries; "
+              "this trace cannot be replay-verified "
+              "(re-record with a larger --capacity)", file=sys.stderr)
     return 0
 
 
@@ -473,9 +451,13 @@ def cmd_trace_report(args) -> int:
     """Happens-before stats + per-detection latency attribution."""
     import json as _json
 
-    from repro.trace import CausalGraph, TraceError, read_trace
+    from repro.trace import CausalGraph, TraceError, TraceFormatError, read_trace
 
-    trace = read_trace(args.trace)
+    try:
+        trace = read_trace(args.trace)
+    except TraceFormatError as exc:
+        print(f"repro trace report: {exc}", file=sys.stderr)
+        return 2
     graph = CausalGraph(trace.events)
     kinds: dict = {}
     for e in trace.events:
@@ -525,13 +507,18 @@ def cmd_trace_export(args) -> int:
     """Export a trace to Perfetto (validated) or canonical JSONL."""
     from repro.trace import (
         SchemaError,
+        TraceFormatError,
         export_perfetto,
         perfetto_document,
         read_trace,
         validate_perfetto,
     )
 
-    trace = read_trace(args.trace)
+    try:
+        trace = read_trace(args.trace)
+    except TraceFormatError as exc:
+        print(f"repro trace export: {exc}", file=sys.stderr)
+        return 2
     if args.format == "perfetto":
         out = args.out or f"{args.trace}.perfetto.json"
         doc = perfetto_document(trace)
@@ -582,6 +569,201 @@ def cmd_trace_diff(args) -> int:
     for line in diff["sample_only_b"]:
         print(f"  +b {line}")
     return 1
+
+
+# ---------------------------------------------------------------------------
+# Replay (repro.replay)
+# ---------------------------------------------------------------------------
+
+
+def cmd_replay_verify(args) -> int:
+    """Re-execute a recorded trace and prove bit-identity.
+
+    Exit codes: 0 bit-identical, 1 diverged, 2 not replayable.
+    """
+    import json as _json
+
+    from repro.replay import ReplayEngine, ReplayError
+    from repro.trace import TraceFormatError
+
+    try:
+        report = ReplayEngine().verify(args.trace)
+    except (ReplayError, TraceFormatError) as exc:
+        print(f"repro replay verify: {exc}", file=sys.stderr)
+        return 2
+    text = _json.dumps(report, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    if args.json:
+        print(text)
+    elif report["identical"]:
+        print(f"bit-identical: {report['recorded_lines']} lines, "
+              f"{report['detections']} detection(s) reproduced "
+              f"[{report['scenario']}/{report['clock_family']}]")
+        if not report["code_digest_match"]:
+            print("note: code digest changed since recording "
+                  "(replay still identical)", file=sys.stderr)
+    else:
+        div = report["divergence"]
+        print(f"DIVERGED at line {div['lineno']} "
+              f"(recorded {report['recorded_lines']} lines, "
+              f"replayed {report['replayed_lines']})")
+        print(f"  recorded: {div['recorded']}")
+        print(f"  replayed: {div['replayed']}")
+        if not report["code_digest_match"]:
+            print(f"  code digest changed since recording "
+                  f"({report['code_digest_recorded']} -> "
+                  f"{report['code_digest_now']}) — likely a code change, "
+                  f"not nondeterminism")
+        for e in div["causal_context"]:
+            print(f"    depends on gseq={e['gseq']} p{e['pid']} "
+                  f"{e['kind']} t={e['t']:.4f} digest={e['digest']}")
+    return 0 if report["identical"] else 1
+
+
+def cmd_replay_run(args) -> int:
+    """Re-execute a recorded trace; write the re-recorded trace."""
+    from repro.replay import ReplayEngine, ReplayError
+    from repro.trace import TraceFormatError, write_trace
+
+    engine = ReplayEngine()
+    try:
+        manifest = engine.manifest_of(args.trace)
+    except (ReplayError, TraceFormatError) as exc:
+        print(f"repro replay run: {exc}", file=sys.stderr)
+        return 2
+    result = engine.execute(manifest)
+    out = args.out or f"{args.trace}.replay"
+    path = write_trace(out, result.recorder)
+    print(f"replayed {manifest.scenario}/{manifest.clock_family} "
+          f"seed={manifest.seed} for {manifest.duration}s: "
+          f"{result.recorder.total_recorded} events, "
+          f"{len(result.detections)} detection(s) -> {path}")
+    return 0
+
+
+def cmd_replay_counterfactual(args) -> int:
+    """Re-execute under a swapped time model; report the detection diff.
+
+    Exit codes: 0 diff computed (differences are the product, not an
+    error), 2 not replayable / bad spec.
+    """
+    import json as _json
+
+    from repro.replay import CounterfactualSpec, run_counterfactual
+
+    drop_plan = args.plan == "none"
+    plan = None
+    if args.plan is not None and not drop_plan:
+        try:
+            plan = _load_plan(args.plan)
+        except ValueError as exc:
+            print(f"repro replay counterfactual: {exc}", file=sys.stderr)
+            return 2
+    try:
+        spec = CounterfactualSpec(
+            clock_family=args.clock_family,
+            delta=args.delta,
+            check_period=args.check_period,
+            plan=plan,
+            drop_plan=drop_plan,
+        )
+        diff = run_counterfactual(args.trace, spec)
+    except ValueError as exc:
+        # ReplayError and TraceFormatError are both ValueError.
+        print(f"repro replay counterfactual: {exc}", file=sys.stderr)
+        return 2
+    report = diff.to_report()
+    text = _json.dumps(report, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    if args.json:
+        print(text)
+        return 0
+    base = report["baseline_manifest"]
+    cf = report["counterfactual_manifest"]
+    swapped = ", ".join(
+        f"{k}: {base[k]!r} -> {cf[k]!r}"
+        for k in sorted(base)
+        if k != "code_digest" and base[k] != cf[k]
+    ) or "nothing (identity)"
+    counts = report["counts"]
+    print(f"baseline  : {base['scenario']} seed={base['seed']} "
+          f"{base['clock_family']} Δ={base['delta']}")
+    print(f"swapped   : {swapped}")
+    print(f"world     : {report['world_events']} recorded event(s) replayed")
+    print(f"detections: {counts['kept']} kept, {counts['appeared']} appeared, "
+          f"{counts['disappeared']} disappeared")
+    for entry in report["appeared"]:
+        t, pid, var, value = entry["key"]
+        why = entry["explanation"]["baseline"].get("reason", "?")
+        print(f"  + t={t:.3f} p{pid} {var}={value}  "
+              f"(absent in baseline: {why})")
+    for entry in report["disappeared"]:
+        t, pid, var, value = entry["key"]
+        why = entry["explanation"]["counterfactual"].get("reason", "?")
+        print(f"  - t={t:.3f} p{pid} {var}={value}  "
+              f"(absent in counterfactual: {why})")
+    return 0
+
+
+def cmd_replay_matrix(args) -> int:
+    """Fan one trace across a grid of time-model swaps (repro.sweep).
+
+    Output JSONL is byte-identical for any --workers value.
+    Exit codes: 0 all points computed, 1 some points failed, 2 usage.
+    """
+    from repro.obs import MetricsRegistry
+    from repro.replay import matrix_spec
+    from repro.sweep import SweepRunner, expand_matrix, write_sweep_jsonl
+
+    families = tuple(
+        s for chunk in (args.clock_families or []) for s in chunk.split(",") if s
+    )
+    deltas = tuple(
+        float(s) for chunk in (args.deltas or []) for s in chunk.split(",") if s
+    )
+    periods = tuple(
+        float(s) for chunk in (args.check_periods or [])
+        for s in chunk.split(",") if s
+    )
+    try:
+        spec = matrix_spec(
+            args.trace, clock_families=families or None,
+            deltas=deltas or None, check_periods=periods or None,
+        )
+    except ValueError as exc:
+        print(f"repro replay matrix: {exc}", file=sys.stderr)
+        return 2
+    tasks = expand_matrix(spec, master_seed=0)
+    out = args.out or f"{args.trace}.matrix.jsonl"
+    cached: list = []
+    if args.resume:
+        from repro.sweep import partition_resumable, read_completed_rows
+
+        tasks, cached = partition_resumable(tasks, read_completed_rows(out))
+        if cached:
+            print(f"resume: {len(cached)} point(s) already in {out}, "
+                  f"{len(tasks)} to run")
+    registry = MetricsRegistry()
+    runner = SweepRunner(workers=args.workers, registry=registry)
+    rows = sorted(runner.run(tasks) + cached, key=lambda r: r["index"])
+    path = write_sweep_jsonl(out, rows, matrix=spec.name, master_seed=0)
+    failed = sum(1 for r in rows if "error" in r)
+    print(f"{len(rows)} counterfactual(s) ({failed} failed, "
+          f"{len(cached)} cached), {runner.workers} worker(s) -> {path}")
+    for r in rows:
+        if "error" in r:
+            print(f"  point {r['index']} {r['params']}: {r['error']}",
+                  file=sys.stderr)
+        else:
+            res = r["result"]
+            axes = {k: v for k, v in r["params"].items() if k != "trace"}
+            print(f"  {axes}: kept={res['kept']} appeared={res['appeared']} "
+                  f"disappeared={res['disappeared']}")
+    return 1 if failed else 0
 
 
 # ---------------------------------------------------------------------------
@@ -727,6 +909,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output JSONL (default sweep_<matrix>.jsonl)")
     p.add_argument("--list", dest="list_matrices", action="store_true",
                    help="list the named matrices and exit")
+    p.add_argument("--resume", action="store_true",
+                   help="skip points whose rows already exist in --out "
+                        "(keyed by coordinate digest); errored rows re-run")
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
@@ -783,6 +968,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plan", default=None, metavar="NAME|PATH",
                    help="optionally inject faults while recording "
                         "('default' or a FaultPlan JSON file)")
+    from repro.replay.manifest import CLOCK_FAMILIES as _FAMILIES
+
+    p.add_argument("--clock-family", choices=_FAMILIES,
+                   default="vector_strobe",
+                   help="detection time model to record under")
+    p.add_argument("--check-period", type=float, default=0.1,
+                   help="online detector flush period (the sync-period "
+                        "knob; ignored by offline families)")
     p.set_defaults(fn=cmd_trace_record)
 
     p = trace_sub.add_parser(
@@ -809,6 +1002,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace_a")
     p.add_argument("trace_b")
     p.set_defaults(fn=cmd_trace_diff)
+
+    p = sub.add_parser(
+        "replay",
+        help="deterministic replay + counterfactual re-execution (repro.replay)",
+    )
+    replay_sub = p.add_subparsers(dest="replay_command", required=True)
+
+    p = replay_sub.add_parser(
+        "verify",
+        help="re-execute a recorded trace and prove bit-identity",
+    )
+    p.add_argument("trace", help="trace file from `repro trace record`")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="also write the JSON report to PATH")
+    p.set_defaults(fn=cmd_replay_verify)
+
+    p = replay_sub.add_parser(
+        "run", help="re-execute a trace's manifest; write the new trace"
+    )
+    p.add_argument("trace", help="trace file from `repro trace record`")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="re-recorded trace path (default <trace>.replay)")
+    p.set_defaults(fn=cmd_replay_run)
+
+    p = replay_sub.add_parser(
+        "counterfactual",
+        help="re-execute under a swapped time model; diff the detections",
+    )
+    p.add_argument("trace", help="trace file from `repro trace record`")
+    p.add_argument("--clock-family", choices=_FAMILIES, default=None,
+                   help="swap the detection time model")
+    p.add_argument("--delta", type=float, default=None,
+                   help="swap the Δ delay bound")
+    p.add_argument("--check-period", type=float, default=None,
+                   help="swap the detector sync period")
+    p.add_argument("--plan", default=None, metavar="NAME|PATH|none",
+                   help="swap the fault plan ('default', a FaultPlan JSON "
+                        "file, or 'none' to remove the recorded plan)")
+    p.add_argument("--json", action="store_true",
+                   help="print the canonical JSON diff report")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="also write the JSON diff report to PATH")
+    p.set_defaults(fn=cmd_replay_counterfactual)
+
+    p = replay_sub.add_parser(
+        "matrix",
+        help="fan one trace across a grid of time-model swaps (repro.sweep)",
+    )
+    p.add_argument("trace", help="trace file from `repro trace record`")
+    p.add_argument("--clock-families", action="append", metavar="FAMS",
+                   default=None,
+                   help="comma-separated clock families to sweep")
+    p.add_argument("--deltas", action="append", metavar="DELTAS", default=None,
+                   help="comma-separated Δ bounds to sweep")
+    p.add_argument("--check-periods", action="append", metavar="PERIODS",
+                   default=None,
+                   help="comma-separated sync periods to sweep")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="process-pool size (output byte-identical for any value)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="output JSONL (default <trace>.matrix.jsonl)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip points whose rows already exist in --out")
+    p.set_defaults(fn=cmd_replay_matrix)
 
     return parser
 

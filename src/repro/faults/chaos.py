@@ -29,7 +29,6 @@ import json
 from collections import Counter
 from typing import Any
 
-from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, FaultWindow
 
 #: Quarantine horizon used by the chaos detectors (advisory; motion
@@ -58,24 +57,12 @@ def default_plan() -> FaultPlan:
     )
 
 
-def _build(scenario: str, seed: int):
-    """Build (scenario_obj, predicate, initials, detector_host_delta).
-
-    Only scenarios whose fault-free run consumes no network randomness
-    qualify (synchronous delay, no loss): the fault plan must not shift
-    any model rng stream, or baseline-vs-faulty mismatches would stop
-    being attributable to the faults.
-    """
-    if scenario == "smart_office":
-        from repro.scenarios.smart_office import SmartOffice, SmartOfficeConfig
-
-        sc = SmartOffice(SmartOfficeConfig(
-            seed=seed,
-            temp_threshold=28.0, temp_base=27.5, temp_sigma=1.5,
-            mean_occupied=40.0, mean_vacant=15.0,
-        ))
-        return sc, sc.predicate, sc.initials, 0.0
-    raise ValueError(f"unknown chaos scenario {scenario!r}")
+#: Chaos scenario name → builders profile.  Only profiles whose
+#: fault-free run consumes no network randomness qualify (synchronous
+#: delay, no loss): the fault plan must not shift any model rng stream,
+#: or baseline-vs-faulty mismatches would stop being attributable to
+#: the faults.
+_PROFILE_BY_SCENARIO = {"smart_office": "smart_office_chaos"}
 
 
 def _run_once(
@@ -85,42 +72,39 @@ def _run_once(
     plan: FaultPlan | None,
     trace_capacity: int | None = None,
 ) -> "tuple[dict[str, Any], Any]":
-    """One run; returns (result, recorder-or-None).  A recorder is
-    attached when ``trace_capacity`` is given (the flight recorder is
-    passive, so the result is identical either way — the twin-run test
-    pins this)."""
-    from repro.detect.online import OnlineVectorStrobeDetector
+    """One run; returns (result, recorder-or-None).
 
-    sc, phi, initials, delta = _build(scenario, seed)
-    system = sc.system
-    det = OnlineVectorStrobeDetector(
-        system.sim, phi, initials,
-        delta=delta, liveness_horizon=LIVENESS_HORIZON,
+    Each run goes through :class:`~repro.replay.engine.ReplayEngine`
+    with a full :class:`~repro.replay.manifest.RunManifest`, so a trace
+    recorded here verifies bit-identically under ``repro replay
+    verify`` and feeds counterfactual re-execution directly.  The
+    flight recorder is passive, so the result is identical whether or
+    not ``trace_capacity`` asks to keep it — the twin-run test pins
+    this.
+    """
+    from repro.replay.engine import ReplayEngine
+    from repro.replay.manifest import RunManifest, code_digest
+
+    profile = _PROFILE_BY_SCENARIO.get(scenario)
+    if profile is None:
+        raise ValueError(f"unknown chaos scenario {scenario!r}")
+    manifest = RunManifest(
+        scenario=profile,
+        seed=seed,
+        duration=duration,
+        delta=0.0,
+        clock_family="vector_strobe",
+        check_period=0.1,
+        capacity=trace_capacity if trace_capacity is not None else 65536,
+        liveness_horizon=LIVENESS_HORIZON,
+        plan=plan,
+        code_digest=code_digest(),
     )
-    sc.attach_detector(det)
-    recorder = None
-    if trace_capacity is not None:
-        from repro.trace.instrument import instrument_trace
-        from repro.trace.recorder import FlightRecorder
-
-        recorder = FlightRecorder(system.sim, capacity=trace_capacity)
-        instrument_trace(system, recorder)
-        det.bind_trace(recorder, host=0)
-        recorder.meta.update({
-            "scenario": scenario,
-            "seed": seed,
-            "duration": duration,
-            "delta": delta,
-        })
-        if plan is not None:
-            recorder.meta["plan"] = plan.to_spec()
-    det.start()
-    injector = None
-    if plan is not None:
-        injector = FaultInjector(system, plan)
-        injector.arm()
-    sc.run(duration)
-    det.finalize()
+    run = ReplayEngine().execute(manifest)
+    det = run.detector.detector
+    system = run.scenario.system
+    injector = run.injector
+    recorder = run.recorder if trace_capacity is not None else None
     stats = system.net.stats
     result = {
         "detections": [

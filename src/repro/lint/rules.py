@@ -440,9 +440,12 @@ class MutableDefaultRule(Rule):
 # ---------------------------------------------------------------------------
 
 #: Packages that observe the simulation and must never drive it:
-#: repro.obs (metrics/spans) and repro.trace (the flight recorder,
-#: whose byte-identical-twin-run contract depends on passivity).
-_OBS001_PASSIVE_PACKAGES = ("repro.obs", "repro.trace")
+#: repro.obs (metrics/spans), repro.trace (the flight recorder, whose
+#: byte-identical-twin-run contract depends on passivity) and
+#: repro.replay (which *wires together* active machinery — scenario
+#: builders, RecordedSchedule, FaultInjector — but must not schedule
+#: or draw randomness itself, or replay would drift from record).
+_OBS001_PASSIVE_PACKAGES = ("repro.obs", "repro.trace", "repro.replay")
 
 
 @register

@@ -1,0 +1,44 @@
+"""repro.replay — trace-driven deterministic replay and counterfactual
+re-execution.
+
+Turns a recorded flight-recorder trace from an output artifact into a
+reusable *input*: :class:`ReplayEngine` re-executes a run from its
+embedded :class:`RunManifest` and proves bit-identity (``verify``);
+:func:`run_counterfactual` holds the recorded world-plane stream fixed
+and re-derives detection under a swapped clock family, Δ bound, sync
+period, or fault plan.  See ``docs/replay.md``.
+
+Like ``repro.obs`` and ``repro.trace``, this package is *passive*
+(OBS001-enforced): it schedules nothing and consumes no RNG itself —
+active re-execution machinery lives in :mod:`repro.sim.schedule`, the
+scenario builders, and the fault injector, which replay merely wires
+together from recorded data.
+"""
+
+from repro.replay.counterfactual import (
+    CounterfactualDiff,
+    CounterfactualSpec,
+    diff_detections,
+    run_counterfactual,
+)
+from repro.replay.engine import ExecutionResult, ReplayEngine, ReplayError
+from repro.replay.families import BoundDetector, build_detector
+from repro.replay.manifest import CLOCK_FAMILIES, RunManifest, code_digest
+from repro.replay.tasks import counterfactual_point, matrix_spec
+
+__all__ = [
+    "CLOCK_FAMILIES",
+    "BoundDetector",
+    "CounterfactualDiff",
+    "CounterfactualSpec",
+    "ExecutionResult",
+    "ReplayEngine",
+    "ReplayError",
+    "RunManifest",
+    "build_detector",
+    "code_digest",
+    "counterfactual_point",
+    "diff_detections",
+    "matrix_spec",
+    "run_counterfactual",
+]

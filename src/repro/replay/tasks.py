@@ -1,0 +1,89 @@
+"""Spawn-safe counterfactual sweep tasks.
+
+``repro replay matrix`` fans one recorded trace across a grid of
+time-model swaps using the existing :mod:`repro.sweep` process-pool
+runner.  Each grid point is a :func:`counterfactual_point` call —
+plain-data params, importable by ref, deterministic row — so the
+matrix output JSONL is byte-identical across worker counts exactly
+like every other sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.replay.counterfactual import CounterfactualSpec, run_counterfactual
+from repro.sweep.tasks import MatrixSpec
+
+
+def counterfactual_point(
+    *,
+    trace: str,
+    clock_family: "str | None" = None,
+    delta: "float | None" = None,
+    check_period: "float | None" = None,
+    drop_plan: bool = False,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """One matrix cell: re-execute ``trace`` under one swap combo.
+
+    ``seed`` is part of the sweep-task contract but unused — a
+    counterfactual's randomness is fully determined by the recorded
+    manifest seed, which is the point.
+    """
+    del seed
+    spec = CounterfactualSpec(
+        clock_family=clock_family,
+        delta=delta,
+        check_period=check_period,
+        drop_plan=drop_plan,
+    )
+    diff = run_counterfactual(trace, spec)
+    return {
+        "clock_family": clock_family,
+        "delta": delta,
+        "check_period": check_period,
+        "drop_plan": drop_plan,
+        "world_events": diff.world_events,
+        "kept": len(diff.kept),
+        "appeared": len(diff.appeared),
+        "disappeared": len(diff.disappeared),
+        "appeared_keys": [e["key"] for e in diff.appeared],
+        "disappeared_keys": [e["key"] for e in diff.disappeared],
+    }
+
+
+def matrix_spec(
+    trace: str,
+    *,
+    clock_families: "tuple[str, ...] | None" = None,
+    deltas: "tuple[float, ...] | None" = None,
+    check_periods: "tuple[float, ...] | None" = None,
+) -> MatrixSpec:
+    """A sweep matrix over the given swap axes for one trace.
+
+    At least one axis must be non-empty; ``None`` on an axis keeps the
+    recorded value at every point of the other axes.
+    """
+    grid: list[tuple[str, tuple[Any, ...]]] = []
+    if clock_families:
+        grid.append(("clock_family", tuple(clock_families)))
+    if deltas:
+        grid.append(("delta", tuple(float(d) for d in deltas)))
+    if check_periods:
+        grid.append(("check_period", tuple(float(p) for p in check_periods)))
+    if not grid:
+        raise ValueError(
+            "replay matrix needs at least one axis "
+            "(clock families, deltas, or check periods)"
+        )
+    return MatrixSpec(
+        name="replay_matrix",
+        ref="repro.replay.tasks:counterfactual_point",
+        grid=tuple(grid),
+        description="counterfactual time-model swaps over one recorded trace",
+        base_params={"trace": str(trace)},
+    )
+
+
+__all__ = ["counterfactual_point", "matrix_spec"]

@@ -1,0 +1,127 @@
+"""Named scenario-builder profiles — the single construction path
+shared by the CLI, the chaos harness, and :mod:`repro.replay`.
+
+A *profile* is a named recipe that turns ``(seed, delta)`` into a
+fully wired scenario plus the predicate a detector should watch.  The
+point of registering them here is reproducibility-by-construction:
+``repro trace record``, ``repro chaos`` and ``repro replay`` all build
+their systems through :func:`build_scenario`, so a
+:class:`~repro.replay.manifest.RunManifest` naming a profile can
+re-create *exactly* the system that was recorded — same world objects,
+same tracked variables, same canned parameters.
+
+Profiles deliberately pin every scenario parameter except ``seed`` and
+``delta``.  Anything else a caller wants to vary belongs in a new
+profile (cheap: one registry entry), because an unpinned parameter is
+a parameter a manifest cannot replay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Tuple
+
+from repro.net.delay import DeltaBoundedDelay, SynchronousDelay
+
+
+def delay_model(delta: float):
+    """The canonical Δ → delay-model mapping used across the CLI."""
+    return SynchronousDelay(0.0) if delta == 0.0 else DeltaBoundedDelay(delta)
+
+
+#: A built profile: (scenario object, predicate, initial environment).
+BuiltScenario = Tuple[Any, Any, Mapping[str, Any]]
+
+
+def _build_smart_office(seed: int, delta: float) -> BuiltScenario:
+    from repro.scenarios.smart_office import SmartOffice, SmartOfficeConfig
+
+    sc = SmartOffice(SmartOfficeConfig(
+        seed=seed, delay=delay_model(delta),
+        temp_threshold=28.0, temp_base=27.5, temp_sigma=1.5,
+    ))
+    return sc, sc.predicate, sc.initials
+
+
+def _build_smart_office_chaos(seed: int, delta: float) -> BuiltScenario:
+    # The chaos-harness profile (repro.faults.chaos): synchronous
+    # network, busier occupancy dynamics.  Kept distinct from
+    # "smart_office" so chaos recordings replay against the exact
+    # system the harness built.
+    from repro.scenarios.smart_office import SmartOffice, SmartOfficeConfig
+
+    sc = SmartOffice(SmartOfficeConfig(
+        seed=seed, delay=delay_model(delta),
+        temp_threshold=28.0, temp_base=27.5, temp_sigma=1.5,
+        mean_occupied=40.0, mean_vacant=15.0,
+    ))
+    return sc, sc.predicate, sc.initials
+
+
+def _build_hall(seed: int, delta: float) -> BuiltScenario:
+    from repro.core.process import ClockConfig
+    from repro.scenarios.exhibition_hall import ExhibitionHall, ExhibitionHallConfig
+
+    sc = ExhibitionHall(ExhibitionHallConfig(
+        seed=seed, delay=delay_model(delta),
+        clocks=ClockConfig.everything(),
+    ))
+    return sc, sc.predicate, sc.initials
+
+
+def _build_hospital(seed: int, delta: float) -> BuiltScenario:
+    from repro.scenarios.hospital import Hospital, HospitalConfig
+
+    sc = Hospital(HospitalConfig(seed=seed, delay=delay_model(delta)))
+    phi = sc.waiting_room_predicate()
+    return sc, phi, sc.initials_for(phi)
+
+
+def _build_habitat(seed: int, delta: float) -> BuiltScenario:
+    from repro.predicates import RelationalPredicate
+    from repro.scenarios.habitat import Habitat, HabitatConfig
+
+    sc = Habitat(HabitatConfig(seed=seed))
+    phi = RelationalPredicate(
+        {"prey": 0, "pred": 1},
+        lambda e: e["prey"] > 0 and e["pred"] > 0,
+        "prey ∧ predator",
+    )
+    return sc, phi, sc.initials
+
+
+#: profile name -> builder(seed, delta)
+PROFILES: dict[str, Callable[[int, float], BuiltScenario]] = {
+    "smart_office": _build_smart_office,
+    "smart_office_chaos": _build_smart_office_chaos,
+    "hall": _build_hall,
+    "hospital": _build_hospital,
+    "habitat": _build_habitat,
+}
+
+#: Profiles offered by the user-facing run/record subcommands (the
+#: chaos profile is reachable through ``repro chaos`` only).
+OBS_SCENARIOS = ("smart_office", "hall", "hospital", "habitat")
+
+
+def build_scenario(name: str, *, seed: int, delta: float) -> BuiltScenario:
+    """Build the named profile; returns (scenario, predicate, initials).
+
+    Raises ``ValueError`` for unknown profiles — the replay engine
+    turns that into a manifest error with the known-profile list.
+    """
+    builder = PROFILES.get(name)
+    if builder is None:
+        raise ValueError(
+            f"unknown scenario profile {name!r} "
+            f"(have {', '.join(sorted(PROFILES))})"
+        )
+    return builder(int(seed), float(delta))
+
+
+__all__ = [
+    "OBS_SCENARIOS",
+    "PROFILES",
+    "BuiltScenario",
+    "build_scenario",
+    "delay_model",
+]

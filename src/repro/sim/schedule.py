@@ -1,0 +1,94 @@
+"""Recorded-schedule event source — replaying a world-plane stream.
+
+A live scenario *generates* its world: occupancy flips, temperature
+walks and patient arrivals are sampled from the scenario's RNG
+substreams and fed into :meth:`WorldState.set_attribute`.  A replayed
+or counterfactual run must instead *consume* a recorded world-plane
+stream verbatim — same attribute writes, same true times, same order —
+with the generators switched off.
+
+:class:`RecordedSchedule` is that seam.  It takes the ``w`` entries of
+a trace (object, attribute, value, true time) and schedules one
+``set_attribute`` call per entry on the kernel.  All entries are
+scheduled upfront at :meth:`arm` time, in recorded order, so same-time
+world events fire exactly in the order they were recorded (the kernel
+breaks time-and-priority ties by insertion sequence).
+
+This module lives in ``repro.sim`` — not ``repro.replay`` — on
+purpose: it actively schedules kernel events, which the OBS001 lint
+rule forbids inside passive observability packages.  ``repro.replay``
+stays passive and delegates all scheduling here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.sim.kernel import PRIORITY_NORMAL, SimulationError, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.world.objects import WorldState
+
+
+class RecordedSchedule:
+    """Drive a :class:`WorldState` from recorded world-plane entries.
+
+    Parameters
+    ----------
+    entries:
+        World-plane entries in recorded order; each a mapping with at
+        least ``t`` (true time), ``obj``, ``attr`` and ``value``.  The
+        trace loader yields exactly this shape for ``w`` lines.
+    """
+
+    def __init__(self, entries: Iterable[Mapping[str, Any]]) -> None:
+        self._entries = [dict(e) for e in entries]
+        prev = None
+        for i, e in enumerate(self._entries):
+            missing = {"t", "obj", "attr", "value"} - e.keys()
+            if missing:
+                raise ValueError(
+                    f"world entry {i} is missing {sorted(missing)}"
+                )
+            if prev is not None and e["t"] < prev:
+                raise ValueError(
+                    f"world entry {i} goes back in time "
+                    f"({e['t']} after {prev})"
+                )
+            prev = e["t"]
+        self.applied = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[dict[str, Any]]:
+        return [dict(e) for e in self._entries]
+
+    def arm(self, sim: Simulator, world: "WorldState") -> None:
+        """Schedule every recorded change on ``sim``.
+
+        Must be called at t=0, before the run starts — recorded times
+        in the kernel's past are a caller error, not a skippable entry.
+        """
+        for entry in self._entries:
+            t = float(entry["t"])
+            if t < sim.now:
+                raise SimulationError(
+                    f"recorded world event at t={t} is in the past "
+                    f"(sim.now={sim.now}); arm the schedule before running"
+                )
+            sim.schedule_at(
+                t,
+                self._apply(world, entry),
+                priority=PRIORITY_NORMAL,
+                label="recorded-world",
+            )
+
+    def _apply(self, world: "WorldState", entry: Mapping[str, Any]):
+        def fire() -> None:
+            world.set_attribute(entry["obj"], entry["attr"], entry["value"])
+            self.applied += 1
+        return fire
+
+
+__all__ = ["RecordedSchedule"]

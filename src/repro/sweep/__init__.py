@@ -20,6 +20,9 @@ Pieces:
 from repro.sweep.runner import (
     FORMAT_VERSION,
     SweepRunner,
+    coordinate_digest,
+    partition_resumable,
+    read_completed_rows,
     read_sweep_jsonl,
     sweep_jsonl_lines,
     write_sweep_jsonl,
@@ -39,8 +42,11 @@ __all__ = [
     "SweepError",
     "SweepRunner",
     "SweepTask",
+    "coordinate_digest",
     "execute_task",
     "expand_matrix",
+    "partition_resumable",
+    "read_completed_rows",
     "read_sweep_jsonl",
     "resolve_ref",
     "sweep_jsonl_lines",

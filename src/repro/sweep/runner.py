@@ -166,10 +166,86 @@ def read_sweep_jsonl(path: str | Path) -> tuple[dict[str, Any], list[dict[str, A
     return events[0], events[1:]
 
 
+# ---------------------------------------------------------------------------
+# Resume (skip already-computed points)
+# ---------------------------------------------------------------------------
+
+def coordinate_digest(ref: str, params: Mapping[str, Any], seed: int) -> str:
+    """Identity of one sweep point: blake2b of its canonical
+    (ref, params, seed) coordinates.  Pure data, so the digest of a
+    completed row equals the digest of the task that produced it —
+    no row-format change is needed to key the resume set."""
+    import hashlib
+
+    text = json.dumps(
+        {"ref": ref, "params": dict(params), "seed": int(seed)},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.blake2b(text.encode(), digest_size=8).hexdigest()
+
+
+def read_completed_rows(path: str | Path) -> dict[str, dict[str, Any]]:
+    """Successful rows of a (possibly partial) sweep JSONL, keyed by
+    coordinate digest.
+
+    Built for kill-and-resume: a truncated final line (the process died
+    mid-write) is skipped, and rows that recorded an ``error`` are
+    *not* treated as complete — a resumed run re-executes them.
+    Returns an empty dict when the file does not exist.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    out: dict[str, dict[str, Any]] = {}
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # truncated tail from a killed run
+        if not isinstance(row, dict) or row.get("kind") != "row":
+            continue
+        if "error" in row or "result" not in row:
+            continue
+        digest = coordinate_digest(
+            row.get("ref", ""), row.get("params", {}), row.get("seed", 0)
+        )
+        out[digest] = row
+    return out
+
+
+def partition_resumable(
+    tasks: "Sequence[SweepTask]", completed: Mapping[str, Mapping[str, Any]]
+) -> "tuple[list[SweepTask], list[dict[str, Any]]]":
+    """(tasks still to run, rows already computed — re-indexed).
+
+    A cached row is matched purely by coordinate digest, then stamped
+    with the *current* task's index so the merged output is
+    byte-identical to a fresh full run even if the matrix was reordered
+    or re-expanded.
+    """
+    todo: list[SweepTask] = []
+    cached: list[dict[str, Any]] = []
+    for task in tasks:
+        digest = coordinate_digest(task.ref, task.params, task.seed)
+        row = completed.get(digest)
+        if row is None:
+            todo.append(task)
+        else:
+            fixed = dict(row)
+            fixed["index"] = task.index
+            cached.append(fixed)
+    return todo, cached
+
+
 __all__ = [
     "SweepRunner",
     "sweep_jsonl_lines",
     "write_sweep_jsonl",
     "read_sweep_jsonl",
+    "coordinate_digest",
+    "read_completed_rows",
+    "partition_resumable",
     "FORMAT_VERSION",
 ]

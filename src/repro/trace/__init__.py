@@ -9,8 +9,10 @@ recorder cannot change a run.
 
 from repro.trace.export import (
     FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
     SchemaError,
     Trace,
+    TraceFormatError,
     default_schema_path,
     export_perfetto,
     perfetto_document,
@@ -35,8 +37,10 @@ from repro.trace.recorder import (
 
 __all__ = [
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
     "SchemaError",
     "Trace",
+    "TraceFormatError",
     "default_schema_path",
     "export_perfetto",
     "perfetto_document",

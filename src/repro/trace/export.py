@@ -37,7 +37,32 @@ from typing import Any, Mapping, Sequence
 
 from repro.trace.recorder import FlightRecorder, TraceEvent
 
-FORMAT_VERSION = 1
+#: Version 2 adds world-plane ``w`` lines, the ``truncated`` header
+#: flag, and the optional embedded replay ``manifest``.  Version-1
+#: files (no world stream) still load; the replay layer refuses them
+#: because a counterfactual without the world stream is meaningless.
+FORMAT_VERSION = 2
+
+#: Versions :func:`read_trace` accepts.
+SUPPORTED_VERSIONS = (1, 2)
+
+
+class TraceFormatError(ValueError):
+    """A trace file violates the JSONL contract.
+
+    Always carries ``path`` and (for line-level problems) the
+    1-based ``lineno``, and renders them in the message —
+    ``trace.jsonl:17: ...`` — so a corrupt line is findable without
+    re-parsing by hand.
+    """
+
+    def __init__(
+        self, path: "str | Path", message: str, *, lineno: "int | None" = None
+    ) -> None:
+        self.path = str(path)
+        self.lineno = lineno
+        where = f"{self.path}:{lineno}" if lineno is not None else self.path
+        super().__init__(f"{where}: {message}")
 
 #: Perfetto track (tid) reserved for fault-window slices; process
 #: tracks are ``pid + _TID_OFFSET`` so pid 0 does not collide with it.
@@ -59,7 +84,8 @@ def _dumps(obj: Any) -> str:
 # ---------------------------------------------------------------------------
 
 class Trace:
-    """A parsed trace file: header, events, detections, summary."""
+    """A parsed trace file: header, events, world stream, detections,
+    summary."""
 
     def __init__(
         self,
@@ -67,30 +93,55 @@ class Trace:
         events: Sequence[TraceEvent],
         detections: Sequence[Mapping[str, Any]],
         summary: Mapping[str, Any],
+        world: "Sequence[Mapping[str, Any]] | None" = None,
     ) -> None:
         self.meta = dict(meta)
         self.events = list(events)
         self.detections = [dict(d) for d in detections]
         self.summary = dict(summary)
+        self.world = [dict(w) for w in (world or [])]
 
     def __len__(self) -> int:
         return len(self.events)
 
+    @property
+    def truncated(self) -> bool:
+        """True when the recorder evicted ring entries — the event
+        history is a suffix window, not the whole run."""
+        if self.meta.get("truncated"):
+            return True
+        evicted = self.summary.get("evicted") or {}
+        return any(int(n) > 0 for n in evicted.values())
+
+    @property
+    def manifest_spec(self) -> "dict[str, Any] | None":
+        """The embedded replay manifest spec, if recorded with one."""
+        spec = self.meta.get("manifest")
+        return dict(spec) if spec is not None else None
+
 
 def trace_jsonl_lines(recorder: FlightRecorder) -> list[str]:
     """Canonical JSONL lines for a recorder's current contents."""
+    truncated = any(n > 0 for n in recorder.evicted.values())
     meta: dict[str, Any] = {
         "kind": "meta",
         "format": "repro.trace",
         "format_version": FORMAT_VERSION,
         "capacity": recorder.capacity,
+        "truncated": truncated,
     }
     meta.update(recorder.meta)
     lines = [_dumps(meta)]
     # Event lines carry the event's own kind tag ("c"/"n"/"a"/"s"/"r"/
-    # "drop") as the line discriminator — no wrapper key needed.
-    for ev in recorder.events():
-        lines.append(_dumps(ev.to_json()))
+    # "drop") as the line discriminator — no wrapper key needed.  World
+    # ("w") lines interleave with them in global (gseq) order, so the
+    # file reads as one totally ordered record across both planes.
+    events = [ev.to_json() for ev in recorder.events()]
+    merged = sorted(
+        events + list(recorder.world_events), key=lambda d: d["gseq"]
+    )
+    for row in merged:
+        lines.append(_dumps(row))
     for det in recorder.detections:
         lines.append(_dumps({"kind": "detection", **det}))
     lines.append(_dumps({
@@ -99,6 +150,8 @@ def trace_jsonl_lines(recorder: FlightRecorder) -> list[str]:
         "retained": sum(len(recorder.ring(p)) for p in recorder.pids()),
         "evicted": {str(p): recorder.evicted[p] for p in recorder.pids()},
         "detections": len(recorder.detections),
+        "world": len(recorder.world_events),
+        "world_opaque": recorder.world_opaque,
     }))
     return lines
 
@@ -110,34 +163,83 @@ def write_trace(path: "str | Path", recorder: FlightRecorder) -> Path:
 
 
 def read_trace(path: "str | Path") -> Trace:
-    """Parse a trace JSONL back into a :class:`Trace`; validates the
-    header the same way the obs/sweep readers do."""
-    rows = [
-        json.loads(line)
-        for line in Path(path).read_text().splitlines()
-        if line.strip()
-    ]
-    if not rows or rows[0].get("kind") != "meta" or rows[0].get("format") != "repro.trace":
-        raise ValueError(f"{path}: not a repro.trace JSONL (missing meta header)")
-    version = rows[0].get("format_version")
-    if version != FORMAT_VERSION:
-        raise ValueError(f"{path}: unsupported format_version {version!r}")
+    """Parse a trace JSONL back into a :class:`Trace`.
+
+    Every contract violation — unparsable line, missing/foreign
+    header, unsupported version, unknown line kind, malformed event
+    fields — raises :class:`TraceFormatError` carrying the file path
+    and the offending 1-based line number, never a bare
+    ``json.JSONDecodeError``.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise TraceFormatError(path, f"cannot read trace: {exc}") from exc
+    rows: list[tuple[int, dict[str, Any]]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                path, f"malformed JSON line ({exc.msg}): {line[:80]!r}",
+                lineno=lineno,
+            ) from exc
+        if not isinstance(row, dict):
+            raise TraceFormatError(
+                path, f"trace line is not a JSON object: {line[:80]!r}",
+                lineno=lineno,
+            )
+        rows.append((lineno, row))
+    if not rows or rows[0][1].get("kind") != "meta" \
+            or rows[0][1].get("format") != "repro.trace":
+        raise TraceFormatError(
+            path, "not a repro.trace JSONL (missing meta header)", lineno=1
+        )
+    meta = rows[0][1]
+    version = meta.get("format_version")
+    if version not in SUPPORTED_VERSIONS:
+        raise TraceFormatError(
+            path,
+            f"unsupported format_version {version!r} "
+            f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})",
+            lineno=1,
+        )
     events: list[TraceEvent] = []
+    world: list[dict[str, Any]] = []
     detections: list[dict[str, Any]] = []
     summary: dict[str, Any] = {}
     from repro.trace.recorder import KINDS
 
-    for row in rows[1:]:
+    for lineno, row in rows[1:]:
         kind = row.get("kind")
         if kind in KINDS:
-            events.append(TraceEvent.from_json(row))
+            try:
+                events.append(TraceEvent.from_json(row))
+            except (KeyError, TypeError) as exc:
+                raise TraceFormatError(
+                    path, f"malformed {kind!r} event line: {exc}",
+                    lineno=lineno,
+                ) from exc
+        elif kind == "w":
+            missing = {"t", "obj", "attr", "value", "gseq"} - row.keys()
+            if missing:
+                raise TraceFormatError(
+                    path,
+                    f"world line is missing {sorted(missing)}",
+                    lineno=lineno,
+                )
+            world.append({k: v for k, v in row.items() if k != "kind"})
         elif kind == "detection":
             detections.append({k: v for k, v in row.items() if k != "kind"})
         elif kind == "summary":
             summary = {k: v for k, v in row.items() if k != "kind"}
         else:
-            raise ValueError(f"{path}: unknown trace line kind {kind!r}")
-    return Trace(rows[0], events, detections, summary)
+            raise TraceFormatError(
+                path, f"unknown trace line kind {kind!r}", lineno=lineno
+            )
+    return Trace(meta, events, detections, summary, world)
 
 
 # ---------------------------------------------------------------------------
@@ -341,9 +443,11 @@ def _body_lines(path: "str | Path") -> "tuple[dict[str, Any], list[str]]":
     """(meta, canonical body lines) of one trace file."""
     trace = read_trace(path)          # validates format
     meta = dict(trace.meta)
-    lines = [_dumps(e.to_json()) for e in trace.events] + [
-        _dumps({"kind": "detection", **d}) for d in trace.detections
-    ]
+    lines = (
+        [_dumps(e.to_json()) for e in trace.events]
+        + [_dumps({"kind": "w", **w}) for w in trace.world]
+        + [_dumps({"kind": "detection", **d}) for d in trace.detections]
+    )
     return meta, lines
 
 
@@ -413,6 +517,8 @@ def trace_diff(path_a: "str | Path", path_b: "str | Path") -> dict[str, Any]:
 
 __all__ = [
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "TraceFormatError",
     "Trace",
     "trace_jsonl_lines",
     "write_trace",

@@ -19,8 +19,9 @@ if TYPE_CHECKING:  # pragma: no cover
 def instrument_trace(
     system: "PervasiveSystem", recorder: "FlightRecorder"
 ) -> "FlightRecorder":
-    """Bind ``recorder`` to the transport and every process of
-    ``system``; returns the recorder for chaining."""
+    """Bind ``recorder`` to the world plane, the transport and every
+    process of ``system``; returns the recorder for chaining."""
+    system.world.add_listener(recorder.record_world)
     system.net.bind_trace(recorder)
     for proc in system.processes:
         proc.bind_trace(recorder)

@@ -184,9 +184,19 @@ class FlightRecorder:
         #: per-pid count of entries evicted from a full ring
         self.evicted: dict[int, int] = {}
         self._gseq = 0
+        self._ring_recorded = 0
         self._next_mid = 0
         #: detection entries appended by online detectors (JSON-safe)
         self.detections: list[dict[str, Any]] = []
+        #: world-plane entries (``w`` lines) from the WorldState tap.
+        #: Unbounded on purpose: these are the replay *input*, and a
+        #: replay from a truncated world stream would be silently wrong.
+        #: World streams are small (one entry per attribute change, no
+        #: per-message traffic), so this is cheap in practice.
+        self.world_events: list[dict[str, Any]] = []
+        #: count of world entries whose value was not a JSON-native
+        #: scalar (stored as repr — readable, but not replayable)
+        self.world_opaque = 0
         #: run metadata embedded in the trace file header
         self.meta: dict[str, Any] = {}
 
@@ -204,6 +214,7 @@ class FlightRecorder:
         if len(ring) == self.capacity:
             self.evicted[pid] += 1
         ring.append(ev)
+        self._ring_recorded += 1
 
     def _next_gseq(self) -> int:
         self._gseq += 1
@@ -260,6 +271,26 @@ class FlightRecorder:
             drop=reason,
         ))
 
+    def record_world(self, change: Any) -> None:
+        """World-plane hook (``WorldState.add_listener``): one ``w``
+        entry per actual attribute change, in the recorder's global
+        order — a world event's gseq precedes the gseqs of every sense
+        it causes, so happens-before holds across the plane boundary.
+
+        Values that are not JSON-native scalars are stored as
+        ``["repr", ...]`` and counted in :attr:`world_opaque`; such a
+        stream is inspectable but not replayable, and the replay layer
+        refuses it.
+        """
+        value = change.new
+        if not (value is None or isinstance(value, (bool, int, float, str))):
+            value = ["repr", repr(value)]
+            self.world_opaque += 1
+        self.world_events.append({
+            "kind": "w", "gseq": self._next_gseq(), "t": change.t,
+            "obj": change.obj, "attr": change.attr, "value": value,
+        })
+
     def record_detection(
         self, detection: "Detection", emit_time: float, host: int
     ) -> None:
@@ -278,8 +309,12 @@ class FlightRecorder:
     # -- views -----------------------------------------------------------
     @property
     def total_recorded(self) -> int:
-        """Entries ever recorded, including evicted ones."""
-        return self._gseq
+        """Ring entries ever recorded, including evicted ones.
+
+        Counts the event plane only; world-plane entries are never
+        ring-bounded and have their own :attr:`world_events` count, so
+        ``total_recorded == retained + evicted`` holds exactly."""
+        return self._ring_recorded
 
     def pids(self) -> list[int]:
         return sorted(self._rings)

@@ -69,6 +69,20 @@ class WorldState:
         # (obj, attr) -> list of (callback, min_delta, latency)
         self._subs: dict[tuple[str, str], list[tuple[SensorCallback, float, float]]] = {}
         self._wildcard_subs: dict[str, list[tuple[SensorCallback, float, float]]] = {}
+        # World-plane taps: called with every actual AttributeChange,
+        # before sensor notification — no thresholding, no latency.
+        # This is the flight recorder's hook (repro.trace) and must stay
+        # passive: a listener must not write the world or the kernel.
+        self._listeners: list[SensorCallback] = []
+
+    def add_listener(self, callback: SensorCallback) -> None:
+        """Tap every world-plane change (the raw §2.2 event stream).
+
+        Unlike :meth:`subscribe`, a listener sees *all* changes on all
+        objects, synchronously and unconditionally — it observes the
+        world-plane event stream itself, not any sensor's view of it.
+        """
+        self._listeners.append(callback)
 
     # ------------------------------------------------------------------
     # Objects
@@ -110,6 +124,8 @@ class WorldState:
         obj.attributes[attr] = value
         change = AttributeChange(self._sim.now, oid, attr, old, value)
         self.ground_truth.record(change.t, oid, attr, value)
+        for listener in self._listeners:
+            listener(change)
         self._notify(change)
         return change
 

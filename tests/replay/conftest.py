@@ -1,0 +1,32 @@
+"""Shared fixtures: recorded traces with embedded manifests."""
+
+import pytest
+
+from repro.replay import ReplayEngine, RunManifest, code_digest
+from repro.trace import write_trace
+
+#: Short but non-trivial: smart_office seed=3 Δ=0.05 produces five
+#: online vector-strobe detections in 60 s, one of which the physical
+#: clock family judges differently (the counterfactual tests pin a
+#: non-vacuous diff).
+SEED = 3
+DELTA = 0.05
+DURATION = 60.0
+
+
+def make_manifest(**overrides) -> RunManifest:
+    base = dict(
+        scenario="smart_office", seed=SEED, duration=DURATION, delta=DELTA,
+        clock_family="vector_strobe", code_digest=code_digest(),
+    )
+    base.update(overrides)
+    return RunManifest(**base)
+
+
+@pytest.fixture(scope="session")
+def office_trace(tmp_path_factory):
+    """One recorded smart-office run, manifest embedded."""
+    result = ReplayEngine().execute(make_manifest())
+    path = tmp_path_factory.mktemp("replay") / "office.trace"
+    write_trace(path, result.recorder)
+    return path

@@ -1,0 +1,115 @@
+"""`repro replay` CLI: exit codes, artifacts, matrix determinism."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def recorded(tmp_path):
+    path = tmp_path / "office.trace"
+    rc = main(["trace", "record", "smart_office", "--seed", "3",
+               "--delta", "0.05", "--duration", "40", "--out", str(path)])
+    assert rc == 0
+    return path
+
+
+def test_trace_record_carries_clock_family(recorded):
+    meta = json.loads(recorded.read_text().splitlines()[0])
+    assert meta["clock_family"] == "vector_strobe"
+    assert meta["manifest"]["scenario"] == "smart_office"
+    assert meta["manifest"]["code_digest"]
+
+
+def test_verify_exit_0_and_report(recorded, tmp_path, capsys):
+    out = tmp_path / "verify.json"
+    rc = main(["replay", "verify", str(recorded), "--out", str(out)])
+    assert rc == 0
+    assert "bit-identical" in capsys.readouterr().out
+    report = json.loads(out.read_text())
+    assert report["identical"] is True
+
+
+def test_verify_exit_1_on_divergence(recorded, tmp_path, capsys):
+    lines = recorded.read_text().splitlines()
+    idx, row = next(
+        (i, json.loads(line)) for i, line in enumerate(lines)
+        if json.loads(line).get("kind") == "n"
+    )
+    row["t"] += 0.5
+    lines[idx] = json.dumps(row, sort_keys=True, separators=(",", ":"))
+    forged = tmp_path / "forged.trace"
+    forged.write_text("\n".join(lines) + "\n")
+    rc = main(["replay", "verify", str(forged)])
+    assert rc == 1
+    assert "DIVERGED" in capsys.readouterr().out
+
+
+def test_verify_exit_2_on_manifest_less_trace(tmp_path, capsys):
+    path = tmp_path / "bare.trace"
+    path.write_text(
+        '{"kind": "meta", "format": "repro.trace", "format_version": 2, '
+        '"capacity": 4, "truncated": false}\n'
+        '{"kind": "summary", "detections": 0, "evicted": {}}\n'
+    )
+    rc = main(["replay", "verify", str(path)])
+    assert rc == 2
+    assert "manifest" in capsys.readouterr().err
+
+
+def test_verify_exit_2_on_malformed_trace(tmp_path, capsys):
+    path = tmp_path / "corrupt.trace"
+    path.write_text("this is not json\n")
+    rc = main(["replay", "verify", str(path)])
+    assert rc == 2
+    assert "corrupt.trace:1" in capsys.readouterr().err
+
+
+def test_replay_run_reproduces_the_file(recorded, tmp_path):
+    out = tmp_path / "re.trace"
+    rc = main(["replay", "run", str(recorded), "--out", str(out)])
+    assert rc == 0
+    assert out.read_text() == recorded.read_text()
+
+
+def test_counterfactual_cli_reports_diff(recorded, tmp_path, capsys):
+    out = tmp_path / "cf.json"
+    rc = main(["replay", "counterfactual", str(recorded),
+               "--clock-family", "physical", "--out", str(out)])
+    assert rc == 0
+    console = capsys.readouterr().out
+    assert "swapped" in console and "physical" in console
+    report = json.loads(out.read_text())
+    assert report["counts"]["kept"] >= 1
+    assert report["spec"]["clock_family"] == "physical"
+
+
+def test_counterfactual_cli_bad_spec_exits_2(recorded, tmp_path, capsys):
+    rc = main(["replay", "counterfactual", str(recorded),
+               "--delta", "-1"])
+    assert rc == 2
+    assert "delta" in capsys.readouterr().err
+
+
+def test_matrix_workers_byte_identical_and_resume(recorded, tmp_path, capsys):
+    one = tmp_path / "w1.jsonl"
+    two = tmp_path / "w2.jsonl"
+    argv = ["replay", "matrix", str(recorded),
+            "--clock-families", "scalar_strobe,physical"]
+    assert main(argv + ["--workers", "1", "--out", str(one)]) == 0
+    assert main(argv + ["--workers", "2", "--out", str(two)]) == 0
+    assert one.read_bytes() == two.read_bytes()
+
+    # Resume with everything cached: no re-execution, identical bytes.
+    before = one.read_bytes()
+    assert main(argv + ["--workers", "1", "--out", str(one), "--resume"]) == 0
+    assert "2 point(s) already" in capsys.readouterr().out
+    assert one.read_bytes() == before
+
+
+def test_matrix_requires_an_axis(recorded, capsys):
+    rc = main(["replay", "matrix", str(recorded)])
+    assert rc == 2
+    assert "at least one axis" in capsys.readouterr().err

@@ -1,0 +1,141 @@
+"""Counterfactual re-execution: frozen world, swapped time model."""
+
+import json
+
+import pytest
+
+from repro.faults.chaos import run_chaos
+from repro.replay import (
+    CounterfactualSpec,
+    ReplayError,
+    run_counterfactual,
+)
+from repro.trace import write_trace
+
+
+# ---------------------------------------------------------------------------
+# Identity: swapping nothing keeps every detection
+# ---------------------------------------------------------------------------
+
+def test_identity_counterfactual_keeps_everything(office_trace):
+    diff = run_counterfactual(office_trace, CounterfactualSpec())
+    assert diff.appeared == []
+    assert diff.disappeared == []
+    assert len(diff.kept) > 0
+    assert diff.world_events > 0
+    for entry in diff.kept:
+        assert entry["counterfactual"]["label"] == entry["detection"]["label"]
+
+
+# ---------------------------------------------------------------------------
+# Clock-family swap: every change carries a two-sided explanation
+# ---------------------------------------------------------------------------
+
+def test_physical_swap_is_nonvacuous_and_explained(office_trace):
+    diff = run_counterfactual(
+        office_trace, CounterfactualSpec(clock_family="physical")
+    )
+    assert diff.counterfactual_manifest["clock_family"] == "physical"
+    assert diff.baseline_manifest["clock_family"] == "vector_strobe"
+    changed = diff.appeared + diff.disappeared
+    assert changed, "seed=3 Δ=0.05 must produce a non-vacuous diff"
+    for entry in changed:
+        explanation = entry["explanation"]
+        assert {"baseline", "counterfactual"} <= set(explanation)
+        sides = list(explanation.values())
+        # One side explains presence (a causal path with latency
+        # split), the other absence (a classified reason).
+        assert any("reason" in side for side in sides)
+        assert any("total_s" in side or "path" in side for side in sides)
+    for entry in diff.disappeared:
+        reason = entry["explanation"]["counterfactual"]["reason"]
+        assert reason in {
+            "never_sensed", "not_detected", "dropped", "undelivered",
+        }
+
+
+def test_report_shape_is_json_safe(office_trace):
+    diff = run_counterfactual(
+        office_trace, CounterfactualSpec(clock_family="physical")
+    )
+    report = diff.to_report()
+    text = json.dumps(report, sort_keys=True)
+    back = json.loads(text)
+    assert back["counts"] == {
+        "kept": len(diff.kept),
+        "appeared": len(diff.appeared),
+        "disappeared": len(diff.disappeared),
+    }
+    assert back["spec"]["clock_family"] == "physical"
+
+
+def test_counterfactual_is_deterministic(office_trace):
+    spec = CounterfactualSpec(clock_family="scalar_strobe")
+    a = run_counterfactual(office_trace, spec).to_report()
+    b = run_counterfactual(office_trace, spec).to_report()
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Fault-plan swap on a recorded chaos run (the acceptance scenario)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def chaos_faulty_trace(tmp_path_factory):
+    report = run_chaos("smart_office", seed=0, duration=140.0,
+                       trace_capacity=8192)
+    _, faulty_rec = report["recorders"]
+    path = tmp_path_factory.mktemp("chaos") / "faulty.trace"
+    return write_trace(path, faulty_rec)
+
+
+def test_dropping_the_fault_plan_resurrects_detections(chaos_faulty_trace):
+    diff = run_counterfactual(chaos_faulty_trace,
+                              CounterfactualSpec(drop_plan=True))
+    assert diff.baseline_manifest["plan"] is not None
+    assert diff.counterfactual_manifest["plan"] is None
+    # Removing the faults must change the detection stream: the crash
+    # window suppressed sensing, so detections appear without it.
+    assert diff.appeared, "fault-free counterfactual must detect more"
+    for entry in diff.appeared:
+        baseline_side = entry["explanation"]["baseline"]
+        assert baseline_side["reason"] in {
+            "never_sensed", "not_detected", "dropped", "undelivered",
+        }
+        assert "detail" in baseline_side
+
+
+def test_chaos_trace_verifies_and_diffs(chaos_faulty_trace):
+    from repro.replay import ReplayEngine
+
+    report = ReplayEngine().verify(chaos_faulty_trace)
+    assert report["identical"] is True
+    assert report["scenario"] == "smart_office_chaos"
+
+
+# ---------------------------------------------------------------------------
+# Refusals
+# ---------------------------------------------------------------------------
+
+def test_worldless_trace_is_refused(office_trace, tmp_path):
+    lines = [
+        line for line in office_trace.read_text().splitlines()
+        if json.loads(line).get("kind") != "w"
+    ]
+    worldless = tmp_path / "worldless.trace"
+    worldless.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ReplayError, match="world-plane"):
+        run_counterfactual(worldless, CounterfactualSpec())
+
+
+def test_opaque_world_values_are_refused(office_trace, tmp_path):
+    lines = office_trace.read_text().splitlines()
+    for i, line in enumerate(lines):
+        row = json.loads(line)
+        if row.get("kind") == "summary":
+            row["world_opaque"] = 2
+            lines[i] = json.dumps(row, sort_keys=True, separators=(",", ":"))
+    opaque = tmp_path / "opaque.trace"
+    opaque.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ReplayError, match="world value"):
+        run_counterfactual(opaque, CounterfactualSpec())
