@@ -1,0 +1,58 @@
+"""Lint wall-time budget: cold vs warm whole-program analysis of src/.
+
+Not a paper claim — CI hygiene for the PR-7 analyzer.  The committed
+``BENCH_lint.json`` pins three things through ``check_regression.py``:
+
+* cold wall time (full parse + project graph + taint fixpoint) within
+  the regression tolerance — the analyzer must not quietly become the
+  slowest job in CI;
+* warm wall time (digest lookups + live suppressions, no ``ast.parse``)
+  — the incremental cache's reason to exist;
+* ``findings == 0`` on both rows as an **exact** field: a finding that
+  only appears in CI means the shipped tree regressed its own lint
+  discipline, and that is a correctness failure, not a perf one.
+"""
+
+import pathlib
+import time
+
+import pytest
+
+from repro.lint import LintCache, lint_paths
+
+pytestmark = pytest.mark.slow
+
+SRC = pathlib.Path(__file__).parent.parent / "src"
+
+
+def _timed_lint(cache_dir):
+    t0 = time.perf_counter()
+    report = lint_paths([SRC], cache=LintCache(cache_dir))
+    return report, time.perf_counter() - t0
+
+
+def test_lint_cold_vs_warm(benchmark, save_bench_json, tmp_path):
+    cache_dir = tmp_path / "lint-cache"
+    cold_report, t_cold = _timed_lint(cache_dir)
+
+    warm_report = benchmark(lambda: lint_paths([SRC], cache=LintCache(cache_dir)))
+    t_warm = benchmark.stats.stats.mean
+
+    assert cold_report.render_json() == warm_report.render_json()
+    rows = [
+        {
+            "option": "cold",
+            "wall_s": t_cold,
+            "files": cold_report.files_checked,
+            "findings": len(cold_report.findings),
+        },
+        {
+            "option": "warm",
+            "wall_s": t_warm,
+            "files": warm_report.files_checked,
+            "findings": len(warm_report.findings),
+        },
+    ]
+    save_bench_json("lint", rows, meta={"tree": "src", "rules": "all"})
+    assert rows[0]["findings"] == 0 and rows[1]["findings"] == 0
+    assert t_warm * 5 <= t_cold

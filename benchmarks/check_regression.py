@@ -12,8 +12,8 @@ The checker compares, per matching row key:
   generous, because CI machines vary wildly; the point is to catch
   order-of-magnitude regressions, not jitter);
 * correctness figures (``detections``, ``messages``, ``units``,
-  ``events``, ``labels_digest``) **exactly** — a speedup that changes
-  detections is a wrong answer, not a fast one.
+  ``events``, ``labels_digest``, ``findings``) **exactly** — a speedup
+  that changes detections is a wrong answer, not a fast one.
 
 Baselines are read from git (``git show <ref>:<path>``) so the fresh
 file can overwrite the working-tree copy before the check runs.
@@ -32,7 +32,9 @@ RESULTS = pathlib.Path(__file__).parent / "results"
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 #: Row fields that must match the baseline exactly.
-EXACT_FIELDS = ("detections", "labels_digest", "messages", "units", "events")
+EXACT_FIELDS = (
+    "detections", "labels_digest", "messages", "units", "events", "findings",
+)
 #: Row fields compared as wall times within the tolerance factor.
 WALL_FIELDS = ("wall_s",)
 #: Fields identifying a row within its document.

@@ -98,7 +98,7 @@ def export_run(
         ],
     }
     path = Path(path)
-    path.write_text(json.dumps(bundle, indent=1, default=_fallback))
+    path.write_text(json.dumps(bundle, indent=1, default=_fallback, sort_keys=True))
     return path
 
 

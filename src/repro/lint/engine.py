@@ -1,13 +1,23 @@
-"""Lint engine: file discovery, suppression, and reporting.
+"""Lint engine: file discovery, suppression, caching, and reporting.
 
 Suppression syntax (documented in docs/static_analysis.md):
 
-* ``# repro: noqa`` — suppress every rule on this line.
-* ``# repro: noqa SIM003`` — suppress the listed rule(s) on this line
-  (comma/space separated).  Everything after ``--`` is a free-form
-  reason and is strongly encouraged.
-* ``# repro: noqa-file SIM001 -- reason`` — suppress the listed
-  rule(s) for the whole file; bare ``noqa-file`` suppresses all rules.
+* ``# repro: noqa -- why`` — suppress every rule on this line.
+* ``# repro: noqa SIM003 -- why`` — suppress the listed rule(s) on
+  this line (comma/space separated).  The ``-- why`` reason text is
+  required in spirit: the engine emits a warning for any directive
+  without one.
+* ``# repro: noqa-file SIM001 -- why`` — suppress the listed rule(s)
+  for the whole file; bare ``noqa-file`` suppresses all rules.
+
+Two rule layers run under one report: the per-file AST rules
+(:mod:`repro.lint.rules`) and the whole-program dataflow rules
+(:mod:`repro.lint.dataflow`) over the :class:`~repro.lint.projgraph.
+ProjectGraph`.  ``lint_paths`` accepts an optional
+:class:`~repro.lint.cache.LintCache` (raw findings keyed by content
+digest — suppressions and warnings are always recomputed live, so
+cached and uncached runs render byte-identical reports) and an
+optional :class:`~repro.lint.baseline.Baseline` adoption file.
 
 The engine walks paths deterministically (sorted), so output and exit
 codes are stable — the linter holds itself to the invariant it checks.
@@ -22,15 +32,21 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro.lint.baseline import Baseline
+from repro.lint.cache import LintCache
+from repro.lint.dataflow import PROJECT_RULES
 from repro.lint.findings import PARSE_ERROR_RULE, Finding
+from repro.lint.projgraph import ProjectGraph
 from repro.lint.rules import RULES, LintContext
 
-#: Bump when the JSON output schema changes shape.
-JSON_SCHEMA_VERSION = 1
+#: Bump when the JSON output schema changes shape.  v2 added
+#: ``suppressed``/``baselined`` per-rule counts and ``warnings``.
+JSON_SCHEMA_VERSION = 2
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?P<file>-file)?"
     r"(?P<codes>(?:[ \t,]+[A-Z]+[0-9]+)*)"
+    r"(?P<reason>[ \t]*--[ \t]*\S.*)?"
 )
 _CODE_RE = re.compile(r"[A-Z]+[0-9]+")
 
@@ -48,6 +64,8 @@ class Suppressions:
     file_all: bool = False
     #: line -> rule ids (empty set means "all rules on this line").
     lines: dict[int, set[str]] = field(default_factory=dict)
+    #: lines whose directive carries no ``-- reason`` text.
+    reasonless: list[int] = field(default_factory=list)
 
     def suppressed(self, finding: Finding) -> bool:
         if self.file_all or finding.rule in self.file_level:
@@ -65,6 +83,8 @@ def parse_suppressions(source: str) -> Suppressions:
         if m is None:
             continue
         codes = set(_CODE_RE.findall(m.group("codes") or ""))
+        if not m.group("reason"):
+            sup.reasonless.append(lineno)
         if m.group("file"):
             if codes:
                 sup.file_level |= codes
@@ -97,14 +117,22 @@ def _module_name(path: Path) -> str:
     return ".".join(parts)
 
 
+def _known_rules() -> dict[str, str]:
+    """All rule ids -> layer ('file' or 'project')."""
+    out = {rid: "file" for rid in RULES}
+    out.update({rid: "project" for rid in PROJECT_RULES})
+    return out
+
+
 def _select_rules(select: Sequence[str] | None) -> list[str]:
+    known = _known_rules()
     if select is None:
-        return sorted(RULES)
-    unknown = [r for r in select if r not in RULES]
+        return sorted(known)
+    unknown = [r for r in select if r not in known]
     if unknown:
         raise LintUsageError(
             f"unknown rule id(s): {', '.join(sorted(unknown))}; "
-            f"known: {', '.join(sorted(RULES))}"
+            f"known: {', '.join(sorted(known))}"
         )
     return sorted(set(select))
 
@@ -116,10 +144,22 @@ def lint_source(
     select: Sequence[str] | None = None,
     respect_noqa: bool = True,
 ) -> list[Finding]:
-    """Lint one in-memory module; the backbone of ``lint_paths`` and of
-    the rule fixture tests."""
+    """Lint one in-memory module with the per-file rules; the backbone
+    of the rule fixture tests.  Whole-program rules need the full file
+    set and run only under :func:`lint_paths`."""
     path = Path(path)
-    rule_ids = _select_rules(select)
+    rule_ids = [r for r in _select_rules(select) if r in RULES]
+    findings = _raw_file_findings(source, path, rule_ids)
+    if respect_noqa:
+        sup = parse_suppressions(source)
+        findings = [f for f in findings if not sup.suppressed(f)]
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _raw_file_findings(
+    source: str, path: Path, rule_ids: Sequence[str]
+) -> list[Finding]:
+    """Per-file findings before suppression (the cacheable quantity)."""
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
@@ -134,9 +174,6 @@ def lint_source(
         ]
     ctx = LintContext(tree, str(path), _module_name(path))
     findings = [f for rid in rule_ids for f in RULES[rid]().check(ctx)]
-    if respect_noqa:
-        sup = parse_suppressions(source)
-        findings = [f for f in findings if not sup.suppressed(f)]
     return sorted(findings, key=Finding.sort_key)
 
 
@@ -160,6 +197,12 @@ class LintReport:
 
     findings: list[Finding]
     files_checked: int
+    #: per-rule counts of findings silenced by ``noqa`` directives.
+    suppressed: dict[str, int] = field(default_factory=dict)
+    #: per-rule counts of findings absorbed by the adoption baseline.
+    baselined: dict[str, int] = field(default_factory=dict)
+    #: advisory messages (reason-less noqa, …); never affect exit code.
+    warnings: list[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -173,6 +216,7 @@ class LintReport:
 
     def render_text(self) -> str:
         lines = [f.format() for f in self.findings]
+        lines.extend(f"warning: {w}" for w in self.warnings)
         summary = (
             f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
             if self.findings
@@ -188,6 +232,9 @@ class LintReport:
             "files_checked": self.files_checked,
             "clean": self.clean,
             "counts": self.counts(),
+            "suppressed": dict(sorted(self.suppressed.items())),
+            "baselined": dict(sorted(self.baselined.items())),
+            "warnings": list(self.warnings),
             "findings": [f.as_dict() for f in self.findings],
         }
 
@@ -200,21 +247,85 @@ def lint_paths(
     *,
     select: Sequence[str] | None = None,
     respect_noqa: bool = True,
+    cache: LintCache | None = None,
+    baseline: Baseline | None = None,
 ) -> LintReport:
-    """Lint files and directories; directories are walked recursively."""
-    findings: list[Finding] = []
-    n = 0
-    for path in iter_python_files(paths):
-        n += 1
-        findings.extend(
-            lint_source(
-                path.read_text(encoding="utf-8"),
-                path,
-                select=select,
-                respect_noqa=respect_noqa,
+    """Lint files and directories; directories are walked recursively.
+
+    Runs both rule layers: per-file rules on each module, then the
+    whole-program dataflow rules over a :class:`ProjectGraph` of every
+    file in this invocation.  With ``cache``, raw findings are reused
+    for content-identical files (suppressions stay live, so reports
+    are byte-identical either way); with ``baseline``, accepted legacy
+    findings are subtracted and tallied under ``baselined``.
+    """
+    rule_ids = _select_rules(select)
+    file_ids = [r for r in rule_ids if r in RULES]
+    proj_ids = [r for r in rule_ids if r in PROJECT_RULES]
+    files = list(iter_python_files(paths))
+    sources: dict[Path, str] = {
+        p: p.read_text(encoding="utf-8") for p in files
+    }
+
+    raw: list[Finding] = []
+    for p in files:
+        cached = cache.get_file(str(p), sources[p], file_ids) if cache else None
+        if cached is None:
+            cached = _raw_file_findings(sources[p], p, file_ids)
+            if cache is not None:
+                cache.put_file(str(p), sources[p], file_ids, cached)
+        raw.extend(cached)
+
+    if proj_ids:
+        str_sources = {str(p): s for p, s in sources.items()}
+        proj = cache.get_project(str_sources, proj_ids) if cache else None
+        if proj is None:
+            graph = ProjectGraph.build(str_sources)
+            proj = sorted(
+                (
+                    f
+                    for rid in proj_ids
+                    for f in PROJECT_RULES[rid]().check(graph)
+                ),
+                key=Finding.sort_key,
             )
-        )
-    return LintReport(findings=sorted(findings, key=Finding.sort_key), files_checked=n)
+            if cache is not None:
+                cache.put_project(str_sources, proj_ids, proj)
+        raw.extend(proj)
+
+    if cache is not None:
+        cache.save()
+
+    sups = {str(p): parse_suppressions(s) for p, s in sources.items()}
+    kept: list[Finding] = []
+    suppressed: dict[str, int] = {}
+    for f in sorted(raw, key=Finding.sort_key):
+        sup = sups.get(f.path)
+        if respect_noqa and sup is not None and sup.suppressed(f):
+            suppressed[f.rule] = suppressed.get(f.rule, 0) + 1
+        else:
+            kept.append(f)
+
+    warnings: list[str] = []
+    if respect_noqa:
+        for pstr in sorted(sups):
+            for lineno in sups[pstr].reasonless:
+                warnings.append(
+                    f"{pstr}:{lineno}: noqa without `-- reason`; say why "
+                    "the rule is wrong here so the audit trail survives"
+                )
+
+    baselined: dict[str, int] = {}
+    if baseline is not None:
+        kept, baselined = baseline.filter(kept)
+
+    return LintReport(
+        findings=sorted(kept, key=Finding.sort_key),
+        files_checked=len(files),
+        suppressed=dict(sorted(suppressed.items())),
+        baselined=baselined,
+        warnings=warnings,
+    )
 
 
 __all__ = [

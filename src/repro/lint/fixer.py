@@ -1,0 +1,360 @@
+"""Autofixer for mechanically fixable lint findings (``repro lint --fix``).
+
+Three fix classes, chosen because the rewrite is local and the fixed
+code is what the rule's message tells a human to write:
+
+* ``SIM003`` — wrap the iterated set expression in ``sorted(...)``.
+* ``SIM002`` — wrap the seed argument in ``substream_seed(...)`` and
+  insert the import if unbound.  NOTE: this *changes the stream* (that
+  is the point — the seed becomes a derived substream); it is offered
+  under an explicit ``--fix``, never applied implicitly.
+* ``DET003`` (serialization half) — add ``sort_keys=True`` to
+  ``json.dumps``/``json.dump`` calls.
+
+The fixer re-detects patterns itself (mirroring the rules' logic)
+rather than round-tripping through reported findings, so it can run on
+a single file without the whole-program graph; ``repro: noqa``
+suppressions are honored — a suppressed finding is never rewritten.
+Fixes are applied as character splices bottom-up and the whole pass
+loops to a fixpoint (≤ 10 rounds), which makes ``fix_source``
+idempotent: fixing twice is byte-identical to fixing once.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.rules import (
+    _RNG_CONSTRUCTORS,
+    _calls_substream_seed,
+    _collect_aliases,
+    _is_set_expr,
+    _set_typed_names,
+)
+
+#: Rules `--fix` knows how to rewrite.
+FIXABLE_RULES = ("DET003", "SIM002", "SIM003")
+
+_IMPORT_LINE = "from repro.sim.rng import substream_seed"
+
+
+@dataclass(slots=True)
+class _Splice:
+    """Replace ``source[start:end]`` with ``text`` (insertion when
+    ``start == end``)."""
+
+    start: int
+    end: int
+    text: str
+
+
+@dataclass(slots=True)
+class _Candidate:
+    rule: str
+    line: int
+    splices: list[_Splice]
+
+
+def _line_starts(source: str) -> list[int]:
+    starts = [0]
+    for i, ch in enumerate(source):
+        if ch == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def _abs(starts: list[int], lineno: int, col: int) -> int:
+    return starts[lineno - 1] + col
+
+
+def _node_span(node: ast.AST, starts: list[int]) -> tuple[int, int]:
+    return (
+        _abs(starts, node.lineno, node.col_offset),
+        _abs(starts, node.end_lineno, node.end_col_offset),
+    )
+
+
+def _module_name_of(path: str | Path) -> str:
+    from repro.lint.engine import _module_name
+
+    return _module_name(Path(path))
+
+
+# ---------------------------------------------------------------------------
+# Candidate detection (mirrors the rules; see each rule's docstring)
+# ---------------------------------------------------------------------------
+
+
+def _canonical(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    from repro.lint.rules import _dotted_parts
+
+    parts = _dotted_parts(node)
+    if not parts:
+        return None
+    head = aliases.get(parts[0], parts[0])
+    return ".".join([head, *parts[1:]])
+
+
+def _sim003_candidates(
+    tree: ast.Module, starts: list[int]
+) -> Iterable[_Candidate]:
+    scopes: list[ast.AST] = [tree]
+    scopes.extend(
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    seen: set[tuple[int, int]] = set()
+    for scope in scopes:
+        set_names = _set_typed_names(scope)
+        for node in ast.walk(scope):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if not _is_set_expr(it, set_names):
+                    continue
+                key = (it.lineno, it.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                a, b = _node_span(it, starts)
+                yield _Candidate(
+                    rule="SIM003",
+                    line=it.lineno,
+                    splices=[_Splice(a, a, "sorted("), _Splice(b, b, ")")],
+                )
+
+
+def _sim002_candidates(
+    tree: ast.Module,
+    starts: list[int],
+    aliases: dict[str, str],
+    module: str,
+) -> Iterable[_Candidate]:
+    if module == "repro.sim.rng":
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _canonical(node.func, aliases)
+        if name not in _RNG_CONSTRUCTORS or _calls_substream_seed(node):
+            continue
+        seed_arg: ast.expr | None = None
+        if node.args and not isinstance(node.args[0], ast.Starred):
+            seed_arg = node.args[0]
+        elif node.keywords:
+            for kw in node.keywords:
+                if kw.arg == "seed":
+                    seed_arg = kw.value
+                    break
+        if seed_arg is None:
+            continue  # zero-arg constructor: no mechanical rewrite
+        a, b = _node_span(seed_arg, starts)
+        yield _Candidate(
+            rule="SIM002",
+            line=node.lineno,
+            splices=[
+                _Splice(a, a, "substream_seed("),
+                _Splice(b, b, ")"),
+            ],
+        )
+
+
+def _det003_candidates(
+    tree: ast.Module, starts: list[int], aliases: dict[str, str]
+) -> Iterable[_Candidate]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _canonical(node.func, aliases)
+        if name not in ("json.dumps", "json.dump"):
+            continue
+        if any(kw.arg == "sort_keys" for kw in node.keywords):
+            continue
+        children = [*node.args, *(kw.value for kw in node.keywords)]
+        if not children:
+            continue  # dumps() with no payload never parses anyway
+        last = max(children, key=lambda c: (c.end_lineno, c.end_col_offset))
+        _, b = _node_span(last, starts)
+        yield _Candidate(
+            rule="DET003",
+            line=node.lineno,
+            splices=[_Splice(b, b, ", sort_keys=True")],
+        )
+
+
+def _needs_import(tree: ast.Module, aliases: dict[str, str]) -> bool:
+    if aliases.get("substream_seed") == "repro.sim.rng.substream_seed":
+        return False
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == "substream_seed":
+                return False
+    return "substream_seed" not in aliases
+
+
+def _import_splice(tree: ast.Module, starts: list[int], source: str) -> _Splice:
+    """Insert the substream_seed import after the last top-level import
+    (after the docstring if there are none)."""
+    insert_line = 1
+    body = tree.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ):
+        insert_line = (body[0].end_lineno or 1) + 1
+    for node in body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            insert_line = (node.end_lineno or node.lineno) + 1
+    if insert_line - 1 < len(starts):
+        pos = starts[insert_line - 1]
+    else:
+        pos = len(source)
+    return _Splice(pos, pos, _IMPORT_LINE + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Application
+# ---------------------------------------------------------------------------
+
+
+def _one_round(
+    source: str,
+    path: str | Path,
+    select: Sequence[str] | None,
+    respect_noqa: bool,
+) -> tuple[str, int]:
+    from repro.lint.engine import parse_suppressions
+
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return source, 0
+    rules = set(FIXABLE_RULES if select is None else select) & set(FIXABLE_RULES)
+    starts = _line_starts(source)
+    aliases = _collect_aliases(tree)
+    module = _module_name_of(path)
+    candidates: list[_Candidate] = []
+    if "SIM003" in rules:
+        candidates.extend(_sim003_candidates(tree, starts))
+    if "SIM002" in rules:
+        candidates.extend(_sim002_candidates(tree, starts, aliases, module))
+    if "DET003" in rules:
+        candidates.extend(_det003_candidates(tree, starts, aliases))
+    if respect_noqa:
+        sup = parse_suppressions(source)
+        candidates = [
+            c
+            for c in candidates
+            if not sup.suppressed(
+                Finding(rule=c.rule, path=str(path), line=c.line, col=1, message="")
+            )
+        ]
+    if not candidates:
+        return source, 0
+    splices = [s for c in candidates for s in c.splices]
+    if any(c.rule == "SIM002" for c in candidates) and _needs_import(
+        tree, aliases
+    ):
+        splices.append(_import_splice(tree, starts, source))
+    # bottom-up so earlier offsets stay valid; stable on ties so the
+    # "sorted(" open-paren (emitted first) lands before the seed text
+    splices.sort(key=lambda s: (s.start, s.end), reverse=True)
+    out = source
+    for s in splices:
+        out = out[: s.start] + s.text + out[s.end :]
+    return out, len(candidates)
+
+
+def fix_source(
+    source: str,
+    path: str | Path = "<string>",
+    *,
+    select: Sequence[str] | None = None,
+    respect_noqa: bool = True,
+) -> tuple[str, int]:
+    """Rewrite ``source`` to a fixpoint; returns ``(new_source, n_fixes)``.
+
+    Idempotent: ``fix_source(fix_source(s)[0])[0] == fix_source(s)[0]``.
+    """
+    total = 0
+    for _ in range(10):
+        source, n = _one_round(source, path, select, respect_noqa)
+        if n == 0:
+            break
+        total += n
+    return source, total
+
+
+@dataclass(slots=True)
+class FixReport:
+    """Outcome of a ``fix_paths`` pass."""
+
+    #: path -> (old_source, new_source); only files that changed.
+    changed: dict[str, tuple[str, str]] = field(default_factory=dict)
+    n_fixes: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.changed
+
+    def render_diff(self) -> str:
+        chunks: list[str] = []
+        for path in sorted(self.changed):
+            old, new = self.changed[path]
+            chunks.append(
+                "".join(
+                    difflib.unified_diff(
+                        old.splitlines(keepends=True),
+                        new.splitlines(keepends=True),
+                        fromfile=f"a/{path}",
+                        tofile=f"b/{path}",
+                    )
+                )
+            )
+        return "".join(chunks)
+
+    def summary(self) -> str:
+        if self.clean:
+            return "nothing to fix"
+        return f"{self.n_fixes} fix(es) in {len(self.changed)} file(s)"
+
+
+def fix_paths(
+    paths: Iterable[str | Path],
+    *,
+    select: Sequence[str] | None = None,
+    respect_noqa: bool = True,
+    write: bool = True,
+) -> FixReport:
+    """Fix every file under ``paths``; ``write=False`` is the dry-run
+    behind ``--diff`` and ``--fix --check``."""
+    from repro.lint.engine import iter_python_files
+
+    report = FixReport()
+    for path in iter_python_files(paths):
+        old = path.read_text(encoding="utf-8")
+        new, n = fix_source(old, path, select=select, respect_noqa=respect_noqa)
+        if new != old:
+            report.changed[str(path)] = (old, new)
+            report.n_fixes += n
+            if write:
+                path.write_text(new, encoding="utf-8")
+    return report
+
+
+__all__ = [
+    "FIXABLE_RULES",
+    "FixReport",
+    "fix_paths",
+    "fix_source",
+]

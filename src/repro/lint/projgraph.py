@@ -1,0 +1,481 @@
+"""Whole-program project graph for the dataflow lint rules.
+
+PR 2's rules see one module at a time, which is exactly the blind spot
+the §4.2 determinism argument cannot afford: a ``Random`` created in one
+plane and handed through three call sites looks clean to every per-file
+rule.  :class:`ProjectGraph` parses the whole source tree once and gives
+the :mod:`repro.lint.dataflow` rules cross-file context:
+
+* **modules** — parsed trees plus the alias maps per-file rules use;
+* **functions** — every ``def``/method under a stable qualname
+  (``repro.faults.injector.FaultInjector._fire``), with parameter lists
+  and the calls its body (including nested lambdas) makes;
+* **a resolved call graph** — direct calls through project imports,
+  ``self.method()`` dispatch, constructor calls, attribute chains typed
+  via a per-class attribute map (``self._system.net.send`` resolves
+  through ``PervasiveSystem.net → Network``), and the injector's
+  ``getattr(self, f"_apply_{...}")`` prefix-dispatch idiom;
+* **scheduled closure** — every function reachable from a callable
+  passed to ``schedule_at``/``schedule_after`` (including lambdas),
+  i.e. code that runs in kernel-event context;
+* **sink reachability** — the transitive "can this function's calls
+  end up scheduling events or serializing output?" predicate the
+  order-escape rule needs.
+
+Everything is resolved best-effort and deterministically (sorted walks,
+no hashing of live objects), in keeping with the linter's own rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from repro.lint.rules import _collect_aliases, _dotted_parts
+
+#: Attribute names whose call schedules a kernel event (directly or via
+#: the transport's one-hop indirection).
+SCHEDULE_ATTRS = ("schedule_at", "schedule_after")
+
+#: RNG constructor canonical names (mirrors the SIM002 set).
+RNG_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "random.Random",
+}
+
+
+def module_name_of(path: Path) -> str:
+    """Dotted module name for a source path (mirrors engine logic)."""
+    parts = list(path.parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """One parsed source file."""
+
+    module: str
+    path: str
+    tree: ast.Module
+    aliases: dict[str, str]
+
+    def canonical(self, node: ast.expr) -> str | None:
+        parts = _dotted_parts(node)
+        if not parts:
+            return None
+        head = self.aliases.get(parts[0], parts[0])
+        return ".".join([head, *parts[1:]])
+
+
+@dataclass(slots=True)
+class ClassInfo:
+    """A class with the attribute types inferred from its body."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    #: ``self.<attr>`` → resolved class qualname (or ``None`` if unknown).
+    attr_types: dict[str, str] = field(default_factory=dict)
+    methods: dict[str, str] = field(default_factory=dict)  # name -> qualname
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """One function or method plus its body-level call sites."""
+
+    qualname: str
+    module: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    cls: str | None  # owning ClassInfo qualname, if a method
+    params: list[str] = field(default_factory=list)
+    annotations: dict[str, str] = field(default_factory=dict)
+    #: resolved call edges: (callee qualname, Call node, skip_self)
+    calls: list[tuple[str, ast.Call, bool]] = field(default_factory=list)
+    #: unresolved but canonicalized call names (diagnostics / sinks)
+    raw_calls: list[tuple[str, ast.Call]] = field(default_factory=list)
+
+
+class ProjectGraph:
+    """Cross-file symbol, call, and reachability index."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        #: caller qualname -> sorted callee qualnames
+        self.callees: dict[str, set[str]] = {}
+        self.callers: dict[str, set[str]] = {}
+        #: functions passed (directly or via lambda body) to schedule_*
+        self.scheduled_roots: set[str] = set()
+        self._scheduled_closure: set[str] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, sources: Mapping[str | Path, str]) -> "ProjectGraph":
+        """Parse and index ``{path: source}``; unparsable files are
+        skipped (the engine reports E999 for them separately)."""
+        graph = cls()
+        for pathstr, src in sorted((str(p), s) for p, s in sources.items()):
+            try:
+                tree = ast.parse(src, filename=pathstr)
+            except SyntaxError:
+                continue
+            mod = module_name_of(Path(pathstr))
+            graph.modules[mod] = ModuleInfo(
+                module=mod, path=pathstr, tree=tree,
+                aliases=_collect_aliases(tree),
+            )
+        for mod in sorted(graph.modules):
+            graph._index_module(graph.modules[mod])
+        for mod in sorted(graph.modules):
+            graph._infer_attr_types(graph.modules[mod])
+        for qual in sorted(graph.functions):
+            graph._resolve_calls(graph.functions[qual])
+        graph._collect_schedule_roots()
+        return graph
+
+    def _index_module(self, info: ModuleInfo) -> None:
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(info, node, cls=None)
+            elif isinstance(node, ast.ClassDef):
+                qual = f"{info.module}.{node.name}"
+                cinfo = ClassInfo(qualname=qual, module=info.module, node=node)
+                self.classes[qual] = cinfo
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fq = self._add_function(info, item, cls=qual)
+                        cinfo.methods[item.name] = fq
+
+    def _add_function(
+        self, info: ModuleInfo, node: ast.AST, cls: str | None
+    ) -> str:
+        prefix = cls if cls is not None else info.module
+        qual = f"{prefix}.{node.name}"
+        args = node.args
+        params = [a.arg for a in (*args.posonlyargs, *args.args)]
+        annotations: dict[str, str] = {}
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            ann = _annotation_text(a.annotation)
+            if ann is not None:
+                annotations[a.arg] = ann
+        self.functions[qual] = FunctionInfo(
+            qualname=qual, module=info.module, node=node, cls=cls,
+            params=params, annotations=annotations,
+        )
+        return qual
+
+    # -- attribute typing ----------------------------------------------
+    def _infer_attr_types(self, info: ModuleInfo) -> None:
+        """Fill each class's ``self.<attr> → class`` map from assignments
+        in its methods (``self.x = param`` with an annotation, or
+        ``self.x = SomeClass(...)``) and class-level annotations."""
+        for cqual in sorted(self.classes):
+            cinfo = self.classes[cqual]
+            if cinfo.module != info.module:
+                continue
+            for stmt in cinfo.node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    t = self._resolve_type_name(
+                        info, _annotation_text(stmt.annotation)
+                    )
+                    if t:
+                        cinfo.attr_types.setdefault(stmt.target.id, t)
+            for mname, fq in sorted(cinfo.methods.items()):
+                finfo = self.functions[fq]
+                param_ann = finfo.annotations
+                for node in ast.walk(finfo.node):
+                    target = None
+                    value = None
+                    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                        target, value = node.targets[0], node.value
+                    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                        target, value = node.target, node.value
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    attr = target.attr
+                    t: str | None = None
+                    if isinstance(node, ast.AnnAssign):
+                        t = self._resolve_type_name(
+                            info, _annotation_text(node.annotation)
+                        )
+                    if t is None and isinstance(value, ast.Name):
+                        t = self._resolve_type_name(
+                            info, param_ann.get(value.id)
+                        )
+                    if t is None and isinstance(value, ast.Call):
+                        name = info.canonical(value.func)
+                        if name in self.classes:
+                            t = name
+                        elif name in RNG_CONSTRUCTORS:
+                            t = "numpy.random.Generator"
+                    if t is not None:
+                        cinfo.attr_types.setdefault(attr, t)
+
+    def _resolve_type_name(
+        self, info: ModuleInfo, ann: str | None
+    ) -> str | None:
+        """Map an annotation string to a known class qualname.  Handles
+        quoted forward references, ``Optional``-style unions, and
+        ``list[X]`` element types (subscripts of a typed list resolve to
+        the element)."""
+        if not ann:
+            return None
+        ann = ann.strip().strip("\"'")
+        for part in ann.replace("Optional[", "").split("|"):
+            part = part.strip().strip("\"'")
+            wrapped = part.startswith(("list[", "List[", "tuple[", "Sequence["))
+            inner = part.split("[", 1)[1].rstrip("]") if wrapped else part
+            head = inner.split("[")[0].strip().strip("\"'")
+            for cand in (info.aliases.get(head, head), f"{info.module}.{head}"):
+                if cand in self.classes:
+                    return f"list[{cand}]" if wrapped else cand
+        return None
+
+    # -- expression typing ---------------------------------------------
+    def type_of(
+        self, expr: ast.expr, finfo: FunctionInfo
+    ) -> str | None:
+        """Best-effort static type of an expression inside ``finfo``:
+        ``self`` → owning class; ``self.a.b`` chains through attribute
+        maps; annotated params; ``xs[i]`` unwraps ``list[X]``."""
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and finfo.cls is not None:
+                return finfo.cls
+            ann = finfo.annotations.get(expr.id)
+            if ann is not None:
+                info = self.modules.get(finfo.module)
+                if info is not None:
+                    return self._resolve_type_name(info, ann)
+            return None
+        if isinstance(expr, ast.Subscript):
+            base = self.type_of(expr.value, finfo)
+            if base is not None and base.startswith("list["):
+                return base[5:-1]
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = self.type_of(expr.value, finfo)
+            if base is None:
+                return None
+            cinfo = self.classes.get(base)
+            if cinfo is None:
+                return None
+            return cinfo.attr_types.get(expr.attr)
+        return None
+
+    # -- call resolution ------------------------------------------------
+    def _resolve_calls(self, finfo: FunctionInfo) -> None:
+        info = self.modules[finfo.module]
+        # ``x = getattr(self, f"_prefix_{...}")`` → calling x dispatches
+        # to every method of the class with that name prefix.
+        prefix_vars: dict[str, list[str]] = {}
+        if finfo.cls is not None:
+            for node in ast.walk(finfo.node):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Name)
+                    and node.value.func.id == "getattr"
+                    and len(node.value.args) >= 2
+                    and isinstance(node.value.args[0], ast.Name)
+                    and node.value.args[0].id == "self"
+                ):
+                    prefix = _joinedstr_prefix(node.value.args[1])
+                    if prefix:
+                        cinfo = self.classes[finfo.cls]
+                        targets = [
+                            fq for m, fq in sorted(cinfo.methods.items())
+                            if m.startswith(prefix)
+                        ]
+                        if targets:
+                            prefix_vars[node.targets[0].id] = targets
+
+        for node in ast.walk(finfo.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self._resolve_call_target(node, finfo, info, prefix_vars)
+            if resolved:
+                for qual, skip_self in resolved:
+                    finfo.calls.append((qual, node, skip_self))
+                    self.callees.setdefault(finfo.qualname, set()).add(qual)
+                    self.callers.setdefault(qual, set()).add(finfo.qualname)
+            else:
+                name = info.canonical(node.func)
+                if name is None and isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                if name is not None:
+                    finfo.raw_calls.append((name, node))
+
+    def _resolve_call_target(
+        self,
+        call: ast.Call,
+        finfo: FunctionInfo,
+        info: ModuleInfo,
+        prefix_vars: dict[str, list[str]],
+    ) -> list[tuple[str, bool]]:
+        """Resolve one call to project qualname(s).
+
+        The bool marks bound-method dispatch (argument positions shift
+        by one for ``self``)."""
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in prefix_vars:
+            return [(q, True) for q in prefix_vars[func.id]]
+        # self.method() / self.attr-chain.method()
+        if isinstance(func, ast.Attribute):
+            recv_type = self.type_of(func.value, finfo)
+            if recv_type is not None:
+                cinfo = self.classes.get(recv_type)
+                if cinfo is not None and func.attr in cinfo.methods:
+                    return [(cinfo.methods[func.attr], True)]
+        # imported function / class constructor / dotted module access
+        name = info.canonical(func)
+        if name is not None:
+            if name in self.functions:
+                return [(name, False)]
+            if name in self.classes:
+                cinfo = self.classes[name]
+                init = cinfo.methods.get("__init__")
+                return [(init, True)] if init else [(name, True)]
+            # same-module bare call
+            local = f"{finfo.module}.{name}"
+            if local in self.functions:
+                return [(local, False)]
+            if local in self.classes:
+                init = self.classes[local].methods.get("__init__")
+                return [(init, True)] if init else [(local, True)]
+        return []
+
+    # -- scheduled closure ----------------------------------------------
+    def _collect_schedule_roots(self) -> None:
+        for qual in sorted(self.functions):
+            finfo = self.functions[qual]
+            info = self.modules[finfo.module]
+            for node in ast.walk(finfo.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in SCHEDULE_ATTRS
+                ):
+                    continue
+                for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                    self._mark_scheduled(arg, finfo, info)
+
+    def _mark_scheduled(
+        self, arg: ast.expr, finfo: FunctionInfo, info: ModuleInfo
+    ) -> None:
+        if isinstance(arg, ast.Lambda):
+            # The lambda body runs in event context: every call it makes
+            # (resolvable through the enclosing function's scope) roots
+            # the scheduled closure.
+            for sub in ast.walk(arg.body):
+                if isinstance(sub, ast.Call):
+                    for qual, _ in self._resolve_call_target(
+                        sub, finfo, info, {}
+                    ):
+                        self.scheduled_roots.add(qual)
+            return
+        # a bare function / bound-method reference
+        if isinstance(arg, ast.Attribute):
+            recv_type = self.type_of(arg.value, finfo)
+            if recv_type is not None:
+                cinfo = self.classes.get(recv_type)
+                if cinfo is not None and arg.attr in cinfo.methods:
+                    self.scheduled_roots.add(cinfo.methods[arg.attr])
+                    return
+        name = info.canonical(arg)
+        if name in self.functions:
+            self.scheduled_roots.add(name)
+
+    def scheduled_closure(self) -> set[str]:
+        """Functions that (transitively) run inside kernel events."""
+        if self._scheduled_closure is None:
+            seen = set()
+            stack = sorted(self.scheduled_roots)
+            while stack:
+                q = stack.pop()
+                if q in seen:
+                    continue
+                seen.add(q)
+                stack.extend(sorted(self.callees.get(q, ())))
+            self._scheduled_closure = seen
+        return self._scheduled_closure
+
+    # -- sink reachability ----------------------------------------------
+    def reaches(
+        self, direct: Iterable[str]
+    ) -> set[str]:
+        """Close a set of sink-containing functions over *callers*: the
+        result is every function whose execution can transitively reach
+        one of them."""
+        seen: set[str] = set()
+        stack = sorted(direct)
+        while stack:
+            q = stack.pop()
+            if q in seen:
+                continue
+            seen.add(q)
+            stack.extend(sorted(self.callers.get(q, ())))
+        return seen
+
+    def functions_in(self, module: str) -> Iterator[FunctionInfo]:
+        for qual in sorted(self.functions):
+            if self.functions[qual].module == module:
+                yield self.functions[qual]
+
+
+def _annotation_text(node: ast.expr | None) -> str | None:
+    if node is None:
+        return None
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on exprs
+        return None
+
+
+def _joinedstr_prefix(node: ast.expr) -> str | None:
+    """The literal prefix of an f-string like ``f"_apply_{x}"``."""
+    if not isinstance(node, ast.JoinedStr) or not node.values:
+        return None
+    first = node.values[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    return None
+
+
+def plane_of(module: str) -> str | None:
+    """The architectural plane of a module: the first package level
+    under the top-level package (``repro.net.transport`` → ``net``)."""
+    parts = module.split(".")
+    return parts[1] if len(parts) >= 2 else None
+
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectGraph",
+    "RNG_CONSTRUCTORS",
+    "SCHEDULE_ATTRS",
+    "module_name_of",
+    "plane_of",
+]

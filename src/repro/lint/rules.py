@@ -12,7 +12,7 @@ relies on (see docs/static_analysis.md for the catalogue):
 
 Rules are AST-based and deliberately heuristic: they aim for zero
 false negatives on the idioms this codebase actually uses, and rely on
-the ``# repro: noqa`` mechanism (:mod:`repro.lint.engine`) for audited
+the ``repro: noqa`` mechanism (:mod:`repro.lint.engine`) for audited
 false positives.
 """
 

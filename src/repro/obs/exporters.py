@@ -83,7 +83,7 @@ def export_jsonl(
     """Write the JSONL event stream; returns the path."""
     path = Path(path)
     lines = [
-        json.dumps(ev, default=_fallback)
+        json.dumps(ev, default=_fallback, sort_keys=True)
         for ev in jsonl_events(registry, tracer, meta=meta, t_sim=t_sim)
     ]
     path.write_text("\n".join(lines) + "\n")
@@ -234,7 +234,7 @@ def export_bench_json(
     }
     if registry is not None:
         doc["metrics"] = registry.snapshot()
-    path.write_text(json.dumps(doc, indent=1, default=_fallback) + "\n")
+    path.write_text(json.dumps(doc, indent=1, default=_fallback, sort_keys=True) + "\n")
     return path
 
 

@@ -22,8 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.process import ClockConfig
 from repro.core.system import PervasiveSystem, SystemConfig
 from repro.detect.base import Detector
@@ -31,7 +29,7 @@ from repro.detect.oracle import OracleDetector
 from repro.net.delay import DeltaBoundedDelay
 from repro.net.mac import DutyCycleMAC
 from repro.predicates.conjunctive import Conjunct, ConjunctivePredicate
-from repro.sim.rng import substream_seed
+from repro.sim.rng import RngRegistry
 from repro.world.mobility import RandomWaypoint
 
 
@@ -56,12 +54,11 @@ class Habitat:
 
     def __init__(self, config: HabitatConfig) -> None:
         self.config = config
+        rngs = RngRegistry(config.seed)
         self.mac = DutyCycleMAC(
             n=2, period=config.mac_period, duty=config.mac_duty,
             random_phases=True,
-            rng=np.random.default_rng(
-                substream_seed(config.seed, "habitat", "mac-phase")
-            ),
+            rng=rngs.get("habitat", "mac-phase"),
         )
         self.system = PervasiveSystem(
             SystemConfig(

@@ -166,7 +166,9 @@ class Hospital:
                         ) -> RelationalPredicate:
         """Alarm predicate: an unauthorized visitor is near ``patient``.
         The monitoring sensor defaults to the patient's zone reader."""
-        zone = self.system.world.get(patient).get("zone")
+        # Build-time wiring: picks which sensor monitors the patient
+        # before the run starts; the zone is not model input.
+        zone = self.system.world.get(patient).get("zone")  # repro: noqa RACE002 -- build-time sensor placement
         pid = sensor_pid if sensor_pid is not None else (
             MONITORED.index(zone) if zone in MONITORED else 0
         )

@@ -1,0 +1,129 @@
+"""Adoption baseline: filtering semantics and serialization round-trip."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.lint import Baseline, BaselineError, lint_paths
+from repro.lint.findings import Finding
+
+
+def _f(rule="SIM001", path="a.py", line=1, col=1, msg="m"):
+    return Finding(rule=rule, path=path, line=line, col=col, message=msg)
+
+
+# ---------------------------------------------------------------------------
+# Filtering
+# ---------------------------------------------------------------------------
+
+
+def test_filter_absorbs_up_to_count_in_sort_order():
+    base = Baseline(counts={("SIM001", "a.py"): 1})
+    f1, f2 = _f(line=1), _f(line=9)
+    kept, baselined = base.filter([f2, f1])
+    assert kept == [f2]  # the *earlier* finding is the accepted debt
+    assert baselined == {"SIM001": 1}
+
+
+def test_filter_is_per_rule_and_path():
+    base = Baseline(counts={("SIM001", "a.py"): 2})
+    kept, baselined = base.filter(
+        [_f(), _f(line=2), _f(path="b.py"), _f(rule="SIM003")]
+    )
+    assert {(f.rule, f.path) for f in kept} == {("SIM001", "b.py"), ("SIM003", "a.py")}
+    assert baselined == {"SIM001": 2}
+
+
+def test_from_findings_counts():
+    base = Baseline.from_findings([_f(), _f(line=2), _f(path="b.py")])
+    assert base.counts == {("SIM001", "a.py"): 2, ("SIM001", "b.py"): 1}
+
+
+def test_malformed_baseline_raises():
+    with pytest.raises(BaselineError):
+        Baseline.from_dict({"entries": []})  # missing version
+    with pytest.raises(BaselineError):
+        Baseline.from_dict({"version": 1, "entries": [{"rule": "X"}]})
+    with pytest.raises(BaselineError):
+        Baseline.from_dict({"version": 1, "entries": [
+            {"rule": "X", "path": "p", "count": 0}
+        ]})
+
+
+# ---------------------------------------------------------------------------
+# Round-trip (hypothesis)
+# ---------------------------------------------------------------------------
+
+_keys = st.tuples(
+    st.from_regex(r"[A-Z]{2,4}[0-9]{3}", fullmatch=True),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("L", "N"), whitelist_characters="/_."),
+        min_size=1, max_size=30,
+    ),
+)
+_counts = st.dictionaries(_keys, st.integers(min_value=1, max_value=50), max_size=20)
+
+
+@given(_counts)
+def test_baseline_round_trips_through_json(counts):
+    base = Baseline(counts=dict(counts))
+    again = Baseline.from_dict(base.as_dict())
+    assert again.counts == base.counts
+    # canonical rendering is a fixpoint
+    assert Baseline.from_dict(again.as_dict()).render() == base.render()
+
+
+@given(_counts)
+def test_baseline_render_is_canonical(counts):
+    base = Baseline(counts=dict(counts))
+    text = base.render()
+    assert text.endswith("\n")
+    assert Baseline.from_dict(base.as_dict()).render() == text
+
+
+# ---------------------------------------------------------------------------
+# Engine + CLI integration
+# ---------------------------------------------------------------------------
+
+TRIGGER = "import time\nt = time.time()\n"
+
+
+def test_lint_paths_applies_baseline(tmp_path):
+    p = tmp_path / "mod.py"
+    p.write_text(TRIGGER)
+    base = Baseline(counts={("SIM001", str(p)): 1})
+    report = lint_paths([p], baseline=base)
+    assert report.findings == []
+    assert report.baselined == {"SIM001": 1}
+    assert report.as_dict()["baselined"] == {"SIM001": 1}
+
+
+def test_cli_update_baseline_then_clean(tmp_path):
+    p = tmp_path / "mod.py"
+    p.write_text(TRIGGER)
+    bpath = tmp_path / "lint-baseline.json"
+    assert main([
+        "lint", str(p), "--no-cache",
+        "--baseline", str(bpath), "--update-baseline",
+    ]) == 0
+    assert main([
+        "lint", str(p), "--no-cache", "--baseline", str(bpath),
+    ]) == 0
+    # fixing the debt and regenerating shrinks the baseline to empty
+    p.write_text("x = 1\n")
+    assert main([
+        "lint", str(p), "--no-cache",
+        "--baseline", str(bpath), "--update-baseline",
+    ]) == 0
+    assert Baseline.load(bpath).counts == {}
+
+
+def test_shipped_baseline_is_loadable_and_empty():
+    """The repo ships an (empty) adoption file: the whole-program rules
+    landed with a full fix sweep, not debt."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    base = Baseline.load(root / "lint-baseline.json")
+    assert base.counts == {}

@@ -1,0 +1,173 @@
+"""Incremental cache: correctness of invalidation, and the warm-path
+speed/byte-identity contract from the engine docstring."""
+
+import time
+from pathlib import Path
+
+from repro.lint import LintCache, lint_paths, project_digest, source_digest
+from repro.lint.findings import Finding
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+TRIGGER = "import time\nt = time.time()\n"
+CLEAN = "x = 1\n"
+
+
+def _write(tmp_path, name, body):
+    p = tmp_path / name
+    p.write_text(body)
+    return p
+
+
+# ---------------------------------------------------------------------------
+# Digest semantics
+# ---------------------------------------------------------------------------
+
+
+def test_digest_ignores_trailing_whitespace_only():
+    assert source_digest("x = 1\ny = 2\n") == source_digest("x = 1  \ny = 2\t\n")
+    assert source_digest("x = 1\n") != source_digest("x = 2\n")
+    # leading whitespace moves columns -> must miss
+    assert source_digest("x = 1\n") != source_digest(" x = 1\n")
+    # a blank line moves line numbers -> must miss
+    assert source_digest("x = 1\n") != source_digest("\nx = 1\n")
+
+
+def test_project_digest_sensitive_to_rename_and_content():
+    base = {"a.py": "x = 1\n", "b.py": "y = 2\n"}
+    assert project_digest(base) == project_digest(dict(base))
+    renamed = {"a2.py": "x = 1\n", "b.py": "y = 2\n"}
+    edited = {"a.py": "x = 3\n", "b.py": "y = 2\n"}
+    grown = dict(base, **{"c.py": "z = 3\n"})
+    assert len({
+        project_digest(base), project_digest(renamed),
+        project_digest(edited), project_digest(grown),
+    }) == 4
+
+
+# ---------------------------------------------------------------------------
+# Hit / miss behaviour through lint_paths
+# ---------------------------------------------------------------------------
+
+
+def _run(tmp_path, cache_dir):
+    cache = LintCache(cache_dir)
+    report = lint_paths([tmp_path / "mod.py"], cache=cache)
+    return report, cache
+
+
+def test_cold_then_warm_hit(tmp_path):
+    _write(tmp_path, "mod.py", TRIGGER)
+    r1, c1 = _run(tmp_path, tmp_path / "cache")
+    assert c1.hits == 0
+    r2, c2 = _run(tmp_path, tmp_path / "cache")
+    assert c2.misses == 0 and c2.hits > 0
+    assert r1.render_text() == r2.render_text()
+    assert r1.render_json() == r2.render_json()
+
+
+def test_edit_invalidates(tmp_path):
+    p = _write(tmp_path, "mod.py", TRIGGER)
+    _run(tmp_path, tmp_path / "cache")
+    p.write_text(CLEAN)
+    report, cache = _run(tmp_path, tmp_path / "cache")
+    assert cache.hits == 0
+    assert report.clean
+
+
+def test_cosmetic_trailing_whitespace_hits(tmp_path):
+    p = _write(tmp_path, "mod.py", TRIGGER)
+    r1, _ = _run(tmp_path, tmp_path / "cache")
+    p.write_text("import time   \nt = time.time()  \n")
+    r2, cache = _run(tmp_path, tmp_path / "cache")
+    assert cache.misses == 0 and cache.hits > 0
+    assert [f.format() for f in r2.findings] == [f.format() for f in r1.findings]
+
+
+def test_rename_invalidates(tmp_path):
+    p = _write(tmp_path, "mod.py", TRIGGER)
+    _run(tmp_path, tmp_path / "cache")
+    p.rename(tmp_path / "mod2.py")
+    cache = LintCache(tmp_path / "cache")
+    report = lint_paths([tmp_path / "mod2.py"], cache=cache)
+    assert cache.hits == 0
+    # findings re-anchor to the new path
+    assert all(f.path.endswith("mod2.py") for f in report.findings)
+
+
+def test_noqa_edit_changes_report_despite_shared_rawness(tmp_path):
+    """Suppressions are applied live: adding a noqa changes the digest
+    (it is an edit), and the suppressed finding lands in `suppressed`."""
+    p = _write(tmp_path, "mod.py", TRIGGER)
+    r1, _ = _run(tmp_path, tmp_path / "cache")
+    assert [f.rule for f in r1.findings] == ["SIM001"]
+    p.write_text("import time\nt = time.time()  # repro: noqa SIM001 -- probe\n")
+    r2, _ = _run(tmp_path, tmp_path / "cache")
+    assert r2.findings == []
+    assert r2.suppressed == {"SIM001": 1}
+
+
+def test_corrupt_cache_is_empty_cache(tmp_path):
+    _write(tmp_path, "mod.py", TRIGGER)
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    (cache_dir / "cache.jsonl").write_text("not json at all\n{broken")
+    report, cache = _run(tmp_path, cache_dir)
+    assert [f.rule for f in report.findings] == ["SIM001"]
+    # and the save heals it
+    report2, cache2 = _run(tmp_path, cache_dir)
+    assert cache2.hits > 0
+
+
+def test_cache_file_is_deterministic(tmp_path):
+    _write(tmp_path, "mod.py", TRIGGER)
+    _run(tmp_path, tmp_path / "c1")
+    _run(tmp_path, tmp_path / "c2")
+    assert (tmp_path / "c1" / "cache.jsonl").read_bytes() == (
+        tmp_path / "c2" / "cache.jsonl"
+    ).read_bytes()
+
+
+def test_unused_entries_pruned_on_save(tmp_path):
+    a = _write(tmp_path, "mod.py", TRIGGER)
+    _run(tmp_path, tmp_path / "cache")
+    a.unlink()
+    _write(tmp_path, "other.py", CLEAN)
+    cache = LintCache(tmp_path / "cache")
+    lint_paths([tmp_path / "other.py"], cache=cache)
+    text = (tmp_path / "cache" / "cache.jsonl").read_text()
+    assert "mod.py" not in text
+
+
+def test_cache_roundtrips_findings_exactly(tmp_path):
+    cache = LintCache(tmp_path / "cache")
+    f = Finding(rule="SIM001", path="p.py", line=3, col=7, message="msg — utf8")
+    cache.put_file("p.py", "src", ["SIM001"], [f])
+    cache.save()
+    again = LintCache(tmp_path / "cache")
+    assert again.get_file("p.py", "src", ["SIM001"]) == [f]
+
+
+# ---------------------------------------------------------------------------
+# The acceptance contract: >= 5x warm speedup on src, identical bytes
+# ---------------------------------------------------------------------------
+
+
+def test_warm_lint_of_src_is_5x_faster_and_byte_identical(tmp_path):
+    cold_cache = LintCache(tmp_path / "cache")
+    t0 = time.perf_counter()
+    cold = lint_paths([SRC], cache=cold_cache)
+    t_cold = time.perf_counter() - t0
+
+    warm_cache = LintCache(tmp_path / "cache")
+    t0 = time.perf_counter()
+    warm = lint_paths([SRC], cache=warm_cache)
+    t_warm = time.perf_counter() - t0
+
+    assert warm_cache.misses == 0
+    assert cold.render_text() == warm.render_text()
+    assert cold.render_json() == warm.render_json()
+    assert t_warm * 5 <= t_cold, (
+        f"warm {t_warm:.3f}s vs cold {t_cold:.3f}s — warm path must "
+        "skip every parse"
+    )

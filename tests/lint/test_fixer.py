@@ -1,0 +1,186 @@
+"""Autofixer: rewrites, idempotence, noqa respect, CLI exit codes."""
+
+import textwrap
+
+from repro.cli import main
+from repro.lint import fix_paths, fix_source, lint_source
+
+
+def _fix(src, path="src/repro/mod.py", **kw):
+    return fix_source(textwrap.dedent(src), path, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Rewrites
+# ---------------------------------------------------------------------------
+
+
+def test_sim003_wraps_set_iteration_in_sorted():
+    out, n = _fix("""
+        for x in {3, 1, 2}:
+            print(x)
+        """)
+    assert n == 1
+    assert "for x in sorted({3, 1, 2}):" in out
+    assert lint_source(out, "src/repro/mod.py", select=["SIM003"]) == []
+
+
+def test_sim003_wraps_comprehension_and_name_with_set_type():
+    out, n = _fix("""
+        s = {1, 2}
+        xs = [x for x in s]
+        """)
+    assert n == 1
+    assert "[x for x in sorted(s)]" in out
+
+
+def test_det003_adds_sort_keys():
+    out, n = _fix("""
+        import json
+        doc = json.dumps({"b": 1, "a": 2})
+        """)
+    assert n == 1
+    assert 'json.dumps({"b": 1, "a": 2}, sort_keys=True)' in out
+
+
+def test_det003_handles_existing_keywords_and_aliases():
+    out, n = _fix("""
+        import json as _json
+        doc = _json.dumps({"a": 2}, indent=1)
+        """)
+    assert n == 1
+    assert "indent=1, sort_keys=True" in out
+
+
+def test_det003_multiline_call_with_trailing_comma():
+    out, n = _fix("""
+        import json
+        doc = json.dumps(
+            {"a": 2},
+            indent=1,
+        )
+        """)
+    assert n == 1
+    assert "indent=1, sort_keys=True,"
+    # result must stay parseable and fixed
+    assert lint_source(out, "src/repro/mod.py") == []
+    compile(out, "<fixed>", "exec")
+
+
+def test_sim002_wraps_seed_and_inserts_import():
+    out, n = _fix("""
+        import numpy as np
+
+        def build(seed):
+            return np.random.default_rng(seed)
+        """)
+    assert n == 1
+    assert "from repro.sim.rng import substream_seed" in out
+    assert "np.random.default_rng(substream_seed(seed))" in out
+    assert lint_source(out, "src/repro/mod.py", select=["SIM002"]) == []
+
+
+def test_sim002_does_not_duplicate_existing_import():
+    out, n = _fix("""
+        import numpy as np
+        from repro.sim.rng import substream_seed
+
+        def build(seed):
+            return np.random.default_rng(seed)
+        """)
+    assert n == 1
+    assert out.count("from repro.sim.rng import substream_seed") == 1
+
+
+def test_sim002_zero_arg_constructor_is_not_fixable():
+    src = "import numpy as np\nrng = np.random.default_rng()\n"
+    out, n = fix_source(src, "src/repro/mod.py")
+    assert (out, n) == (src, 0)
+
+
+def test_noqa_suppressed_finding_is_not_rewritten():
+    src = "for x in {1, 2}:  # repro: noqa SIM003 -- order-free fold\n    pass\n"
+    out, n = fix_source(src, "src/repro/mod.py")
+    assert (out, n) == (src, 0)
+
+
+def test_select_limits_fix_classes():
+    src = 'import json\nfor x in {1}:\n    y = json.dumps({"a": x})\n'
+    out, n = fix_source(src, "src/repro/mod.py", select=["DET003"])
+    assert n == 1
+    assert "sorted(" not in out and "sort_keys=True" in out
+
+
+def test_syntax_error_left_untouched():
+    src = "def broken(:\n"
+    assert fix_source(src, "src/repro/mod.py") == (src, 0)
+
+
+# ---------------------------------------------------------------------------
+# Idempotence — fix twice == fix once
+# ---------------------------------------------------------------------------
+
+
+def test_fixpoint_idempotence():
+    src = textwrap.dedent("""
+        import json
+        import numpy as np
+
+        def run(seed, items):
+            rng = np.random.default_rng(seed)
+            for x in {i for i in items}:
+                print(x, rng.random())
+            return json.dumps({"n": len(items)})
+        """)
+    once, n1 = fix_source(src, "src/repro/mod.py")
+    twice, n2 = fix_source(once, "src/repro/mod.py")
+    assert n1 == 3
+    assert n2 == 0
+    assert twice == once
+    compile(once, "<fixed>", "exec")
+
+
+# ---------------------------------------------------------------------------
+# fix_paths / CLI plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_fix_paths_writes_and_reports(tmp_path):
+    p = tmp_path / "mod.py"
+    p.write_text("for x in {1, 2}:\n    pass\n")
+    report = fix_paths([tmp_path])
+    assert report.n_fixes == 1
+    assert "sorted(" in p.read_text()
+    assert "--- a/" in report.render_diff()
+
+
+def test_fix_paths_dry_run_leaves_files_alone(tmp_path):
+    p = tmp_path / "mod.py"
+    before = "for x in {1, 2}:\n    pass\n"
+    p.write_text(before)
+    report = fix_paths([tmp_path], write=False)
+    assert not report.clean
+    assert p.read_text() == before
+
+
+def test_cli_fix_check_exit_codes(tmp_path):
+    p = tmp_path / "mod.py"
+    p.write_text("for x in {1, 2}:\n    pass\n")
+    # pending fix -> 1, file untouched
+    assert main(["lint", str(tmp_path), "--fix", "--check"]) == 1
+    assert "sorted(" not in p.read_text()
+    # apply -> clean lint of the fixed tree -> 0
+    assert main(["lint", str(tmp_path), "--fix", "--no-cache"]) == 0
+    assert "sorted(" in p.read_text()
+    # nothing pending any more -> 0
+    assert main(["lint", str(tmp_path), "--fix", "--check"]) == 0
+
+
+def test_cli_diff_previews_without_writing(tmp_path, capsys):
+    p = tmp_path / "mod.py"
+    before = "for x in {1, 2}:\n    pass\n"
+    p.write_text(before)
+    assert main(["lint", str(tmp_path), "--diff"]) == 0
+    out = capsys.readouterr().out
+    assert "+for x in sorted({1, 2}):" in out
+    assert p.read_text() == before

@@ -1,9 +1,10 @@
 """The repo holds itself to its own invariants: `repro lint src/` is
-clean (after the PR-2 fix sweep), and stays clean."""
+clean (after the PR-2 and PR-7 fix sweeps) — per-file AND
+whole-program rules — and stays clean."""
 
 from pathlib import Path
 
-from repro.lint import lint_paths
+from repro.lint import fix_paths, lint_paths
 
 SRC = Path(__file__).resolve().parents[2] / "src"
 
@@ -12,6 +13,14 @@ def test_src_tree_is_lint_clean():
     report = lint_paths([SRC])
     assert report.files_checked > 50
     assert report.findings == [], report.render_text()
+    assert report.warnings == [], report.render_text()
+
+
+def test_src_tree_has_no_pending_fixes():
+    """`repro lint --fix --check` passes on the shipped tree (the CI
+    no-drift gate, asserted here without touching any file)."""
+    report = fix_paths([SRC], write=False)
+    assert report.clean, report.render_diff()
 
 
 def test_suppressions_in_src_are_reasoned():

@@ -125,13 +125,16 @@ def test_lint_json_schema(tmp_path, capsys):
 
     path = tmp_path / "bad.py"
     path.write_text(LINT_BAD)
-    assert main(["lint", str(path), "--json"]) == 1
+    assert main(["lint", str(path), "--json", "--no-cache"]) == 1
     doc = json.loads(capsys.readouterr().out)
-    assert doc["version"] == 1
+    assert doc["version"] == 2
     assert doc["tool"] == "repro-lint"
     assert doc["files_checked"] == 1
     assert doc["clean"] is False
     assert doc["counts"] == {"SIM001": 1}
+    assert doc["suppressed"] == {}
+    assert doc["baselined"] == {}
+    assert doc["warnings"] == []
     (finding,) = doc["findings"]
     assert set(finding) == {"rule", "path", "line", "col", "message"}
     assert finding["rule"] == "SIM001"
