@@ -24,7 +24,7 @@ def predicate(n=4):
     return throughput_predicate(n)
 
 
-@pytest.mark.parametrize("m", [200, 1000])
+@pytest.mark.parametrize("m", [200, 1000, 5000])
 def test_vector_strobe_finalize_throughput(benchmark, m):
     records = synth_records(m)
     phi = predicate()
@@ -90,7 +90,7 @@ def test_emit_bench_json(save_bench_json):
     }
     tracer = SpanTracer()
     rows = []
-    for m in (200, 1000):
+    for m in (200, 1000, 5000):
         records = synth_records(m)
         for name, cls in detectors.items():
             det = cls(phi, initials)
@@ -109,6 +109,96 @@ def test_emit_bench_json(save_bench_json):
         meta={"n_processes": 4, "race_frac": 0.3, "seed": 0},
     )
     assert all(r["wall_s"] is not None and r["wall_s"] > 0 for r in rows)
+
+
+def test_emit_phase_breakdown_json(save_bench_json):
+    """Per-phase latency attribution, exported as
+    ``BENCH_detector_phases.json``: where a vector-strobe finalize
+    spends its time (``compare`` = batch dominance + concurrency-CSR
+    kernels vs ``race_eval`` = linearized replay + race analysis), how
+    the online detector's incremental ``flush`` amortizes the same work,
+    and the incremental vs rebuild cost of the windowed lattice front.
+    """
+    import numpy as np
+
+    from repro.clocks.vector import (
+        concurrency_csr, dominates_matrix, stack_timestamps,
+    )
+    from repro.detect.lattice_detector import LatticeDetector
+    from repro.detect.online import OnlineVectorStrobeDetector
+    from repro.obs import SpanTracer
+    from repro.sim.kernel import Simulator
+
+    phi = predicate()
+    initials = {f"v{i}": 0 for i in range(4)}
+    tracer = SpanTracer()
+    rows = []
+
+    def row(detector, m, phase, wall_s, **extra):
+        rows.append({
+            "detector": detector, "m": m, "phase": phase,
+            "wall_s": wall_s, **extra,
+        })
+
+    # Offline: kernel phase measured standalone on the same stamps; the
+    # remainder of a full finalize is attributed to race analysis.
+    for m in (1000, 5000):
+        records = synth_records(m)
+        det = VectorStrobeDetector(phi, initials)
+        det.feed_many(records)
+        with tracer.span("compare", m=m) as span:
+            vecs = stack_timestamps([r.strobe_vector for r in records])
+            order = np.argsort(vecs.sum(axis=1), kind="stable")
+            leq = dominates_matrix((), vecs=vecs[order])
+            concurrency_csr(leq)
+        compare_s = span.wall_s
+        row("vector_strobe", m, "compare", compare_s)
+        with tracer.span("finalize", m=m) as span:
+            detections = det.finalize()
+        row(
+            "vector_strobe", m, "finalize_total", span.wall_s,
+            detections=len(detections),
+        )
+        row("vector_strobe", m, "race_eval", max(0.0, span.wall_s - compare_s))
+
+    # Online: the same stream drained through periodic watermark
+    # flushes (the incremental suffix-only path).
+    for m in (1000, 5000):
+        records = synth_records(m)
+        sim = Simulator()
+        det = OnlineVectorStrobeDetector(
+            sim, phi, initials, delta=0.15, check_period=0.5,
+        )
+        det.start()
+        for r in records:
+            sim.schedule_at(r.true_time, lambda r=r: det.feed(r))
+        with tracer.span("flush", m=m) as span:
+            sim.run(until=float(m) + 5.0)
+        det.stop()
+        detections = det.finalize()
+        row("online_vector_strobe", m, "flush", span.wall_s,
+            detections=len(detections))
+
+    # Lattice front: re-query after every window of records, with the
+    # successor graph kept alive (incremental) vs rebuilt per window.
+    lattice_records = synth_records(60, seed=0, race_frac=0.3)
+    windows = [lattice_records[k:k + 10] for k in range(0, 60, 10)]
+    for mode, incremental in (("incremental", True), ("rebuild", False)):
+        det = LatticeDetector(phi, initials, n=4, incremental=incremental)
+        with tracer.span(f"lattice_{mode}") as span:
+            answers = []
+            for window in windows:
+                for r in window:
+                    det.feed(r)
+                answers.append(det.modalities())
+        row("lattice", 60, f"lattice_{mode}", span.wall_s,
+            queries=len(answers))
+
+    save_bench_json(
+        "detector_phases", rows,
+        meta={"n_processes": 4, "race_frac": 0.3, "seed": 0},
+    )
+    assert all(r["wall_s"] is not None and r["wall_s"] >= 0 for r in rows)
 
 
 def test_sweep_replications(save_bench_json):

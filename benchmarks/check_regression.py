@@ -38,7 +38,23 @@ EXACT_FIELDS = (
 #: Row fields compared as wall times within the tolerance factor.
 WALL_FIELDS = ("wall_s",)
 #: Fields identifying a row within its document.
-KEY_FIELDS = ("detector", "m", "option", "params", "seed")
+KEY_FIELDS = ("detector", "m", "option", "params", "seed", "phase")
+
+#: Same-machine throughput-gap floors: within ONE fresh bench document,
+#: the ``slow`` detector's wall time may exceed the ``fast`` detector's
+#: by at most ``--max-gap``.  Because both rows come from the same run
+#: on the same machine, this check is machine-independent — it pins the
+#: *relative* cost of the vector-strobe race machinery against the
+#: physical-clock scan (historically ~10x before the batched-kernel
+#: work; now ~2-4x), so an absolute-wall regression that CI jitter
+#: would absorb still fails when the gap reopens.
+GAP_RULES = (
+    {
+        "file": "BENCH_detector_throughput.json",
+        "slow": {"detector": "vector_strobe", "m": 1000},
+        "fast": {"detector": "physical", "m": 1000},
+    },
+)
 
 
 def row_key(row: dict) -> str:
@@ -93,6 +109,49 @@ def compare(name: str, fresh: dict, baseline: dict, tolerance: float) -> list[di
     return problems
 
 
+def _find_row(rows: list[dict], want: dict) -> dict | None:
+    for row in rows:
+        if all(row.get(k) == v for k, v in want.items()):
+            return row
+    return None
+
+
+def check_gaps(name: str, fresh: dict, max_gap: float) -> list[dict]:
+    """Enforce :data:`GAP_RULES` on a fresh document (no baseline needed:
+    both sides of each ratio come from the same run)."""
+    problems: list[dict] = []
+    rows = fresh.get("rows", [])
+    for rule in GAP_RULES:
+        if rule["file"] != name:
+            continue
+        slow = _find_row(rows, rule["slow"])
+        fast = _find_row(rows, rule["fast"])
+        if slow is None or fast is None:
+            problems.append({
+                "file": name,
+                "row": json.dumps(rule["slow"], sort_keys=True),
+                "metric": "wall_s gap",
+                "baseline": rule["fast"],
+                "observed": "row missing from fresh document",
+                "allowed": "both gap-rule rows must be present",
+            })
+            continue
+        if not slow.get("wall_s") or not fast.get("wall_s"):
+            continue
+        ratio = float(slow["wall_s"]) / float(fast["wall_s"])
+        if ratio > max_gap:
+            problems.append({
+                "file": name, "row": row_key(slow), "metric": "wall_s gap",
+                "baseline": fast["wall_s"], "observed": slow["wall_s"],
+                "ratio": ratio,
+                "allowed": (
+                    f"<= {max_gap:g}x the {fast.get('detector')} row's "
+                    "wall time (same-machine gap floor)"
+                ),
+            })
+    return problems
+
+
 def format_problem(p: dict) -> str:
     """Multi-line rendering: metric, baseline, observed, allowed."""
     lines = [f"{p['file']} {p['row']}", f"    metric:   {p['metric']}"]
@@ -118,9 +177,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="max allowed fresh/baseline wall-time ratio")
     parser.add_argument("--baseline-ref", default="HEAD",
                         help="git ref to read committed baselines from")
+    parser.add_argument("--max-gap", type=float, default=6.0,
+                        help="max allowed same-run wall-time ratio for the "
+                             "GAP_RULES detector pairs")
     args = parser.parse_args(argv)
-    if args.tolerance <= 0:
-        print("check_regression: tolerance must be positive", file=sys.stderr)
+    if args.tolerance <= 0 or args.max_gap <= 0:
+        print("check_regression: tolerance/max-gap must be positive",
+              file=sys.stderr)
         return 2
 
     problems: list[dict] = []
@@ -132,6 +195,7 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
         fresh = json.loads(fresh_path.read_text())
+        problems += check_gaps(name, fresh, args.max_gap)
         baseline = load_baseline(name, args.baseline_ref)
         if baseline is None:
             print(f"{name}: no committed baseline at {args.baseline_ref}; skipping")
@@ -148,7 +212,8 @@ def main(argv: list[str] | None = None) -> int:
             print("  " + format_problem(p).replace("\n", "\n  "))
         return 1
     print(f"ok: {compared} baseline file(s) within {args.tolerance:g}x "
-          "wall tolerance, correctness fields exact")
+          "wall tolerance, correctness fields exact, detector gaps within "
+          f"{args.max_gap:g}x")
     return 0
 
 

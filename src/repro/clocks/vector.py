@@ -19,6 +19,15 @@ tests/clocks/test_fastpath.py property suite pins.  Batch helpers
 :func:`concurrency_matrix`, :func:`merge_many`) give detectors an
 m-at-a-time API so hot paths stop issuing m² Python-level ``__le__``
 calls.
+
+On top of either backend, timestamps with n ≤ :data:`PACKED_MAX_N`
+components that all fit in ``64 // n - 1`` bits additionally carry a
+**packed int64 encoding** (:meth:`VectorTimestamp.packed`): the
+components bit-packed into one word with a guard bit per field, so a
+dominance check is a single subtract-and-mask (SWAR) instead of n
+comparisons — pairwise and, through :func:`pack_matrix`, inside the
+batch kernels.  Component overflow falls back to the component-matrix
+kernels transparently (tests/clocks/test_packed.py pins equivalence).
 """
 
 from __future__ import annotations
@@ -42,6 +51,30 @@ FASTPATH_MAX_N = 64
 #: chunked dominance kernel (keeps the O(m²·n) matrix memory-bounded).
 _CHUNK_ELEMS = 1 << 22
 
+#: Widest vector eligible for the packed-int64 encoding: n fields of
+#: ``64 // n`` bits each, bit-packed into one word, with the top bit of
+#: every field reserved as a borrow guard for the SWAR dominance test.
+PACKED_MAX_N = 8
+
+#: Per-width field geometry for the packed encoding (index = n).
+#: ``_PACK_WIDTH[n]`` bits per component, of which the top one is the
+#: guard, so components must be <= ``packed_capacity(n)``.
+_PACK_WIDTH = [0] + [64 // n for n in range(1, PACKED_MAX_N + 1)]
+_PACK_LIMIT = [0] + [(1 << (w - 1)) - 1 for w in _PACK_WIDTH[1:]]
+#: Guard-bit masks: bit ``w - 1`` of each field set.
+_PACK_GUARD = [0] + [
+    sum(1 << (i * w + w - 1) for i in range(n))
+    for n, w in enumerate(_PACK_WIDTH[1:], start=1)
+]
+
+
+def packed_capacity(n: int) -> int:
+    """Largest component value the width-``n`` packed encoding holds.
+
+    Zero when ``n`` exceeds :data:`PACKED_MAX_N` (no packed form).
+    """
+    return _PACK_LIMIT[n] if 1 <= n <= PACKED_MAX_N else 0
+
 
 class VectorTimestamp:
     """An immutable n-component vector timestamp.
@@ -52,12 +85,15 @@ class VectorTimestamp:
     lattice machinery.
     """
 
-    __slots__ = ("_t", "_arr", "_hash", "_sum")
+    __slots__ = ("_t", "_arr", "_hash", "_sum", "_packed")
 
     _t: "tuple[int, ...] | None"
     _arr: "np.ndarray | None"
     _hash: "int | None"
     _sum: "int | None"
+    #: Packed-int64 encoding: ``None`` = not yet computed, ``-1`` =
+    #: unpackable (too wide or a component overflows), else the word.
+    _packed: "int | None"
 
     def __init__(self, components: Iterable[int]) -> None:
         if isinstance(components, np.ndarray):
@@ -94,6 +130,7 @@ class VectorTimestamp:
                 self._arr = arr
         self._hash = None
         self._sum = None
+        self._packed = None
 
     # -- trusted constructors (internal fast paths) ---------------------
     @classmethod
@@ -104,6 +141,7 @@ class VectorTimestamp:
         ts._arr = None
         ts._hash = None
         ts._sum = None
+        ts._packed = None
         return ts
 
     @classmethod
@@ -116,6 +154,7 @@ class VectorTimestamp:
         ts._arr = a
         ts._hash = None
         ts._sum = None
+        ts._packed = None
         return ts
 
     # -- interned constants --------------------------------------------
@@ -128,6 +167,7 @@ class VectorTimestamp:
         ts = cls._ZEROS.get(n)
         if ts is None:
             ts = cls([0] * n)
+            ts.packed()          # interned constants pre-warm the encoding
             cls._ZEROS[n] = ts
         return ts
 
@@ -139,6 +179,7 @@ class VectorTimestamp:
         if ts is None:
             validate_pid(pid, n)
             ts = cls([1 if i == pid else 0 for i in range(n)])
+            ts.packed()
             cls._UNITS[key] = ts
         return ts
 
@@ -173,6 +214,34 @@ class VectorTimestamp:
             self._arr = arr
         return self._arr
 
+    def packed(self) -> "int | None":
+        """The packed-int64 encoding, or ``None`` when this timestamp
+        has no packed form (wider than :data:`PACKED_MAX_N` or a
+        component beyond :func:`packed_capacity`).
+
+        Component i occupies bits ``[i*w, (i+1)*w)`` with ``w = 64 //
+        n``; the top bit of every field is a zero guard bit, which makes
+        dominance a single subtract-and-mask (SWAR): ``a <= b`` iff
+        ``((b | G) - a) & G == G`` for the guard mask G.  Computed once
+        and cached (timestamps are immutable).
+        """
+        p = self._packed
+        if p is None:
+            n = self.n
+            if n > PACKED_MAX_N:
+                p = -1
+            else:
+                w = _PACK_WIDTH[n]
+                limit = _PACK_LIMIT[n]
+                p = 0
+                for i, c in enumerate(self.as_tuple()):
+                    if c > limit:
+                        p = -1
+                        break
+                    p |= c << (i * w)
+            self._packed = p
+        return p if p >= 0 else None
+
     # -- order ----------------------------------------------------------
     def _check(self, other: "VectorTimestamp") -> None:
         if not isinstance(other, VectorTimestamp):
@@ -198,6 +267,10 @@ class VectorTimestamp:
 
     def __le__(self, other: "VectorTimestamp") -> bool:
         self._check(other)
+        pa, pb = self._packed, other._packed
+        if pa is not None and pb is not None and pa >= 0 and pb >= 0:
+            g = _PACK_GUARD[self.n]
+            return ((pb | g) - pa) & g == g
         a, b = self._t, other._t
         if a is not None and b is not None:
             return all(x <= y for x, y in zip(a, b))
@@ -206,6 +279,12 @@ class VectorTimestamp:
     def __lt__(self, other: "VectorTimestamp") -> bool:
         """Strict vector dominance == happens-before (the isomorphism)."""
         self._check(other)
+        pa, pb = self._packed, other._packed
+        if pa is not None and pb is not None and pa >= 0 and pb >= 0:
+            # Packing is injective per width, so inequality of the
+            # words is inequality of the vectors.
+            g = _PACK_GUARD[self.n]
+            return pa != pb and ((pb | g) - pa) & g == g
         a, b = self._t, other._t
         if a is not None and b is not None:
             return a != b and all(x <= y for x, y in zip(a, b))
@@ -221,6 +300,10 @@ class VectorTimestamp:
     def concurrent_with(self, other: "VectorTimestamp") -> bool:
         """True iff neither dominates the other (a || b)."""
         self._check(other)
+        pa, pb = self._packed, other._packed
+        if pa is not None and pb is not None and pa >= 0 and pb >= 0:
+            g = _PACK_GUARD[self.n]
+            return ((pb | g) - pa) & g != g and ((pa | g) - pb) & g != g
         return not (self <= other) and not (other <= self)
 
     def merge(self, other: "VectorTimestamp") -> "VectorTimestamp":
@@ -294,15 +377,82 @@ def stack_timestamps(timestamps: Sequence[VectorTimestamp]) -> "np.ndarray":
     return np.stack([t.as_array() for t in ts])
 
 
+def pack_matrix(vecs: "np.ndarray") -> "np.ndarray | None":
+    """Pack an (m, n) int64 component matrix into m uint64 words.
+
+    Returns ``None`` when the matrix has no packed form (``n`` beyond
+    :data:`PACKED_MAX_N`, or any component beyond
+    :func:`packed_capacity`) — callers fall back to the component
+    matrix.  The word layout matches :meth:`VectorTimestamp.packed`.
+    """
+    if vecs.ndim != 2:
+        return None
+    n = vecs.shape[1]
+    if not 1 <= n <= PACKED_MAX_N:
+        return None
+    if vecs.size and int(vecs.max()) > _PACK_LIMIT[n]:
+        return None
+    w = _PACK_WIDTH[n]
+    packed = vecs[:, 0].astype(np.uint64)
+    for k in range(1, n):
+        packed |= vecs[:, k].astype(np.uint64) << np.uint64(k * w)
+    return packed
+
+
+#: Row-chunk size (in elements) for the packed kernel's scratch buffer.
+#: ~64K uint64 elements = 512 KiB keeps the subtract/and/eq passes in
+#: cache; one-shot (m × m) temporaries cost ~7x more in page faults at
+#: m=5000.
+_PACKED_CHUNK_ELEMS = 1 << 16
+
+
+def _packed_leq(
+    a_packed: "np.ndarray", b_packed: "np.ndarray", n: int
+) -> "np.ndarray":
+    """``leq[i, j] ⇔ a[i] ≤ b[j]`` over packed words: a broadcast
+    subtract with per-field guard bits absorbing borrows (SWAR), so the
+    cost is ~3 elementwise passes regardless of n (the component-sliced
+    kernel pays 2n - 1).  Row-chunked over a reused scratch buffer so
+    the uint64 intermediates never leave cache."""
+    g = np.uint64(_PACK_GUARD[n])
+    la, lb = a_packed.shape[0], b_packed.shape[0]
+    out = np.empty((la, lb), dtype=bool)
+    bg = b_packed | g
+    rows = max(1, _PACKED_CHUNK_ELEMS // max(1, lb))
+    scratch = np.empty((min(rows, la), lb), dtype=np.uint64)
+    for lo in range(0, la, rows):
+        hi = min(la, lo + rows)
+        s = scratch[: hi - lo]
+        np.subtract(bg[None, :], a_packed[lo:hi, None], out=s)
+        np.bitwise_and(s, g, out=s)
+        np.equal(s, g, out=out[lo:hi])
+    return out
+
+
+def _sliced_leq(a_vecs: "np.ndarray", b_vecs: "np.ndarray") -> "np.ndarray":
+    """Component-sliced ``leq[i, j] ⇔ a[i] ≤ b[j]`` (n 2-D compares)."""
+    col = a_vecs[:, 0]
+    leq = col[:, None] <= b_vecs[:, 0][None, :]
+    for k in range(1, a_vecs.shape[1]):
+        leq &= a_vecs[:, k][:, None] <= b_vecs[:, k][None, :]
+    return leq
+
+
 def dominates_matrix(
-    timestamps: Sequence[VectorTimestamp], *, vecs: "np.ndarray | None" = None
+    timestamps: Sequence[VectorTimestamp],
+    *,
+    vecs: "np.ndarray | None" = None,
+    packed: "np.ndarray | None" = None,
 ) -> "np.ndarray":
     """Boolean m×m matrix ``leq[i, j] ⇔ timestamps[i] ≤ timestamps[j]``.
 
-    For narrow vectors the kernel works component-sliced (n two-D
-    compares, no (m, m, n) intermediate); for wide vectors it chunks
-    the 3-D broadcast so peak memory stays bounded by
-    :data:`_CHUNK_ELEMS` elements regardless of m.
+    Three kernels, chosen by width: packed-SWAR when the set fits the
+    int64 packed encoding (one uint64 subtract instead of n compares),
+    component-sliced for other narrow vectors (n two-D compares, no
+    (m, m, n) intermediate), and a chunked 3-D broadcast for wide ones
+    so peak memory stays bounded by :data:`_CHUNK_ELEMS` elements.
+    ``vecs``/``packed`` accept precomputed representations (the online
+    detector maintains them incrementally across flushes).
     """
     if vecs is None:
         vecs = stack_timestamps(timestamps)
@@ -310,13 +460,12 @@ def dominates_matrix(
     if m == 0:
         return np.zeros((0, 0), dtype=bool)
     n = vecs.shape[1]
-    if n <= 8:
-        col = vecs[:, 0]
-        leq = col[:, None] <= col[None, :]
-        for k in range(1, n):
-            col = vecs[:, k]
-            leq &= col[:, None] <= col[None, :]
-        return leq
+    if n <= PACKED_MAX_N:
+        if packed is None:
+            packed = pack_matrix(vecs)
+        if packed is not None:
+            return _packed_leq(packed, packed, n)
+        return _sliced_leq(vecs, vecs)
     leq = np.empty((m, m), dtype=bool)
     rows = max(1, _CHUNK_ELEMS // max(1, m * n))
     for lo in range(0, m, rows):
@@ -332,6 +481,146 @@ def concurrency_matrix(timestamps: Sequence[VectorTimestamp]) -> "np.ndarray":
     conc = ~(leq | leq.T)
     np.fill_diagonal(conc, False)
     return conc
+
+
+#: Tile edge for the CSR concurrency kernels — power of two; a 512×512
+#: bool tile plus its transposed sibling stay cache-resident, so the
+#: symmetric OR never does strided reads over the full matrix.
+_CONC_TILE = 512
+
+
+def _csr_assemble(
+    m: int, rows_parts: list, cols_parts: list
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Assemble tile-local (row, col) index parts into CSR ``(cols,
+    indptr)``.  Parts must be appended in ascending column-range order
+    per row block, each internally column-ascending — a stable sort by
+    row then recovers full row-major order."""
+    indptr = np.zeros(m + 1, dtype=np.intp)
+    if not rows_parts:
+        return np.empty(0, dtype=np.intp), indptr
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    cols = cols[np.argsort(rows, kind="stable")]
+    np.cumsum(np.bincount(rows, minlength=m), out=indptr[1:])
+    return cols, indptr
+
+
+def _tile_nonzero(blk: "np.ndarray", di: int) -> "np.ndarray":
+    """Flat indices of True cells in the first ``di`` rows of a
+    C-contiguous boolean tile, ascending (row-major).
+
+    Scans 8 cells per step through a uint64 view (the tile width is a
+    multiple of 8), then expands only the nonzero words — at typical
+    race densities this beats ``np.nonzero``'s cell-by-cell scan ~5x.
+    """
+    active = blk[:di].reshape(-1)
+    words = np.flatnonzero(active.view(np.uint64))
+    if not words.size:
+        return words
+    cand = ((words[:, None] << 3) + _TILE_LANES).reshape(-1)
+    return cand[active[cand]]
+
+
+_TILE_LANES = np.arange(8, dtype=np.intp)
+
+
+def concurrency_csr(leq: "np.ndarray") -> "tuple[np.ndarray, np.ndarray]":
+    """CSR form ``(cols, indptr)`` of the concurrency relation from a
+    square dominance matrix: row i's concurrent partners (ascending)
+    sit at ``cols[indptr[i]:indptr[i + 1]]``.
+
+    Tiled over the upper triangle with a reused scratch block, mirroring
+    each off-diagonal tile — the m×m concurrency matrix itself is never
+    materialized and per-tile scans stay in cache (at m=5000 the
+    matrix + full-scan route costs ~10x more in memory traffic).
+    Equivalent to ``np.nonzero`` over :func:`concurrency_matrix`'s
+    output, including the per-row column order.
+    """
+    m = leq.shape[0]
+    if m == 0:
+        return np.empty(0, dtype=np.intp), np.zeros(1, dtype=np.intp)
+    t = _CONC_TILE
+    shift = t.bit_length() - 1
+    blk = np.zeros((t, t), dtype=bool)    # padding columns stay False
+    rows_parts: list = []
+    cols_parts: list = []
+    for i0 in range(0, m, t):
+        i1 = min(m, i0 + t)
+        di = i1 - i0
+        for j0 in range(i0, m, t):
+            j1 = min(m, j0 + t)
+            dj = j1 - j0
+            target = blk[:di, :dj]
+            np.bitwise_or(leq[i0:i1, j0:j1], leq[j0:j1, i0:i1].T, out=target)
+            np.logical_not(target, out=target)
+            if i0 == j0:
+                np.fill_diagonal(target, False)
+            if dj < t:               # clear stale cells past this tile's edge
+                blk[:di, dj:] = False
+            idx = _tile_nonzero(blk, di)
+            if idx.size:
+                r = idx >> shift
+                c = idx & (t - 1)
+                rows_parts.append(r + i0)
+                cols_parts.append(c + j0)
+                if j0 != i0:     # mirror the symmetric lower-triangle tile
+                    rows_parts.append(c + j0)
+                    cols_parts.append(r + i0)
+    return _csr_assemble(m, rows_parts, cols_parts)
+
+
+def dominates_block(
+    a_vecs: "np.ndarray",
+    b_vecs: "np.ndarray",
+    *,
+    a_packed: "np.ndarray | None" = None,
+    b_packed: "np.ndarray | None" = None,
+) -> "np.ndarray":
+    """Rectangular dominance: ``leq[i, j] ⇔ a[i] ≤ b[j]`` for two
+    stacked windows (the suffix-vs-prefix shape of the incremental
+    online flush).  ``a_packed``/``b_packed`` take precomputed packed
+    words; both must be given (and consistent) to hit the SWAR kernel.
+    """
+    la, lb = a_vecs.shape[0], b_vecs.shape[0]
+    if la == 0 or lb == 0:
+        return np.zeros((la, lb), dtype=bool)
+    n = a_vecs.shape[1]
+    if b_vecs.shape[1] != n:
+        raise ClockError(f"vector width mismatch: {n} vs {b_vecs.shape[1]}")
+    if a_packed is not None and b_packed is not None:
+        return _packed_leq(a_packed, b_packed, n)
+    if n <= PACKED_MAX_N:
+        pa, pb = pack_matrix(a_vecs), pack_matrix(b_vecs)
+        if pa is not None and pb is not None:
+            return _packed_leq(pa, pb, n)
+        return _sliced_leq(a_vecs, b_vecs)
+    if n <= PACKED_MAX_N * 4:
+        return _sliced_leq(a_vecs, b_vecs)
+    leq = np.empty((la, lb), dtype=bool)
+    rows = max(1, _CHUNK_ELEMS // max(1, lb * n))
+    for lo in range(0, la, rows):
+        hi = min(la, lo + rows)
+        np.all(a_vecs[lo:hi, None, :] <= b_vecs[None, :, :], axis=2, out=leq[lo:hi])
+    return leq
+
+
+def concurrency_block(
+    a_vecs: "np.ndarray",
+    b_vecs: "np.ndarray",
+    *,
+    a_packed: "np.ndarray | None" = None,
+    b_packed: "np.ndarray | None" = None,
+) -> "np.ndarray":
+    """Rectangular concurrency: ``conc[i, j]`` iff ``a[i] || b[j]``.
+
+    The caller is responsible for masking self-pairs when the windows
+    overlap (a block kernel cannot know which rows alias which
+    columns).
+    """
+    leq = dominates_block(a_vecs, b_vecs, a_packed=a_packed, b_packed=b_packed)
+    geq = dominates_block(b_vecs, a_vecs, a_packed=b_packed, b_packed=a_packed)
+    return ~(leq | geq.T)
 
 
 def merge_many(timestamps: Sequence[VectorTimestamp]) -> VectorTimestamp:
@@ -442,8 +731,14 @@ __all__ = [
     "concurrent",
     "Ordering",
     "FASTPATH_MAX_N",
+    "PACKED_MAX_N",
+    "packed_capacity",
     "stack_timestamps",
+    "pack_matrix",
     "dominates_matrix",
+    "dominates_block",
     "concurrency_matrix",
+    "concurrency_csr",
+    "concurrency_block",
     "merge_many",
 ]

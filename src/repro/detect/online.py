@@ -29,6 +29,15 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+import numpy as np
+
+from repro.clocks.base import ClockError
+from repro.clocks.vector import (
+    PACKED_MAX_N,
+    concurrency_block,
+    pack_matrix,
+    stack_timestamps,
+)
 from repro.core.records import SensedEventRecord
 from repro.detect.base import Detection, DetectionLabel, Detector
 from repro.detect.strobe_vector import VectorStrobeDetector
@@ -172,8 +181,20 @@ class OnlineVectorStrobeDetector(_LivenessMixin, _OnlineObsMixin, VectorStrobeDe
         self._env: dict = dict(initials)
         self._processed: list[SensedEventRecord] = []
         self._prevs: list[Any] = []          # prev value per processed record
+        self._vars_l: list[str] = []         # var per linearization index
+        self._vals_l: list[Any] = []         # post-event value per index
         self._state = {"prev_lin": False, "prev_possible": False}
-        self._late_keys: set[tuple[int, int]] = set()
+        self._last_key: tuple | None = None  # sort key of last processed
+        #: not-yet-final records, kept sorted by linearization key
+        self._pending: list[SensedEventRecord] = []
+        #: arrivals since the last flush (unsorted)
+        self._new: list[SensedEventRecord] = []
+        # Growing stamp buffers over the linearization (processed prefix
+        # persists; suffix rows are rewritten each flush).
+        self._vec_width: int | None = None
+        self._vecs: "np.ndarray | None" = None        # (cap, n) int64
+        self._packed_buf: "np.ndarray | None" = None  # (cap,) uint64
+        self._packed_ok = False
         self.late_records = 0
         #: (detection, emit_time) pairs for latency analysis
         self.emissions: list[tuple[Detection, float]] = []
@@ -193,64 +214,146 @@ class OnlineVectorStrobeDetector(_LivenessMixin, _OnlineObsMixin, VectorStrobeDe
         self._note_heard(record.pid, self._sim.now)
         if self.store.add(record):
             self._arrivals[record.key()] = self._sim.now
+            self._new.append(record)
             if self._m_records is not None:
                 self._m_records.inc()
 
     # ------------------------------------------------------------------
+    def _ensure_rows(self, total: int) -> "np.ndarray":
+        """Grow the stamp buffers to at least ``total`` rows, preserving
+        the processed prefix (suffix rows are transient per flush)."""
+        vecs = self._vecs
+        if vecs is not None and vecs.shape[0] >= total:
+            return vecs
+        cap = max(256, total, 0 if vecs is None else 2 * vecs.shape[0])
+        keep = len(self._processed)
+        grown = np.empty((cap, self._vec_width), dtype=np.int64)
+        packed = np.empty(cap, dtype=np.uint64)
+        if vecs is not None and keep:
+            grown[:keep] = vecs[:keep]
+            packed[:keep] = self._packed_buf[:keep]
+        self._vecs = grown
+        self._packed_buf = packed
+        return grown
+
+    def _absorb_new(self) -> None:
+        """Fold arrivals since the last flush into the sorted pending
+        list, counting (and dropping) late records.
+
+        Only *new* arrivals can be late: the watermark never passes an
+        unstable pending record, so ``_last_key`` is always ≤ every
+        pending record's key.  This keeps late detection O(new) instead
+        of the old O(m) rebuilt-key-set scan per flush.
+        """
+        new = self._new
+        self._new = []
+        self._check_stamps(new)
+        new.sort(key=self._sort_key)
+        if self._last_key is not None:
+            fresh = []
+            late = 0
+            for r in new:
+                if self._sort_key(r) < self._last_key:
+                    late += 1
+                else:
+                    fresh.append(r)
+            if late:
+                # Sorts inside the already-processed region — impossible
+                # under the no-loss stability argument (module docstring):
+                # a strobe was lost.  Drop, counted once each.
+                self.late_records += late
+                if self._m_late is not None:
+                    self._m_late.inc(late)
+            new = fresh
+        if self._pending:
+            self._pending.extend(new)
+            self._pending.sort(key=self._sort_key)
+        else:
+            self._pending = new
+
     def flush(self) -> None:
         """Advance the watermark: process every record whose position in
-        the linearization is final."""
+        the linearization is final.
+
+        Incremental: each flush touches only the pending suffix — new
+        arrivals are merged into the sorted pending list, the stable
+        prefix is found by one scan, and concurrency is computed as an
+        (stable × all) block against incrementally-maintained stacked
+        (and, for n ≤ 8, packed) stamp buffers.  The processed prefix is
+        never revisited."""
         now = self._sim.now
         self._update_quarantine(now)
         if self._m_flushes is not None:
             self._m_flushes.inc()
-        records = self.store.all()
-        self._check_stamps(records)
-        ordered = sorted(records, key=self._sort_key)
+        if self._new:
+            self._absorb_new()
+        suffix = self._pending
+        if suffix:
+            arrivals = self._arrivals
+            wait = self._stability_wait
+            stable = 0
+            for r in suffix:
+                if now - arrivals[r.key()] < wait:
+                    break                    # not yet final; stop in order
+                stable += 1
+            if stable:
+                self._flush_stable(suffix, stable, now)
+        if self._m_backlog is not None:
+            self._m_backlog.set(len(self.store) - len(self._processed))
 
-        # Late records sort inside the already-processed region — this
-        # is impossible under the no-loss stability argument (module
-        # docstring) and means a strobe was lost; drop them, counted
-        # once each (they stay in ``_late_keys`` so later flushes skip
-        # them without re-counting).
-        done_keys = {r.key() for r in self._processed} | self._late_keys
-        if self._processed:
-            last_key = self._sort_key(self._processed[-1])
-            late = [
-                r for r in ordered
-                if r.key() not in done_keys and self._sort_key(r) < last_key
-            ]
-            if late:
-                self.late_records += len(late)
-                if self._m_late is not None:
-                    self._m_late.inc(len(late))
-                self._late_keys.update(r.key() for r in late)
-                done_keys |= {r.key() for r in late}
-        if self._late_keys:
-            ordered = [r for r in ordered if r.key() not in self._late_keys]
+    def _flush_stable(self, suffix: list[SensedEventRecord], stable: int, now: float) -> None:
+        """Process the ``stable``-length prefix of ``suffix`` (racing
+        against the whole linearization, including unstable records)."""
+        prefix_len = len(self._processed)
+        svecs = stack_timestamps([r.strobe_vector for r in suffix])
+        n = svecs.shape[1]
+        if self._vec_width is None:
+            self._vec_width = n
+            self._packed_ok = 1 <= n <= PACKED_MAX_N
+        elif n != self._vec_width:
+            raise ClockError(f"vector width mismatch: {self._vec_width} vs {n}")
+        total = prefix_len + len(suffix)
+        vecs = self._ensure_rows(total)
+        vecs[prefix_len:total] = svecs
+        if self._packed_ok:
+            spacked = pack_matrix(svecs)
+            if spacked is None:              # component overflow: fall back
+                self._packed_ok = False
+            else:
+                self._packed_buf[prefix_len:total] = spacked
+        if self._packed_ok:
+            conc = concurrency_block(
+                vecs[prefix_len:prefix_len + stable], vecs[:total],
+                a_packed=self._packed_buf[prefix_len:prefix_len + stable],
+                b_packed=self._packed_buf[:total],
+            )
+        else:
+            conc = concurrency_block(vecs[prefix_len:prefix_len + stable], vecs[:total])
+        # Self-pairs (row k vs column prefix_len + k) compare a record
+        # with its own stamp: equal timestamps are mutually ≤, never
+        # concurrent — no masking needed.
+        cols, indptr = self._race_csr(conc)
+        cols = cols.tolist()
+        bounds = indptr.tolist()
 
-        # Candidate suffix in order; process while stable.
-        suffix = [r for r in ordered if r.key() not in done_keys]
-        full = self._processed + suffix
-        races = self._race_lists(self._concurrency_matrix(full))
-
-        # Build the replay structure: processed entries carry their
-        # recorded prev values; pending entries need none (their
-        # alternative is their own post-event value).
-        replay: list[tuple[SensedEventRecord, dict, Any]] = [
-            (r, {}, p) for r, p in zip(self._processed, self._prevs)
-        ] + [(r, {}, None) for r in suffix]
-
-        i = len(self._processed)
-        for rec in suffix:
-            if now - self._arrivals[rec.key()] < self._stability_wait:
-                break                        # not yet final; stop in order
-            prev = self._env.get(rec.var)
-            self._env[rec.var] = rec.value
-            replay[i] = (rec, dict(self._env), prev)
+        full = self._processed               # extend to the linearization view
+        full.extend(suffix)
+        vars_l = self._vars_l
+        vals_l = self._vals_l
+        vars_l.extend(r.var for r in suffix)
+        vals_l.extend(r.value for r in suffix)
+        env = self._env
+        prevs = self._prevs
+        state = self._state
+        for k in range(stable):
+            rec = suffix[k]
+            prev = env.get(rec.var)
+            env[rec.var] = rec.value
+            prevs.append(prev)
             before = len(self.detections)
             self._step(
-                i, rec, dict(self._env), full, replay, races, self._state,
+                prefix_len + k, rec, env, vars_l, vals_l, prevs,
+                cols[bounds[k]:bounds[k + 1]], state,
                 detail_extra={"emit_time": now},
             )
             for d in self.detections[before:]:
@@ -259,13 +362,13 @@ class OnlineVectorStrobeDetector(_LivenessMixin, _OnlineObsMixin, VectorStrobeDe
                     self._m_latency.observe(now - d.trigger.true_time)
                 if self._trace is not None:
                     self._trace.record_detection(d, now, self._trace_host)
-            self._processed.append(rec)
-            self._prevs.append(prev)
             if self._m_processed is not None:
                 self._m_processed.inc()
-            i += 1
-        if self._m_backlog is not None:
-            self._m_backlog.set(len(self.store.all()) - len(self._processed))
+        del full[prefix_len + stable:]       # drop the unstable tail
+        del vars_l[prefix_len + stable:]
+        del vals_l[prefix_len + stable:]
+        self._pending = suffix[stable:]
+        self._last_key = self._sort_key(full[-1])
 
     # ------------------------------------------------------------------
     def finalize(self) -> list[Detection]:
@@ -316,9 +419,13 @@ class OnlineScalarStrobeDetector(_LivenessMixin, _OnlineObsMixin, Detector):
         self._stability_wait = 2.0 * float(delta)
         self._arrivals: dict[tuple[int, int], float] = {}
         self._env: dict = dict(initials)
-        self._processed: set[tuple[int, int]] = set()
+        self._processed_count = 0
         self._last_key: tuple | None = None
         self._prev = False
+        #: not-yet-final records, kept sorted by (value, pid, seq)
+        self._pending: list[SensedEventRecord] = []
+        #: arrivals since the last flush (unsorted)
+        self._new: list[SensedEventRecord] = []
         self.late_records = 0
         self.emissions: list[tuple[Detection, float]] = []
         self._timer = PeriodicTimer(
@@ -343,6 +450,7 @@ class OnlineScalarStrobeDetector(_LivenessMixin, _OnlineObsMixin, Detector):
         self._note_heard(record.pid, self._sim.now)
         if self.store.add(record):
             self._arrivals[record.key()] = self._sim.now
+            self._new.append(record)
             if self._m_records is not None:
                 self._m_records.inc()
 
@@ -351,20 +459,35 @@ class OnlineScalarStrobeDetector(_LivenessMixin, _OnlineObsMixin, Detector):
         self._update_quarantine(now)
         if self._m_flushes is not None:
             self._m_flushes.inc()
-        pending = sorted(
-            (r for r in self.store.all() if r.key() not in self._processed),
-            key=self._sort_key,
-        )
-        for rec in pending:
-            key = self._sort_key(rec)
-            if self._last_key is not None and key < self._last_key:
-                # Sorts inside the processed region: a lost strobe broke
-                # the stability argument.  Count and skip.
-                self.late_records += 1
-                if self._m_late is not None:
-                    self._m_late.inc()
-                self._processed.add(rec.key())
-                continue
+        new = self._new
+        if new:
+            # Incremental merge: only new arrivals can be late (the
+            # watermark never passes an unstable pending record), so the
+            # old per-flush rescan of ``store.all()`` against a rebuilt
+            # processed-key set is unnecessary.
+            self._new = []
+            new.sort(key=self._sort_key)
+            if self._last_key is not None:
+                fresh = []
+                for rec in new:
+                    if self._sort_key(rec) < self._last_key:
+                        # Sorts inside the processed region: a lost
+                        # strobe broke the stability argument.  Count
+                        # and skip.
+                        self.late_records += 1
+                        if self._m_late is not None:
+                            self._m_late.inc()
+                        self._processed_count += 1
+                    else:
+                        fresh.append(rec)
+                new = fresh
+            if self._pending:
+                self._pending.extend(new)
+                self._pending.sort(key=self._sort_key)
+            else:
+                self._pending = new
+        done = 0
+        for rec in self._pending:
             if now - self._arrivals[rec.key()] < self._stability_wait:
                 break
             self._env[rec.var] = rec.value
@@ -383,12 +506,15 @@ class OnlineScalarStrobeDetector(_LivenessMixin, _OnlineObsMixin, Detector):
                     if self._trace is not None:
                         self._trace.record_detection(det, now, self._trace_host)
                 self._prev = cur
-            self._processed.add(rec.key())
-            self._last_key = key
+            self._last_key = self._sort_key(rec)
+            done += 1
             if self._m_processed is not None:
                 self._m_processed.inc()
+        if done:
+            self._pending = self._pending[done:]
+            self._processed_count += done
         if self._m_backlog is not None:
-            self._m_backlog.set(len(self.store.all()) - len(self._processed))
+            self._m_backlog.set(len(self.store) - self._processed_count)
 
     def finalize(self) -> list[Detection]:
         self.stop()

@@ -37,7 +37,12 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from repro.clocks.vector import concurrency_matrix
+from repro.clocks.vector import (
+    concurrency_csr,
+    concurrency_matrix,
+    dominates_matrix,
+    stack_timestamps,
+)
 from repro.core.records import SensedEventRecord
 from repro.detect.base import Detection, DetectionLabel, Detector
 from repro.predicates.base import Predicate
@@ -57,11 +62,16 @@ class _MemoizedEval:
     variable values fall through to direct evaluation.
     """
 
-    __slots__ = ("_predicate", "_vars", "_getter", "_cache")
+    __slots__ = (
+        "_predicate", "_vars", "_varset", "_index", "_getter", "_fast",
+        "_interval", "_cache",
+    )
 
     def __init__(self, predicate: Predicate) -> None:
         self._predicate = predicate
         self._vars = tuple(predicate.variables)
+        self._varset = frozenset(self._vars)
+        self._index = {v: k for k, v in enumerate(self._vars)}
         # C-level key extraction for complete environments (the common
         # case); incomplete ones fall back to the per-variable probe.
         if len(self._vars) == 1:
@@ -69,7 +79,17 @@ class _MemoizedEval:
             self._getter = lambda env: (env[only],)
         else:
             self._getter = itemgetter(*self._vars)
+        #: positional evaluator over ``_vars``-ordered values, or None
+        self._fast = predicate.value_evaluator()
+        #: bounds-based evaluator (monotone predicates), or None
+        self._interval = predicate.interval_evaluator()
         self._cache: dict = {}
+
+    def _eval_values(self, values) -> bool | None:
+        """Evaluate on ``_vars``-ordered values without touching the memo."""
+        if self._fast is not None:
+            return self._fast(values)
+        return self._predicate.evaluate(dict(zip(self._vars, values)))
 
     def evaluate_safe(self, env: Mapping[str, Any]) -> bool | None:
         try:
@@ -85,7 +105,7 @@ class _MemoizedEval:
         if hit is not _MISSING:
             return hit
         if complete:
-            result: bool | None = self._predicate.evaluate(env)
+            result: bool | None = self._eval_values(key)
         else:
             result = None            # a declared variable is absent
         self._cache[key] = result
@@ -132,37 +152,124 @@ class VectorStrobeDetector(Detector):
         return concurrency_matrix([r.strobe_vector for r in records])
 
     @staticmethod
-    def _race_lists(conc: np.ndarray) -> list[np.ndarray]:
-        """Per-record arrays of racing-record indices, extracted from
-        the concurrency matrix in one vectorized pass (replaces a
-        per-record ``flatnonzero`` + ``sum`` in the replay loop)."""
+    def _race_csr(conc: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """CSR decomposition of the concurrency matrix: ``(cols,
+        indptr)`` with record i's racing indices at
+        ``cols[indptr[i]:indptr[i + 1]]``.  One vectorized pass and no
+        per-row array objects (``np.split`` used to cost ~10% of
+        finalize at m=1000)."""
         m = conc.shape[0]
         if m == 0:
-            return []
+            return np.empty(0, dtype=np.intp), np.zeros(1, dtype=np.intp)
         counts = conc.sum(axis=1)
         _, cols = np.nonzero(conc)
-        return np.split(cols, np.cumsum(counts)[:-1])
+        indptr = np.zeros(m + 1, dtype=np.intp)
+        np.cumsum(counts, out=indptr[1:])
+        return cols, indptr
 
     def _race_results(
         self,
         env: dict,
         cur: bool,
-        race: np.ndarray,
-        replay: list[tuple[SensedEventRecord, dict, Any]],
+        race: list[int],
+        vars_l: list[str],
+        vals_l: list[Any],
+        prevs: list[Any],
         applied_upto: int,
     ) -> set[bool] | None:
         """Truth values of φ over the environments reachable by
-        re-resolving the race (``race`` = indices of records concurrent
-        with the current one).  Returns None when the combination count
-        exceeds the cap.
+        re-resolving the race (``race`` = linearization indices of
+        records concurrent with the current one; ``vars_l``/``vals_l``
+        are the records' variables and post-event values, and ``prevs``
+        holds the pre-event value of every *applied* record).  Returns
+        None when the combination count exceeds the cap.
 
         ``cur`` is φ's (non-None) value in the linearization
         environment, which is always among the reachable resolutions.
-        Enumeration stops early once both truth values are witnessed —
-        the result set can no longer change.
+
+        When the predicate exposes an interval evaluator (monotone in
+        every variable), only each racing variable's extreme values
+        matter, so the hot path tracks per-variable [lo, hi] bounds and
+        never allocates value sets.  The combination cap is ruled out
+        from an upper bound first — each variable reaches at most
+        ``1 + (#racing alternatives)`` distinct values, so when the
+        product of those bounds fits under the cap, the exact
+        distinct-value product does too.  Only when the bound exceeds
+        the cap (or the environment is incomplete) does the exact
+        set-based analysis in :meth:`_race_results_sets` re-run.
         """
-        if race.size == 0:
+        ev = self._eval
+        fast = ev._interval
+        if fast is None:
+            return self._race_results_sets(
+                env, cur, race, vars_l, vals_l, prevs, applied_upto
+            )
+        info_map: dict[str, list] = {}
+        get_info = info_map.get
+        env_get = env.get
+        for j in race:
+            var = vars_l[j]
+            info = get_info(var)
+            if info is None:
+                cu = env_get(var)
+                info_map[var] = info = [cu, cu, 1]
+            else:
+                info[2] += 1
+            alt = prevs[j] if j <= applied_upto else vals_l[j]
+            if alt is not None:
+                lo = info[0]
+                if lo is None:
+                    info[0] = info[1] = alt
+                elif alt < lo:
+                    info[0] = alt
+                elif alt > info[1]:
+                    info[1] = alt
+        bound = 1
+        for info in info_map.values():
+            bound *= info[2] + 1
+        if bound > self._max_combos:
+            return self._race_results_sets(
+                env, cur, race, vars_l, vals_l, prevs, applied_upto
+            )
+        varset = ev._varset
+        index = ev._index
+        positions: list[int] = []
+        lows: list = []
+        highs: list = []
+        for var, info in info_map.items():
+            # lo == hi covers both the single-distinct-value case and
+            # the all-None case (an unset variable with no alternative).
+            if info[0] != info[1] and var in varset:
+                positions.append(index[var])
+                lows.append(info[0])
+                highs.append(info[1])
+        if not positions:
             return {cur}
+        try:
+            base_key = list(ev._getter(env))
+        except KeyError:             # declared variable absent
+            return self._race_results_sets(
+                env, cur, race, vars_l, vals_l, prevs, applied_upto
+            )
+        return fast(base_key, positions, lows, highs)
+
+    def _race_results_sets(
+        self,
+        env: dict,
+        cur: bool,
+        race: list[int],
+        vars_l: list[str],
+        vals_l: list[Any],
+        prevs: list[Any],
+        applied_upto: int,
+    ) -> set[bool] | None:
+        """Exact set-based race analysis: builds per-variable distinct
+        value sets, applies the combination cap, then evaluates via the
+        interval evaluator (when available) or explicit enumeration.
+        Enumeration stops early once both truth values are witnessed —
+        the result set can no longer change (which is also why the
+        combo visiting order is free to be arbitrary).
+        """
         # For each racing record: if already applied (position <= applied_upto
         # in the linearization) its variable may alternatively still hold its
         # pre-event value; if not yet applied, it may alternatively already
@@ -170,11 +277,10 @@ class VectorStrobeDetector(Detector):
         choices: dict[str, set] = {}
         env_get = env.get
         setdefault = choices.setdefault
-        for j in race.tolist():      # Python ints: faster indexing below
-            rec_j, _, prev_j = replay[j]
-            var = rec_j.var
+        for j in race:
+            var = vars_l[j]
             current = env_get(var)
-            alt = prev_j if j <= applied_upto else rec_j.value
+            alt = prevs[j] if j <= applied_upto else vals_l[j]
             vals = setdefault(var, {current} if current is not None else set())
             if alt is not None:
                 vals.add(alt)
@@ -186,15 +292,63 @@ class VectorStrobeDetector(Detector):
             combos *= len(choices[v])
             if combos > self._max_combos:
                 return None
+        # The cap is counted over *all* racing variables (above,
+        # unchanged semantics) but enumeration needs only the ones φ
+        # reads: resolutions of φ-irrelevant variables cannot move the
+        # result set.
+        ev = self._eval
+        varset = ev._varset
+        relevant = [v for v in vars_ if v in varset]
+        if not relevant:
+            return {cur}
+        try:
+            base_key = list(ev._getter(env))
+        except KeyError:             # declared variable absent: generic path
+            return self._race_results_generic(env, cur, relevant, choices)
+        positions = [ev._index[v] for v in relevant]
+        if ev._interval is not None:
+            # Structure-aware product evaluation (e.g. interval bounds
+            # for linear thresholds): exact result set in O(choices).
+            sets = [choices[v] for v in relevant]
+            return ev._interval(
+                base_key, positions,
+                [min(s) for s in sets], [max(s) for s in sets],
+            )
+        results: set[bool] = {cur}
+        cache = ev._cache
+        eval_values = ev._eval_values
+        for combo in itertools.product(*(choices[v] for v in relevant)):
+            # Build the memo key directly — no per-combo dict copy.
+            key_list = base_key.copy()
+            for pos, val in zip(positions, combo):
+                key_list[pos] = val
+            key = tuple(key_list)
+            try:
+                r = cache.get(key, _MISSING)
+            except TypeError:        # unhashable value: evaluate directly
+                r = bool(eval_values(key_list))
+            else:
+                if r is _MISSING:
+                    r = eval_values(key_list)
+                    cache[key] = r
+            if r is not None and bool(r) not in results:
+                results.add(bool(r))
+                break               # {True, False}: no further combo matters
+        return results
+
+    def _race_results_generic(
+        self, env: dict, cur: bool, vars_: list[str], choices: dict[str, set]
+    ) -> set[bool]:
+        """Dict-copy enumeration fallback for incomplete environments."""
         results: set[bool] = {cur}
         evaluate = self._eval.evaluate_safe
-        for combo in itertools.product(*(sorted(choices[v], key=repr) for v in vars_)):
+        for combo in itertools.product(*(choices[v] for v in vars_)):
             e = dict(env)
             e.update(zip(vars_, combo))
             r = evaluate(e)
             if r is not None and bool(r) not in results:
                 results.add(bool(r))
-                break               # {True, False}: no further combo matters
+                break
         return results
 
     # ------------------------------------------------------------------
@@ -203,9 +357,10 @@ class VectorStrobeDetector(Detector):
         i: int,
         rec: SensedEventRecord,
         env: dict,
-        ordered: list[SensedEventRecord],
-        replay: list[tuple[SensedEventRecord, dict, Any]],
-        races: list[np.ndarray],
+        vars_l: list[str],
+        vals_l: list[Any],
+        prevs: list[Any],
+        race: list[int],
         state: dict,
         *,
         detail_extra: dict | None = None,
@@ -214,38 +369,50 @@ class VectorStrobeDetector(Detector):
         emit detections.  ``state`` carries ``prev_lin``/``prev_possible``
         across calls (shared by the offline and online paths).
 
-        ``races`` is the :meth:`_race_lists` decomposition of the
-        concurrency matrix (one index array per record)."""
+        ``env`` is the *live* linearization environment after applying
+        record i — it is copied only on emission, so callers may keep
+        mutating it afterwards.  ``vars_l``/``vals_l`` give variable and
+        post-event value per linearization index, ``race`` the indices
+        of records concurrent with record i, and ``prevs[j]`` the
+        pre-event value of applied record j (j ≤ i)."""
         cur = self._eval.evaluate_safe(env)
         if cur is None:
             return
         cur = bool(cur)
-        race = races[i]
-        results = self._race_results(env, cur, race, replay, i)
+        if cur and state["prev_lin"]:
+            # Not a rising edge: nothing can be emitted here, and with
+            # the linearization itself witnessing φ, ``possible`` is
+            # True whatever the race resolves to — skip the analysis.
+            state["prev_possible"] = True
+            return
+        if race:
+            results = self._race_results(env, cur, race, vars_l, vals_l, prevs, i)
+        else:
+            results = (cur,)         # no race: only the linearization value
 
         if results is None:          # too tangled: unknown
             possible, certain = True, False
         else:
             possible = True in results
-            certain = results == {True}
+            certain = False not in results
 
         if cur and not state["prev_lin"]:
-            detail = {"race_size": int(race.size)}
+            detail = {"race_size": len(race)}
             if detail_extra:
                 detail.update(detail_extra)
             label = DetectionLabel.FIRM if certain else DetectionLabel.BORDERLINE
             self.detections.append(
-                Detection(self.name, rec, env, label, detail=detail)
+                Detection(self.name, rec, dict(env), label, detail=detail)
             )
         elif (not cur) and possible and not state["prev_possible"] and not state["prev_lin"]:
             # The linearization says false, but a race resolution says
             # true: borderline (potential missed occurrence).
-            detail = {"race_size": int(race.size)}
+            detail = {"race_size": len(race)}
             if detail_extra:
                 detail.update(detail_extra)
             detail["lin_false"] = True
             self.detections.append(
-                Detection(self.name, rec, env, DetectionLabel.BORDERLINE, detail=detail)
+                Detection(self.name, rec, dict(env), DetectionLabel.BORDERLINE, detail=detail)
             )
         state["prev_lin"] = cur
         state["prev_possible"] = possible
@@ -265,14 +432,39 @@ class VectorStrobeDetector(Detector):
     def finalize(self) -> list[Detection]:
         records = self.store.all()
         self._check_stamps(records)
-        ordered = sorted(records, key=self._sort_key)
-        races = self._race_lists(self._concurrency_matrix(ordered))
-        replay = self._replay(ordered)
+        if records:
+            vecs_u = stack_timestamps([r.strobe_vector for r in records])
+            # ``store.all()`` is (pid, seq)-sorted, so a stable argsort
+            # on component sums alone realizes the (sum, pid, seq)
+            # linearization key without m Python-level key tuples.
+            order = np.argsort(vecs_u.sum(axis=1), kind="stable")
+            ordered = [records[k] for k in order]
+            vecs = vecs_u[order]
+            leq = dominates_matrix((), vecs=vecs)
+            cols_a, indptr_a = concurrency_csr(leq)
+        else:
+            ordered = records
+            cols_a, indptr_a = self._race_csr(np.zeros((0, 0), dtype=bool))
+        cols = cols_a.tolist()       # Python ints: cheap slices/indexing
+        bounds = indptr_a.tolist()
+        vars_l = [r.var for r in ordered]
+        vals_l = [r.value for r in ordered]
 
         self.detections = []
         state = {"prev_lin": False, "prev_possible": False}
-        for i, (rec, env, _prev_val) in enumerate(replay):
-            self._step(i, rec, env, ordered, replay, races, state)
+        env = dict(self.initials)
+        env_get = env.get
+        step = self._step
+        prevs: list[Any] = []
+        prevs_append = prevs.append
+        for i, rec in enumerate(ordered):
+            var = rec.var
+            prevs_append(env_get(var))
+            env[var] = rec.value
+            step(
+                i, rec, env, vars_l, vals_l, prevs,
+                cols[bounds[i]:bounds[i + 1]], state,
+            )
         return self.detections
 
 

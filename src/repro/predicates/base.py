@@ -70,6 +70,40 @@ class Predicate(ABC):
             return None
         return self.evaluate(env)
 
+    def value_evaluator(self) -> "Any | None":
+        """Optional positional fast path for detector hot loops.
+
+        Returns a callable taking a sequence of values ordered exactly
+        as ``tuple(self.variables)`` and returning what
+        ``evaluate(dict(zip(tuple(self.variables), values)))`` would
+        (same arithmetic, same result) while skipping the environment
+        dict and presence checks — the caller guarantees completeness.
+        Returns ``None`` when the predicate has no such shortcut;
+        callers must then fall back to :meth:`evaluate`.
+        """
+        return None
+
+    def interval_evaluator(self) -> "Any | None":
+        """Optional bounds-based fast path for race analysis.
+
+        Returns a callable ``(base_values, positions, lows, highs) ->
+        set[bool]`` where ``base_values`` is ordered as
+        ``tuple(self.variables)``, ``positions`` indexes into it, and
+        ``lows[k]``/``highs[k]`` are the extreme values position
+        ``positions[k]`` may independently take (``lows[k] <=
+        highs[k]``; the base value lies within the closed range).  The
+        result must equal the set of ``evaluate``-truth-values over the
+        full cartesian product of each position's value choices — which
+        is only recoverable from the extremes when the predicate is
+        monotone in every variable (e.g. linear thresholds, where
+        per-position extremes bound every combination); such predicates
+        answer in O(positions) instead of O(product).  Predicates whose
+        truth depends on interior values (equality tests, parities)
+        MUST return ``None``; callers then fall back to explicit
+        enumeration over the full choice sets.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Algebra — §3.1: "Combinations of the above can also be constructed."
     # Composition yields general predicates (the conjunctive *structure*

@@ -104,6 +104,62 @@ class SumThresholdPredicate(RelationalPredicate):
     def threshold(self) -> float:
         return self._threshold
 
+    def value_evaluator(self):
+        """Positional fast path (see :meth:`Predicate.value_evaluator`).
+
+        Compiles a left-fold expression over the same term order as
+        :meth:`_total_unchecked` (both follow ``self._weights``
+        insertion order = ``tuple(self.variables)`` order), so results
+        match :meth:`evaluate` on complete environments bit-for-bit
+        (float addition is folded in the identical sequence; the
+        ``sum()`` start value 0 only perturbs signed zeros, which
+        compare identically).
+        """
+        weights = tuple(self._weights.values())
+        ns = {f"_w{k}": w for k, w in enumerate(weights)}
+        ns["_th"] = self._threshold
+        total = " + ".join(f"_w{k} * v[{k}]" for k in range(len(weights)))
+        return eval(f"lambda v: {total} > _th", ns)  # codegen, trusted input
+
+    def interval_evaluator(self):
+        """Race-set fast path (see :meth:`Predicate.interval_evaluator`).
+
+        A linear total is monotone in each term, so the reachable totals
+        over independent per-position choices form an interval whose
+        endpoints are themselves product combinations (per-position
+        extreme of ``w·v``).  Float addition is monotone non-strict in
+        each operand, so folding the per-position extremes (in term
+        order, as every combination is folded) bounds every
+        combination's float total exactly:
+
+        * ``True`` is reachable  ⇔  max-endpoint total > threshold;
+        * ``False`` is reachable ⇔  min-endpoint total ≤ threshold.
+        """
+        weights = tuple(self._weights.values())
+        threshold = self._threshold
+        ns = {f"_w{k}": w for k, w in enumerate(weights)}
+        fold = " + ".join(f"_w{k} * v[{k}]" for k in range(len(weights)))
+        total = eval(f"lambda v: {fold}", ns)  # codegen, trusted input
+
+        def _eval(base, positions, lows, highs, _w=weights, _th=threshold, _t=total):
+            lo = list(base)
+            hi = list(base)
+            for k, pos in enumerate(positions):
+                if _w[pos] >= 0:
+                    lo[pos] = lows[k]
+                    hi[pos] = highs[k]
+                else:
+                    lo[pos] = highs[k]
+                    hi[pos] = lows[k]
+            out = set()
+            if _t(hi) > _th:
+                out.add(True)
+            if _t(lo) <= _th:
+                out.add(False)
+            return out
+
+        return _eval
+
     def total(self, env: Mapping[str, Any]) -> float:
         self.check_env(env)
         return self._total_unchecked(env)
