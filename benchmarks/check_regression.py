@@ -71,7 +71,14 @@ def load_baseline(name: str, ref: str) -> dict | None:
     )
     if proc.returncode != 0:
         return None
-    return json.loads(proc.stdout)
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as exc:
+        # One-line diagnostic instead of a traceback: name the file and
+        # why it is unreadable so CI logs point straight at the cause.
+        print(f"check_regression: corrupt baseline {ref}:{rel}: {exc}",
+              file=sys.stderr)
+        raise SystemExit(2)
 
 
 def compare(name: str, fresh: dict, baseline: dict, tolerance: float) -> list[dict]:
@@ -194,7 +201,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"check_regression: missing fresh file {fresh_path}",
                   file=sys.stderr)
             return 2
-        fresh = json.loads(fresh_path.read_text())
+        try:
+            fresh = json.loads(fresh_path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"check_regression: corrupt fresh file {fresh_path}: {exc}",
+                  file=sys.stderr)
+            return 2
         problems += check_gaps(name, fresh, args.max_gap)
         baseline = load_baseline(name, args.baseline_ref)
         if baseline is None:

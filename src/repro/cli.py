@@ -17,6 +17,8 @@ Subcommands::
     chaos     fault-injection run vs fault-free twin + §4.2.2 ripple check
     trace     causal flight recorder: record / report / export / diff
     replay    deterministic replay: verify / run / counterfactual / matrix
+    recover   crash recovery: kill-anywhere certify / record-stream export
+    serve     WAL-checkpointed streaming detection that survives kill -9
 
 Examples::
 
@@ -30,6 +32,10 @@ Examples::
     python -m repro replay verify hall.trace
     python -m repro replay counterfactual hall.trace --clock-family physical
     python -m repro replay matrix hall.trace --clock-families vector_strobe,physical
+    python -m repro recover certify smart_office --duration 30 --family all
+    python -m repro recover stream hall --out hall.stream.jsonl
+    python -m repro serve --wal served/ --scenario hall --in hall.stream.jsonl
+    python -m repro sweep detector_throughput --supervised --timeout 300
 """
 
 from __future__ import annotations
@@ -63,6 +69,22 @@ def _positive_int(text: str) -> int:
     if n < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
     return n
+
+
+def _supervision_flags(p) -> None:
+    """--supervised / --timeout / --retries (sweep-shaped commands)."""
+    p.add_argument("--supervised", action="store_true",
+                   help="run tasks on the supervised worker plane: "
+                        "per-task wall timeouts, bounded retries, "
+                        "quarantine to <out>.quarantine.jsonl, durable "
+                        "row streaming to <out>.partial.jsonl, graceful "
+                        "SIGINT/SIGTERM drain")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="with --supervised: kill a task exceeding this "
+                        "wall time (default: no per-task deadline)")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="with --supervised: retry a hung/killed task up "
+                        "to N times before quarantining (default 2)")
 
 
 def _score_row(name, truth, detections):
@@ -301,6 +323,68 @@ def cmd_obs_run(args) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _sidecar_paths(out: str) -> "tuple[str, str]":
+    """(partial rows JSONL, quarantine JSONL) for a supervised --out."""
+    return f"{out}.partial.jsonl", f"{out}.quarantine.jsonl"
+
+
+def _run_supervised(tasks, *, out: str, args, registry):
+    """Run tasks on the supervised worker plane.
+
+    Completed rows are durably appended to ``<out>.partial.jsonl`` as
+    they land (so a killed parent resumes from disk); poisoned tasks go
+    to ``<out>.quarantine.jsonl``.  Returns the SupervisedReport.
+    """
+    import json as _json
+
+    from repro.recover import SupervisedPool, SupervisePolicy
+    from repro.util.atomicio import durable_append_lines
+
+    partial, quarantine = _sidecar_paths(out)
+
+    def on_row(row):
+        durable_append_lines(partial, [_json.dumps(row, sort_keys=True)])
+
+    pool = SupervisedPool(
+        workers=args.workers,
+        policy=SupervisePolicy(
+            timeout_s=args.timeout, max_retries=args.retries,
+        ),
+        seed=args.seed if hasattr(args, "seed") else 0,
+        registry=registry,
+        quarantine_path=quarantine,
+        on_row=on_row,
+    )
+    report = pool.run(tasks)
+    if report.quarantined or report.status != "ok":
+        spec = report.to_spec()
+        print(f"supervised plane: status={spec['status']} "
+              f"retries={spec['retries']} timeouts={spec['timeouts']} "
+              f"worker_deaths={spec['worker_deaths']} "
+              f"skipped={spec['skipped']}", file=sys.stderr)
+        for q in report.quarantined:
+            print(f"  quarantined task {q['index']} {q['params']}: "
+                  f"{q['reason']} ({q['attempts']} attempt(s)) "
+                  f"-> {quarantine}", file=sys.stderr)
+    return report
+
+
+def _drop_partial_sidecar(out: str) -> None:
+    """Remove ``<out>.partial.jsonl`` once its rows are merged into
+    the atomically-written --out (they are now durable there)."""
+    import os as _os
+
+    partial, _ = _sidecar_paths(out)
+    if _os.path.exists(partial):
+        _os.unlink(partial)
+
+
+def _supervised_exit(report, failed: int) -> int:
+    if report.status == "interrupted":
+        return 130
+    return 1 if (failed or report.status == "degraded") else 0
+
+
 def cmd_sweep(args) -> int:
     """Run a named (config, seed) replication matrix on a process pool.
 
@@ -331,27 +415,41 @@ def cmd_sweep(args) -> int:
     if args.resume:
         from repro.sweep import partition_resumable, read_completed_rows
 
-        tasks, cached = partition_resumable(tasks, read_completed_rows(out))
+        completed = read_completed_rows(out)
+        # A supervised run streams rows to a partial sidecar before the
+        # final file lands — a killed run resumes from both.
+        completed.update(read_completed_rows(_sidecar_paths(out)[0]))
+        tasks, cached = partition_resumable(tasks, completed)
         if cached:
             print(f"resume: {len(cached)} point(s) already in {out}, "
                   f"{len(tasks)} to run")
     registry = MetricsRegistry()
-    runner = SweepRunner(workers=args.workers, registry=registry)
-    rows = sorted(runner.run(tasks) + cached, key=lambda r: r["index"])
+    report = None
+    if args.supervised:
+        report = _run_supervised(tasks, out=out, args=args, registry=registry)
+        rows = sorted(report.rows + cached, key=lambda r: r["index"])
+        workers = args.workers
+    else:
+        runner = SweepRunner(workers=args.workers, registry=registry)
+        rows = sorted(runner.run(tasks) + cached, key=lambda r: r["index"])
+        workers = runner.workers
     path = write_sweep_jsonl(
         out, rows, matrix=spec.name, master_seed=args.seed,
         reps=args.reps or spec.reps,
     )
+    _drop_partial_sidecar(out)
     failed = sum(1 for r in rows if "error" in r)
     wall = registry.histogram("sweep.task_wall_s")
     print(f"{len(rows)} tasks ({failed} failed, {len(cached)} cached), "
-          f"{runner.workers} worker(s), "
+          f"{workers} worker(s), "
           f"task wall mean={wall.mean:.3f}s max={wall.max:.3f}s -> {path}")
     if failed:
         for r in rows:
             if "error" in r:
                 print(f"  task {r['index']} {r['params']}: {r['error']}",
                       file=sys.stderr)
+    if report is not None:
+        return _supervised_exit(report, failed)
     return 1 if failed else 0
 
 
@@ -790,17 +888,27 @@ def cmd_replay_matrix(args) -> int:
     if args.resume:
         from repro.sweep import partition_resumable, read_completed_rows
 
-        tasks, cached = partition_resumable(tasks, read_completed_rows(out))
+        completed = read_completed_rows(out)
+        completed.update(read_completed_rows(_sidecar_paths(out)[0]))
+        tasks, cached = partition_resumable(tasks, completed)
         if cached:
             print(f"resume: {len(cached)} point(s) already in {out}, "
                   f"{len(tasks)} to run")
     registry = MetricsRegistry()
-    runner = SweepRunner(workers=args.workers, registry=registry)
-    rows = sorted(runner.run(tasks) + cached, key=lambda r: r["index"])
+    report = None
+    if args.supervised:
+        report = _run_supervised(tasks, out=out, args=args, registry=registry)
+        rows = sorted(report.rows + cached, key=lambda r: r["index"])
+        workers = args.workers
+    else:
+        runner = SweepRunner(workers=args.workers, registry=registry)
+        rows = sorted(runner.run(tasks) + cached, key=lambda r: r["index"])
+        workers = runner.workers
     path = write_sweep_jsonl(out, rows, matrix=spec.name, master_seed=0)
+    _drop_partial_sidecar(out)
     failed = sum(1 for r in rows if "error" in r)
     print(f"{len(rows)} counterfactual(s) ({failed} failed, "
-          f"{len(cached)} cached), {runner.workers} worker(s) -> {path}")
+          f"{len(cached)} cached), {workers} worker(s) -> {path}")
     for r in rows:
         if "error" in r:
             print(f"  point {r['index']} {r['params']}: {r['error']}",
@@ -810,7 +918,169 @@ def cmd_replay_matrix(args) -> int:
             axes = {k: v for k, v in r["params"].items() if k != "trace"}
             print(f"  {axes}: kept={res['kept']} appeared={res['appeared']} "
                   f"disappeared={res['disappeared']}")
+    if report is not None:
+        return _supervised_exit(report, failed)
     return 1 if failed else 0
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery (repro.recover)
+# ---------------------------------------------------------------------------
+
+
+def _recover_manifest(args, *, clock_family: "str | None" = None):
+    """RunManifest from recover/serve CLI args (plan optional)."""
+    from repro.replay import RunManifest, code_digest
+
+    plan = _load_plan(getattr(args, "plan", None))
+    return RunManifest(
+        scenario=args.scenario,
+        seed=args.seed,
+        duration=args.duration,
+        delta=max(args.delta, 0.0),
+        clock_family=clock_family or args.clock_family,
+        check_period=args.check_period,
+        plan=plan,
+        code_digest=code_digest(),
+    )
+
+
+def cmd_recover_certify(args) -> int:
+    """Kill-anywhere certification: prove that a crash+restore at every
+    Nth event boundary resumes to byte-identical output.
+
+    Exit codes: 0 certified, 1 a boundary failed, 2 usage error.
+    """
+    import json as _json
+
+    from repro.recover import certify_all_families, certify_kill_anywhere
+
+    try:
+        manifest = _recover_manifest(
+            args,
+            clock_family=(
+                "vector_strobe" if args.family == "all" else args.family
+            ),
+        )
+    except ValueError as exc:
+        print(f"repro recover certify: {exc}", file=sys.stderr)
+        return 2
+    if args.family == "all":
+        report = certify_all_families(
+            manifest, every_n=args.every, max_boundaries=args.max_boundaries,
+        )
+        family_reports = report["families"].values()
+    else:
+        report = certify_kill_anywhere(
+            manifest.with_(clock_family=args.family),
+            every_n=args.every, max_boundaries=args.max_boundaries,
+        )
+        family_reports = [report]
+    text = _json.dumps(report, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    if args.json:
+        print(text)
+    else:
+        print(f"scenario  : {report['scenario']} seed={report['seed']} "
+              f"duration={report['duration']}s")
+        for fam in family_reports:
+            verdict = "CERTIFIED" if fam["certified"] else "FAILED"
+            print(f"  {fam['clock_family']:<24} {fam['total_events']:5d} events, "
+                  f"{fam['checked']:3d} boundar(ies) killed, "
+                  f"{fam['detections']:3d} detection(s)  {verdict}")
+            for failure in fam["failures"]:
+                print(f"    boundary {failure['boundary']}: "
+                      f"{failure['reason']}", file=sys.stderr)
+        print(f"kill-anywhere: "
+              f"{'CERTIFIED' if report['certified'] else 'FAILED'}")
+    return 0 if report["certified"] else 1
+
+
+def cmd_recover_stream(args) -> int:
+    """Export the record stream an online detector host sees, as JSONL
+    consumable by ``repro serve --wal``."""
+    from repro.recover.stream import write_record_stream
+
+    try:
+        manifest = _recover_manifest(args)
+    except ValueError as exc:
+        print(f"repro recover stream: {exc}", file=sys.stderr)
+        return 2
+    out = args.out or f"{args.scenario}.stream.jsonl"
+    n = write_record_stream(out, manifest, host=args.host)
+    print(f"{n} record(s) delivered to host {args.host} -> {out}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """WAL-checkpointed streaming detection over a serve directory.
+
+    With ``--scenario`` the directory is created; without it an
+    existing directory is reopened and recovered.  ``--in`` feeds a
+    record-stream JSONL (from ``repro recover stream``), skipping
+    records the WAL already holds — so rerunning the same command after
+    a crash (even ``kill -9``) completes the stream with byte-identical
+    detections.
+
+    Exit codes: 0 ok, 2 bad directory/config/stream.
+    """
+    import json as _json
+    import os as _os
+
+    from repro.recover import WalServer
+    from repro.recover.wal import WalError
+
+    try:
+        if args.scenario is not None:
+            server = WalServer(
+                args.wal,
+                manifest=_recover_manifest(args),
+                checkpoint_every=args.checkpoint_every,
+            )
+        else:
+            server = WalServer(args.wal)
+    except (WalError, ValueError) as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    if args.input:
+        try:
+            with open(args.input, encoding="utf-8") as fh:
+                specs = [
+                    spec for line in fh if line.strip()
+                    for spec in [_json.loads(line)]
+                    if spec.get("kind") != "meta"
+                ]
+        except (OSError, _json.JSONDecodeError) as exc:
+            print(f"repro serve: cannot read stream {args.input!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        done = server.ingested_records
+        if done:
+            print(f"recovered: {done} record(s) already in the WAL, "
+                  f"{max(0, len(specs) - done)} to ingest")
+        try:
+            for spec in specs[done:]:
+                server.ingest(spec)
+                if (args.kill_after is not None
+                        and server.ingested_records >= args.kill_after):
+                    # Simulated crash for the recovery tests: no flush,
+                    # no atexit, no checkpoint — the hardest landing.
+                    _os._exit(42)
+        except WalError as exc:
+            print(f"repro serve: {exc}", file=sys.stderr)
+            return 2
+        if args.finalize and server.ingested_records >= len(specs):
+            server.finalize()
+        else:
+            server.checkpoint()
+    status = server.status()
+    print(f"{status['dir']}: {status['scenario']}/{status['clock_family']} "
+          f"ingested={status['ingested']} emitted={status['emitted']} "
+          f"detections={status['detections']} "
+          f"finalized={status['finalized']}")
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -958,7 +1228,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list the named matrices and exit")
     p.add_argument("--resume", action="store_true",
                    help="skip points whose rows already exist in --out "
+                        "or its .partial.jsonl sidecar "
                         "(keyed by coordinate digest); errored rows re-run")
+    _supervision_flags(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
@@ -1133,8 +1405,92 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default=None,
                    help="output JSONL (default <trace>.matrix.jsonl)")
     p.add_argument("--resume", action="store_true",
-                   help="skip points whose rows already exist in --out")
+                   help="skip points whose rows already exist in --out "
+                        "or its .partial.jsonl sidecar")
+    _supervision_flags(p)
     p.set_defaults(fn=cmd_replay_matrix)
+
+    p = sub.add_parser(
+        "recover",
+        help="crash recovery: checkpoints, certification, streams "
+             "(repro.recover)",
+    )
+    recover_sub = p.add_subparsers(dest="recover_command", required=True)
+
+    p = recover_sub.add_parser(
+        "certify",
+        help="prove kill-at-every-Nth-event recovery is byte-identical",
+    )
+    p.add_argument("scenario", choices=OBS_SCENARIOS)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--delta", type=float, default=0.2,
+                   help="message delay bound Δ in seconds")
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="simulated horizon (certification re-runs the "
+                        "scenario once per boundary — keep this modest)")
+    p.add_argument("--family", choices=(*_FAMILIES, "all"), default="all",
+                   help="clock family to certify, or 'all' for the "
+                        "five-family proof")
+    p.add_argument("--check-period", type=float, default=0.1)
+    p.add_argument("--every", type=_positive_int, default=25,
+                   help="kill at every Nth event boundary")
+    p.add_argument("--max-boundaries", type=_positive_int, default=None,
+                   help="cap tested boundaries (evenly thinned)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="also write the JSON report to PATH")
+    p.set_defaults(fn=cmd_recover_certify)
+
+    p = recover_sub.add_parser(
+        "stream",
+        help="export a host's delivered record stream for `repro serve`",
+    )
+    p.add_argument("scenario", choices=OBS_SCENARIOS)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--delta", type=float, default=0.2)
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--clock-family", choices=_FAMILIES,
+                   default="vector_strobe")
+    p.add_argument("--check-period", type=float, default=0.1)
+    p.add_argument("--host", type=int, default=0,
+                   help="process hosting the detector tap")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="stream JSONL (default <scenario>.stream.jsonl)")
+    p.set_defaults(fn=cmd_recover_stream)
+
+    from repro.recover.wal import SERVABLE_FAMILIES as _SERVABLE
+
+    p = sub.add_parser(
+        "serve",
+        help="WAL-checkpointed streaming detection surviving kill -9 "
+             "(repro.recover)",
+    )
+    p.add_argument("--wal", metavar="DIR", required=True,
+                   help="serve directory (WAL + checkpoint + detections)")
+    p.add_argument("--scenario", choices=OBS_SCENARIOS, default=None,
+                   help="create a new serve directory for this scenario "
+                        "(omit to reopen and recover an existing one)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--delta", type=float, default=0.2)
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--clock-family", choices=_SERVABLE,
+                   default="vector_strobe",
+                   help="online family to host (offline families have no "
+                        "incremental frontier to serve)")
+    p.add_argument("--check-period", type=float, default=0.1)
+    p.add_argument("--checkpoint-every", type=_positive_int, default=64,
+                   help="checkpoint the frontier every N ingested records")
+    p.add_argument("--in", dest="input", metavar="PATH", default=None,
+                   help="record-stream JSONL to ingest (from "
+                        "`repro recover stream`); already-WALed records "
+                        "are skipped on rerun")
+    p.add_argument("--no-finalize", dest="finalize", action="store_false",
+                   help="leave the stream open after --in (default: "
+                        "finalize once the whole stream is ingested)")
+    p.add_argument("--kill-after", type=_positive_int, default=None,
+                   help=argparse.SUPPRESS)  # crash simulation for tests
+    p.set_defaults(fn=cmd_serve)
 
     return parser
 

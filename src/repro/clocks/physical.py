@@ -196,6 +196,21 @@ class PhysicalClock:
         self._epoch = t
         self._frozen_reading = None
 
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe state summary (see :mod:`repro.recover`): the full
+        linear model anchor plus fault-injection state, so two clocks
+        with equal snapshots produce equal readings forever after."""
+        return {
+            "offset": self._model.offset,
+            "drift_ppm": self._model.drift_ppm,
+            "correction": self._correction,
+            "epoch": self._epoch,
+            "adjustments": self._adjustments,
+            "extra_drift_ppm": self._extra_drift_ppm,
+            "frozen_reading": self._frozen_reading,
+            "faults": self._faults,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"PhysicalClock(offset={self._model.offset:+.6f}, "
@@ -239,6 +254,11 @@ class PhysicalVectorClock:
 
     def read(self) -> np.ndarray:
         return self._v.copy()
+
+    def snapshot(self) -> list[float | None]:
+        """JSON-safe state summary: component readings, with the
+        never-heard sentinel (−inf, not valid JSON) mapped to None."""
+        return [None if np.isneginf(x) else float(x) for x in self._v]
 
 
 __all__ = ["PhysicalClock", "PhysicalVectorClock", "DriftModel"]

@@ -82,6 +82,10 @@ class LamportClock(Clock[ScalarTimestamp]):
     def read(self) -> ScalarTimestamp:
         return ScalarTimestamp(self._value, self._pid)
 
+    def snapshot(self) -> dict[str, int]:
+        """JSON-safe state summary (see :mod:`repro.recover`)."""
+        return {"value": self._value}
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"LamportClock(pid={self._pid}, value={self._value})"
 

@@ -167,6 +167,15 @@ class StrobeVectorClock(_StrobeObsMixin, StrobeClock[VectorTimestamp]):
         """O(n): a strobe carries the full vector."""
         return self._n
 
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe state summary (see :mod:`repro.recover`): vector
+        components plus the SVC1/SVC2 invocation counters."""
+        return {
+            "v": [int(x) for x in self._v],
+            "relevant_events": self._relevant_events,
+            "strobes_received": self._strobes_received,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"StrobeVectorClock(pid={self._pid}, v={tuple(int(x) for x in self._v)})"
 
@@ -237,6 +246,15 @@ class StrobeScalarClock(_StrobeObsMixin, StrobeClock[ScalarTimestamp]):
     def strobe_size(self) -> int:
         """O(1): a strobe carries a single integer."""
         return 1
+
+    def snapshot(self) -> dict[str, int]:
+        """JSON-safe state summary (see :mod:`repro.recover`): counter
+        value plus the SSC1/SSC2 invocation counters."""
+        return {
+            "value": self._value,
+            "relevant_events": self._relevant_events,
+            "strobes_received": self._strobes_received,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"StrobeScalarClock(pid={self._pid}, value={self._value})"

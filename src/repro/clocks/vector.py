@@ -720,6 +720,10 @@ class VectorClock(Clock[VectorTimestamp]):
             return VectorTimestamp._from_trusted_tuple(tuple(self._v))
         return VectorTimestamp._from_trusted_array(self._v)  # type: ignore[arg-type]
 
+    def snapshot(self) -> dict[str, list[int]]:
+        """JSON-safe state summary (see :mod:`repro.recover`)."""
+        return {"v": [int(x) for x in self._v]}
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"VectorClock(pid={self._pid}, v={tuple(int(x) for x in self._v)})"
 

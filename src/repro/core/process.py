@@ -573,6 +573,40 @@ class SensorProcess:
         """All sense events from the log."""
         return [e for e in self.events if e.kind == EventKind.SENSE]
 
+    def state_snapshot(self) -> dict:
+        """JSON-safe summary of all per-process mutable state.
+
+        Covers every configured clock family, the event/sense sequence
+        counters, the variable store, crash/restart state and the
+        strobe dedup set — everything a byte-identical continuation
+        depends on.  Consumed by :mod:`repro.recover`, which compares
+        snapshots (not object graphs) to certify a restored run.
+        """
+        from repro.trace.recorder import _canon
+
+        snap: dict = {
+            "seq": self._seq,
+            "sense_seq": self._sense_seq,
+            "variables": {k: _canon(v) for k, v in sorted(self.variables.items())},
+            "crashed": self._crashed,
+            "restarts": self._restarts,
+            "rejoining": self._rejoining,
+            "seen_strobes": sorted(self._seen_strobes),
+        }
+        if self.lamport is not None:
+            snap["lamport"] = self.lamport.snapshot()
+        if self.vector is not None:
+            snap["vector"] = self.vector.snapshot()
+        if self.strobe_scalar is not None:
+            snap["strobe_scalar"] = self.strobe_scalar.snapshot()
+        if self.strobe_vector is not None:
+            snap["strobe_vector"] = self.strobe_vector.snapshot()
+        if self.physical_clock is not None:
+            snap["physical"] = self.physical_clock.snapshot()
+        if self.physical_vector is not None:
+            snap["physical_vector"] = self.physical_vector.snapshot()
+        return snap
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"SensorProcess(pid={self.pid}, vars={self.variables})"
 

@@ -78,6 +78,10 @@ class RecordStore:
     def __len__(self) -> int:
         return len(self._records)
 
+    def keys(self) -> list[tuple[int, int]]:
+        """Sorted ``(pid, seq)`` identities of the retained records."""
+        return sorted(self._records)
+
     def all(self) -> list[SensedEventRecord]:
         """Records sorted by (pid, seq)."""
         return [self._records[k] for k in sorted(self._records)]
@@ -131,6 +135,24 @@ class Detector:
     def finalize(self) -> list[Detection]:
         """Run/complete detection; returns all detections."""
         raise NotImplementedError
+
+    # -- recovery ---------------------------------------------------------
+    def frontier_snapshot(self) -> dict[str, Any]:
+        """JSON-safe summary of the detector's ingestion frontier.
+
+        The base form covers what every detector holds: the dedup
+        store and the detections emitted so far.  Online detectors
+        extend it with their watermark state (:mod:`repro.detect.online`).
+        Consumed by :mod:`repro.recover` as a state *certificate* —
+        two runs with equal snapshots continue identically.
+        """
+        return {
+            "name": self.name,
+            "records": len(self.store),
+            "record_keys_tail": [list(k) for k in self.store.keys()[-8:]],
+            "duplicates": self.store.duplicates,
+            "detections": len(self.detections),
+        }
 
     # -- shared replay helper ---------------------------------------------
     def _replay(

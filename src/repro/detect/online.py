@@ -382,6 +382,30 @@ class OnlineVectorStrobeDetector(_LivenessMixin, _OnlineObsMixin, VectorStrobeDe
         """Oracle-side: emit time − true occurrence time per detection."""
         return [t - d.trigger.true_time for d, t in self.emissions]
 
+    def frontier_snapshot(self) -> dict[str, Any]:
+        """Base summary plus the watermark frontier: processed prefix
+        length, retained pending/new arrival cursors, the incremental
+        environment and race state — the full per-flush recurrence
+        state, so equal snapshots imply identical future flushes."""
+        from repro.trace.recorder import _canon
+
+        snap = super().frontier_snapshot()
+        snap.update({
+            "processed": len(self._processed),
+            "pending": [list(r.key()) for r in self._pending],
+            "new": sorted(list(r.key()) for r in self._new),
+            "arrivals": [
+                [k[0], k[1], t] for k, t in sorted(self._arrivals.items())
+            ],
+            "env": {k: _canon(v) for k, v in sorted(self._env.items())},
+            "state": dict(self._state),
+            "last_key": _canon(self._last_key),
+            "late_records": self.late_records,
+            "emissions": len(self.emissions),
+            "quarantined": sorted(self.quarantined),
+        })
+        return snap
+
 
 class OnlineScalarStrobeDetector(_LivenessMixin, _OnlineObsMixin, Detector):
     """Watermark-based online scalar-strobe detection.
@@ -524,6 +548,28 @@ class OnlineScalarStrobeDetector(_LivenessMixin, _OnlineObsMixin, Detector):
 
     def detection_latencies(self) -> list[float]:
         return [t - d.trigger.true_time for d, t in self.emissions]
+
+    def frontier_snapshot(self) -> dict[str, Any]:
+        """Base summary plus the scalar watermark frontier (processed
+        count, pending/new cursors, rising-edge state)."""
+        from repro.trace.recorder import _canon
+
+        snap = super().frontier_snapshot()
+        snap.update({
+            "processed": self._processed_count,
+            "pending": [list(r.key()) for r in self._pending],
+            "new": sorted(list(r.key()) for r in self._new),
+            "arrivals": [
+                [k[0], k[1], t] for k, t in sorted(self._arrivals.items())
+            ],
+            "env": {k: _canon(v) for k, v in sorted(self._env.items())},
+            "prev": self._prev,
+            "last_key": _canon(self._last_key),
+            "late_records": self.late_records,
+            "emissions": len(self.emissions),
+            "quarantined": sorted(self.quarantined),
+        })
+        return snap
 
 
 __all__ = ["OnlineVectorStrobeDetector", "OnlineScalarStrobeDetector"]

@@ -29,6 +29,16 @@ class ScalarStrobeDetector(Detector):
     def __init__(self, predicate: Predicate, initials: Mapping[str, Any]) -> None:
         super().__init__(predicate, initials)
 
+    def frontier_snapshot(self) -> dict[str, Any]:
+        """Base summary plus the (value, pid, seq) linearization tail."""
+        snap = super().frontier_snapshot()
+        records = [r for r in self.store.all() if r.strobe_scalar is not None]
+        snap["linearization_tail"] = (
+            list(max((r.strobe_scalar.value, r.pid, r.seq) for r in records))
+            if records else None
+        )
+        return snap
+
     def finalize(self) -> list[Detection]:
         records = self.store.all()
         missing = [r for r in records if r.strobe_scalar is None]

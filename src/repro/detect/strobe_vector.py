@@ -139,6 +139,18 @@ class VectorStrobeDetector(Detector):
         self._max_combos = int(max_race_combos)
         self._eval = _MemoizedEval(predicate)
 
+    def frontier_snapshot(self) -> dict[str, Any]:
+        """Base summary plus the (sum, pid, seq) linearization frontier
+        — the sort key of the last retained record, which fixes where
+        the offline replay's total order currently ends."""
+        snap = super().frontier_snapshot()
+        records = self.store.all()
+        snap["linearization_tail"] = (
+            [int(x) for x in self._sort_key(max(records, key=self._sort_key))]
+            if records else None
+        )
+        return snap
+
     # ------------------------------------------------------------------
     def _concurrency_matrix(self, records: list[SensedEventRecord]) -> np.ndarray:
         """Boolean m×m matrix: conc[i, j] iff records i and j are

@@ -115,6 +115,20 @@ class FaultInjector:
                 label=f"fault:{ev.action}",
             )
 
+    def snapshot(self) -> dict:
+        """JSON-safe summary of injector progress: the applied-fault
+        log, the currently-open fault windows, and the fault-private
+        RNG stream positions.  Consumed by :mod:`repro.recover` — a
+        restored run must have fired exactly the same fault prefix."""
+        return {
+            "plan": self._plan.name,
+            "seed": self._seed,
+            "armed": self._armed,
+            "applied": [[t, action] for t, action in self.applied],
+            "active": self._active,
+            "rng": self._rngs.state_snapshot(),
+        }
+
     # ------------------------------------------------------------------
     def _fire(self, ev: FaultEvent, rng: np.random.Generator) -> None:
         handler = getattr(self, f"_apply_{ev.action}", None)

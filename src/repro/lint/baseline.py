@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.lint.findings import Finding
+from repro.util.atomicio import atomic_write_text
 
 BASELINE_VERSION = 1
 
@@ -91,7 +92,9 @@ class Baseline:
         return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.render(), encoding="utf-8")
+        # Atomic: lint-baseline.json gates CI; --update-baseline must
+        # replace it whole or not at all.
+        atomic_write_text(Path(path), self.render())
 
     # -- filtering ------------------------------------------------------
     def filter(

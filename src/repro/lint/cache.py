@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.lint.findings import Finding
+from repro.util.atomicio import atomic_write_text
 
 #: Bump whenever rule logic changes in a way that alters findings for
 #: unchanged source — the digest only covers *inputs*, not the rules.
@@ -114,7 +115,9 @@ class LintCache:
                     {"key": key, "findings": self._live[key]}, sort_keys=True
                 )
             )
-        self.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        # Atomic: the cache is read best-effort at startup, and a torn
+        # write would silently discard the whole cache on the next run.
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
 
     # -- keys -----------------------------------------------------------
     @staticmethod

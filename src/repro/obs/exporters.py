@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.obs.registry import Histogram, MetricsRegistry, restore_snapshot
+from repro.util.atomicio import atomic_write_text
 from repro.obs.tracer import SpanTracer
 
 FORMAT_VERSION = 1
@@ -234,7 +235,11 @@ def export_bench_json(
     }
     if registry is not None:
         doc["metrics"] = registry.snapshot()
-    path.write_text(json.dumps(doc, indent=1, default=_fallback, sort_keys=True) + "\n")
+    # Atomic: BENCH_*.json files are the perf trajectory scripts diff —
+    # a crash mid-refresh must never leave a torn document behind.
+    atomic_write_text(
+        path, json.dumps(doc, indent=1, default=_fallback, sort_keys=True) + "\n"
+    )
     return path
 
 

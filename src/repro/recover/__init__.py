@@ -1,0 +1,65 @@
+"""repro.recover — crash-recoverable execution.
+
+Three robustness layers over the deterministic core:
+
+* :mod:`repro.recover.checkpoint` — deterministic checkpoint/restore
+  for manifest runs.  A checkpoint is a *state certificate*: a
+  canonical, digest-stamped snapshot of every stateful component (DES
+  calendar, per-process clocks, detector frontiers, RNG streams, fault
+  windows).  ``restore`` re-derives the prefix from the manifest and
+  proves the recomputed snapshot matches before continuing, so a
+  resumed run is byte-identical to an uninterrupted one.
+* :mod:`repro.recover.supervisor` — a supervised worker plane shared
+  by ``repro sweep`` and ``repro replay matrix``: per-task wall
+  timeouts, bounded retries with seeded deterministic backoff, worker
+  death detection, poison-task quarantine, and graceful SIGINT/SIGTERM
+  drain.  Infrastructure failure degrades the run (explicit
+  ``degraded`` report) instead of poisoning it.
+* :mod:`repro.recover.wal` — a write-ahead-logged streaming detector
+  (``repro serve --wal``) that survives ``kill -9`` with byte-identical
+  resumed detections.
+
+Certification (``repro recover certify``) kills a run at every Nth
+event boundary, restores from the checkpoint, and byte-compares trace
+lines and detections against the uninterrupted run — for every clock
+family.
+"""
+
+from repro.recover.checkpoint import (
+    SNAPSHOT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    PartialRun,
+    snapshot_digest,
+    snapshot_state,
+)
+from repro.recover.certify import certify_all_families, certify_kill_anywhere
+from repro.recover.stream import (
+    export_record_stream,
+    record_from_spec,
+    record_to_spec,
+)
+from repro.recover.supervisor import (
+    SupervisedPool,
+    SupervisedReport,
+    SupervisePolicy,
+)
+from repro.recover.wal import WalServer
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "PartialRun",
+    "SupervisePolicy",
+    "SupervisedPool",
+    "SupervisedReport",
+    "WalServer",
+    "certify_all_families",
+    "certify_kill_anywhere",
+    "export_record_stream",
+    "record_from_spec",
+    "record_to_spec",
+    "snapshot_digest",
+    "snapshot_state",
+]

@@ -1,0 +1,377 @@
+"""Supervised worker plane for sweep-shaped workloads.
+
+``SweepRunner``'s pool assumes infrastructure is reliable: a worker
+that hangs stalls ``pool.map`` forever, a worker the OS kills takes
+the whole sweep down, and nothing is written until every task is done.
+:class:`SupervisedPool` runs the same spawn-safe
+:class:`~repro.sweep.tasks.SweepTask` descriptors under supervision:
+
+* one spawned process per in-flight task, watched against a per-task
+  wall deadline — a hung task is killed, not waited on;
+* worker death (killed, OOMed, segfaulted) is detected by exit without
+  a result and treated like a timeout;
+* infrastructure failures are retried up to ``max_retries`` times with
+  *seeded deterministic* exponential backoff (a pure function of the
+  supervisor seed, task index and attempt — reruns behave identically);
+* a task that exhausts its retries is **quarantined**: recorded to a
+  sidecar JSONL and in the report, and the run completes ``degraded``
+  instead of dying;
+* completed rows stream through ``on_row`` as they finish (the CLI
+  appends them durably, so a killed supervisor resumes from disk);
+* SIGINT/SIGTERM trigger a graceful drain: no new launches, in-flight
+  tasks finish (bounded by a grace deadline), report status
+  ``interrupted``.
+
+In-task exceptions are *not* retried: ``execute_task`` already
+converts them to deterministic ``error`` rows, and a deterministic
+failure would fail identically on every retry.  Only the
+infrastructure failures above are supervision's business.
+
+Everything wall-clock here (deadlines, backoff sleeps) is supervision
+of the *host* machine, never model input: rows stay byte-identical to
+an unsupervised run (E2E-pinned), which is why wall readings below
+carry SIM001 waivers.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+import numpy as np
+
+from repro.obs.registry import restore_snapshot
+from repro.sim.rng import substream_seed
+from repro.sweep.tasks import SweepTask, execute_task
+from repro.util.atomicio import durable_append_lines
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SupervisePolicy:
+    """Knobs of the supervised plane.
+
+    ``timeout_s=None`` disables per-task deadlines (a drain still
+    imposes ``drain_grace_s`` so an interrupt cannot hang forever).
+    """
+
+    timeout_s: "float | None" = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    drain_grace_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff bounds must be non-negative")
+
+    def backoff_s(self, seed: int, index: int, attempt: int) -> float:
+        """Deterministic jittered exponential backoff before retry
+        ``attempt`` of task ``index``: a pure function of its inputs."""
+        rng = np.random.default_rng(
+            substream_seed(seed, "supervisor-backoff", index, attempt)
+        )
+        raw = self.backoff_base_s * (2.0 ** attempt) * (0.5 + rng.random())
+        return min(self.backoff_cap_s, float(raw))
+
+
+@dataclass
+class SupervisedReport:
+    """Outcome of one supervised run.
+
+    ``status`` is ``"ok"`` (every task produced a row), ``"degraded"``
+    (some tasks quarantined; their rows are absent) or
+    ``"interrupted"`` (drained on a signal; unstarted tasks skipped).
+    """
+
+    status: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    quarantined: list[dict[str, Any]] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+    skipped: int = 0
+
+    def to_spec(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "rows": len(self.rows),
+            "quarantined": [dict(q) for q in self.quarantined],
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_deaths": self.worker_deaths,
+            "skipped": self.skipped,
+        }
+
+
+def _supervised_worker(task: SweepTask, out_queue: Any) -> None:
+    """Worker entry point (module-level: must pickle into spawn)."""
+    out_queue.put(execute_task(task))
+
+
+@dataclass
+class _InFlight:
+    task: SweepTask
+    attempt: int
+    proc: Any
+    queue: Any
+    deadline: "float | None"
+
+
+@dataclass
+class _Pending:
+    task: SweepTask
+    attempt: int
+    not_before: float
+
+
+class SupervisedPool:
+    """Run sweep tasks under timeouts, retries and quarantine.
+
+    Parameters
+    ----------
+    workers:
+        Maximum concurrently spawned task processes.
+    policy:
+        The :class:`SupervisePolicy` in force.
+    seed:
+        Supervisor seed for deterministic backoff jitter (independent
+        of every task's own model seed).
+    registry:
+        Optional obs registry; reports ``supervisor.retries`` /
+        ``timeouts`` / ``worker_deaths`` / ``quarantined`` counters and
+        merges worker-side metric snapshots like ``SweepRunner``.
+    quarantine_path:
+        Sidecar JSONL receiving one durable line per poisoned task.
+    on_row:
+        Callback invoked with each completed row *as it completes*
+        (completion order); used for durable incremental appends.
+    """
+
+    _POLL_S = 0.02
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        policy: "SupervisePolicy | None" = None,
+        seed: int = 0,
+        registry: "MetricsRegistry | None" = None,
+        quarantine_path: "str | Path | None" = None,
+        on_row: "Callable[[dict[str, Any]], None] | None" = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._workers = int(workers)
+        self._policy = policy if policy is not None else SupervisePolicy()
+        self._seed = int(seed)
+        self._registry = registry
+        self._quarantine_path = (
+            None if quarantine_path is None else Path(quarantine_path)
+        )
+        self._on_row = on_row
+        self._interrupted = False
+        self._m_retries = self._m_timeouts = None
+        self._m_deaths = self._m_quarantined = self._m_wall = None
+        if registry is not None:
+            self._m_retries = registry.counter("supervisor.retries")
+            self._m_timeouts = registry.counter("supervisor.timeouts")
+            self._m_deaths = registry.counter("supervisor.worker_deaths")
+            self._m_quarantined = registry.counter("supervisor.quarantined")
+            # Same histogram SweepRunner feeds, so sweep dashboards and
+            # the CLI summary line read identically either way.
+            self._m_wall = registry.histogram("sweep.task_wall_s")
+
+    # ------------------------------------------------------------------
+    def _request_drain(self, signum: int, frame: Any) -> None:
+        del frame
+        self._interrupted = True
+
+    def _quarantine(
+        self, report: SupervisedReport, entry: _InFlight | _Pending, reason: str
+    ) -> None:
+        record = {
+            "kind": "quarantine",
+            "index": entry.task.index,
+            "ref": entry.task.ref,
+            "params": dict(entry.task.params),
+            "seed": entry.task.seed,
+            "reason": reason,
+            "attempts": entry.attempt + 1,
+        }
+        report.quarantined.append(record)
+        if self._m_quarantined is not None:
+            self._m_quarantined.inc()
+        if self._quarantine_path is not None:
+            durable_append_lines(
+                self._quarantine_path,
+                [json.dumps(record, sort_keys=True)],
+            )
+
+    def _complete(self, report: SupervisedReport, out: dict[str, Any]) -> None:
+        row = out["row"]
+        if self._m_wall is not None and "wall_s" in out:
+            self._m_wall.observe(out["wall_s"])
+        metrics = out.get("metrics")
+        if metrics and self._registry is not None:
+            self._registry.merge(restore_snapshot(metrics))
+        if self._on_row is not None:
+            self._on_row(row)
+        report.rows.append(row)
+
+    def _reap(self, entry: _InFlight) -> None:
+        """Make sure a worker process and its queue are fully gone."""
+        if entry.proc.is_alive():
+            entry.proc.kill()
+        entry.proc.join(timeout=5.0)
+        entry.queue.close()
+
+    def _retry_or_quarantine(
+        self,
+        report: SupervisedReport,
+        pending: "list[_Pending]",
+        entry: _InFlight,
+        reason: str,
+        now: float,
+    ) -> None:
+        if entry.attempt < self._policy.max_retries and not self._interrupted:
+            report.retries += 1
+            if self._m_retries is not None:
+                self._m_retries.inc()
+            delay = self._policy.backoff_s(
+                self._seed, entry.task.index, entry.attempt
+            )
+            pending.append(
+                _Pending(entry.task, entry.attempt + 1, now + delay)
+            )
+        else:
+            self._quarantine(report, entry, reason)
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Iterable[SweepTask]) -> SupervisedReport:
+        """Execute all tasks; always returns a report (never raises for
+        task- or worker-level failure)."""
+        ctx = multiprocessing.get_context("spawn")
+        report = SupervisedReport(status="ok")
+        pending: list[_Pending] = [
+            _Pending(t, 0, 0.0) for t in tasks
+        ]
+        total = len(pending)
+        in_flight: list[_InFlight] = []
+        previous: list[tuple[int, Any]] = []
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                previous.append((signum, signal.signal(signum, self._request_drain)))
+        except ValueError:  # not the main thread (tests, embedding)
+            previous = []
+        drain_deadline: "float | None" = None
+        try:
+            while pending or in_flight:
+                now = time.monotonic()  # repro: noqa SIM001 -- host supervision deadline, never model input
+                if self._interrupted:
+                    if pending:
+                        report.skipped += len(pending)
+                        pending = []
+                    if drain_deadline is None:
+                        drain_deadline = now + self._policy.drain_grace_s
+                # Launch while slots are free and tasks are ready.
+                while pending and len(in_flight) < self._workers:
+                    ready = [p for p in pending if p.not_before <= now]
+                    if not ready:
+                        break
+                    nxt = min(ready, key=lambda p: (p.not_before, p.task.index))
+                    pending.remove(nxt)
+                    q = ctx.Queue(1)
+                    proc = ctx.Process(
+                        target=_supervised_worker, args=(nxt.task, q)
+                    )
+                    proc.start()
+                    deadline = None
+                    if self._policy.timeout_s is not None:
+                        deadline = now + self._policy.timeout_s
+                    in_flight.append(
+                        _InFlight(nxt.task, nxt.attempt, proc, q, deadline)
+                    )
+                # Poll in-flight workers.
+                still: list[_InFlight] = []
+                for entry in in_flight:
+                    out = None
+                    try:
+                        out = entry.queue.get_nowait()
+                    except Exception:  # noqa: BLE001 -- queue.Empty and EOF alike mean "no result yet"
+                        out = None
+                    if out is None and entry.proc.exitcode is not None:
+                        # The process exited; give its queue feeder a
+                        # moment to deliver a result already in the pipe
+                        # before declaring the worker dead.
+                        try:
+                            out = entry.queue.get(timeout=0.25)
+                        except Exception:  # noqa: BLE001
+                            out = None
+                    if out is not None:
+                        self._reap(entry)
+                        self._complete(report, out)
+                        continue
+                    if entry.proc.exitcode is not None:
+                        self._reap(entry)
+                        report.worker_deaths += 1
+                        if self._m_deaths is not None:
+                            self._m_deaths.inc()
+                        self._retry_or_quarantine(
+                            report, pending, entry,
+                            f"worker died (exit code {entry.proc.exitcode}) "
+                            f"without producing a result",
+                            now,
+                        )
+                        continue
+                    effective_deadline = entry.deadline
+                    if drain_deadline is not None:
+                        effective_deadline = (
+                            drain_deadline if effective_deadline is None
+                            else min(effective_deadline, drain_deadline)
+                        )
+                    if effective_deadline is not None and now > effective_deadline:
+                        by_drain = drain_deadline is not None and (
+                            entry.deadline is None
+                            or drain_deadline <= entry.deadline
+                        )
+                        self._reap(entry)
+                        report.timeouts += 1
+                        if self._m_timeouts is not None:
+                            self._m_timeouts.inc()
+                        self._retry_or_quarantine(
+                            report, pending, entry,
+                            "killed during interrupt drain" if by_drain
+                            else f"timed out after {self._policy.timeout_s}s wall",
+                            now,
+                        )
+                        continue
+                    still.append(entry)
+                in_flight = still
+                if pending or in_flight:
+                    time.sleep(self._POLL_S)  # repro: noqa SIM001 -- host poll pacing, never model input
+        finally:
+            for entry in in_flight:
+                self._reap(entry)
+            for signum, handler in previous:
+                signal.signal(signum, handler)
+        report.rows.sort(key=lambda r: r["index"])
+        if self._interrupted:
+            report.status = "interrupted"
+        elif report.quarantined or len(report.rows) < total:
+            report.status = "degraded"
+        return report
+
+
+__all__ = ["SupervisePolicy", "SupervisedPool", "SupervisedReport"]

@@ -21,7 +21,14 @@ from repro.replay.counterfactual import (
     diff_detections,
     run_counterfactual,
 )
-from repro.replay.engine import ExecutionResult, ReplayEngine, ReplayError
+from repro.replay.engine import (
+    ExecutionResult,
+    PreparedExecution,
+    ReplayEngine,
+    ReplayError,
+    finalize_execution,
+    prepare_execution,
+)
 from repro.replay.families import BoundDetector, build_detector
 from repro.replay.manifest import CLOCK_FAMILIES, RunManifest, code_digest
 from repro.replay.tasks import counterfactual_point, matrix_spec
@@ -32,6 +39,7 @@ __all__ = [
     "CounterfactualDiff",
     "CounterfactualSpec",
     "ExecutionResult",
+    "PreparedExecution",
     "ReplayEngine",
     "ReplayError",
     "RunManifest",
@@ -39,6 +47,8 @@ __all__ = [
     "code_digest",
     "counterfactual_point",
     "diff_detections",
+    "finalize_execution",
     "matrix_spec",
+    "prepare_execution",
     "run_counterfactual",
 ]

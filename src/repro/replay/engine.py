@@ -56,6 +56,86 @@ class ExecutionResult:
         return trace_jsonl_lines(self.recorder)
 
 
+@dataclass
+class PreparedExecution:
+    """A manifest's run, fully wired but not yet executed.
+
+    ``prepare_execution`` builds everything :meth:`ReplayEngine.execute`
+    needs *before* the run loop starts — scenario, recorder, bound
+    detector, armed injector — and ``finalize_execution`` performs the
+    post-run steps.  The split exists for :mod:`repro.recover`, whose
+    checkpointed partial runs interleave bounded stepping between the
+    same preparation and finalization, so a resumed run shares the
+    record/replay code path byte for byte.
+    """
+
+    manifest: RunManifest
+    scenario: Any
+    predicate: Any
+    initials: Any
+    recorder: Any
+    detector: BoundDetector
+    injector: Any = None
+
+    @property
+    def system(self) -> Any:
+        return self.scenario.system
+
+
+def prepare_execution(manifest: RunManifest) -> PreparedExecution:
+    """Build and wire (but do not run) the manifest's scenario."""
+    from repro.scenarios.builders import build_scenario
+    from repro.trace import FlightRecorder, instrument_trace
+
+    try:
+        scenario, phi, initials = build_scenario(
+            manifest.scenario, seed=manifest.seed, delta=manifest.delta
+        )
+    except ValueError as exc:
+        raise ReplayError(str(exc)) from exc
+    system = scenario.system
+    recorder = FlightRecorder(system.sim, capacity=manifest.capacity)
+    instrument_trace(system, recorder)
+    bound = build_detector(
+        manifest, scenario, phi, initials, recorder=recorder, host=0
+    )
+    injector = None
+    if manifest.plan is not None:
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(system, manifest.plan)
+        injector.arm()
+    return PreparedExecution(
+        manifest=manifest, scenario=scenario, predicate=phi,
+        initials=initials, recorder=recorder, detector=bound,
+        injector=injector,
+    )
+
+
+def finalize_execution(prepared: PreparedExecution) -> ExecutionResult:
+    """Post-run steps shared by full and checkpoint-resumed runs:
+    finalize the detector and stamp the recorder's meta purely from
+    the manifest (so trace bytes stay a function of the manifest)."""
+    manifest = prepared.manifest
+    detections = prepared.detector.finalize(end_time=manifest.duration)
+    prepared.recorder.meta.update({
+        "scenario": manifest.scenario,
+        "seed": manifest.seed,
+        "delta": manifest.delta,
+        "duration": manifest.duration,
+        "predicate": str(prepared.predicate),
+        "clock_family": manifest.clock_family,
+        "manifest": manifest.to_spec(),
+    })
+    if manifest.plan is not None:
+        prepared.recorder.meta["plan"] = manifest.plan.to_spec()
+    return ExecutionResult(
+        manifest=manifest, scenario=prepared.scenario,
+        recorder=prepared.recorder, detector=prepared.detector,
+        detections=list(detections), injector=prepared.injector,
+    )
+
+
 class ReplayEngine:
     """Execute manifests; verify recorded traces against re-execution."""
 
@@ -66,44 +146,9 @@ class ReplayEngine:
         fully derived from the manifest, so two executions of the same
         manifest produce byte-identical trace lines.
         """
-        from repro.scenarios.builders import build_scenario
-        from repro.trace import FlightRecorder, instrument_trace
-
-        try:
-            scenario, phi, initials = build_scenario(
-                manifest.scenario, seed=manifest.seed, delta=manifest.delta
-            )
-        except ValueError as exc:
-            raise ReplayError(str(exc)) from exc
-        system = scenario.system
-        recorder = FlightRecorder(system.sim, capacity=manifest.capacity)
-        instrument_trace(system, recorder)
-        bound = build_detector(
-            manifest, scenario, phi, initials, recorder=recorder, host=0
-        )
-        injector = None
-        if manifest.plan is not None:
-            from repro.faults import FaultInjector
-
-            injector = FaultInjector(system, manifest.plan)
-            injector.arm()
-        scenario.run(manifest.duration)
-        detections = bound.finalize(end_time=manifest.duration)
-        recorder.meta.update({
-            "scenario": manifest.scenario,
-            "seed": manifest.seed,
-            "delta": manifest.delta,
-            "duration": manifest.duration,
-            "predicate": str(phi),
-            "clock_family": manifest.clock_family,
-            "manifest": manifest.to_spec(),
-        })
-        if manifest.plan is not None:
-            recorder.meta["plan"] = manifest.plan.to_spec()
-        return ExecutionResult(
-            manifest=manifest, scenario=scenario, recorder=recorder,
-            detector=bound, detections=list(detections), injector=injector,
-        )
+        prepared = prepare_execution(manifest)
+        prepared.scenario.run(manifest.duration)
+        return finalize_execution(prepared)
 
     # ------------------------------------------------------------------
     def manifest_of(self, trace_path: "str | Path") -> RunManifest:
@@ -221,4 +266,11 @@ class ReplayEngine:
         ]
 
 
-__all__ = ["ReplayEngine", "ReplayError", "ExecutionResult"]
+__all__ = [
+    "ReplayEngine",
+    "ReplayError",
+    "ExecutionResult",
+    "PreparedExecution",
+    "prepare_execution",
+    "finalize_execution",
+]

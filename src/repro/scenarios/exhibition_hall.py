@@ -147,10 +147,19 @@ class ExhibitionHall:
         It sees the host's own records plus everything strobed to it."""
         detector.attach(self.system.processes[host])
 
-    def run(self, duration: float) -> None:
+    def begin(self) -> None:
+        """Arm the visitor-traffic generator (first phase of
+        :meth:`run`; split for :mod:`repro.recover` stepping)."""
         self.traffic.start()
-        self.system.run(until=duration)
+
+    def end(self) -> None:
+        """Stop the traffic generator (last phase of :meth:`run`)."""
         self.traffic.stop()
+
+    def run(self, duration: float) -> None:
+        self.begin()
+        self.system.run(until=duration)
+        self.end()
 
     def true_occupancy(self) -> int:
         """Oracle: current number of people inside."""

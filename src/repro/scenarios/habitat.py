@@ -131,12 +131,21 @@ class Habitat:
         """The delay bound including MAC sleep (the true Δ of §3.2.2.b)."""
         return self.config.radio_delay + self.mac.extra_delay_bound()
 
-    def run(self, duration: float) -> None:
+    def begin(self) -> None:
+        """Arm the mobility generators (first phase of :meth:`run`;
+        split for :mod:`repro.recover` stepping)."""
         for m in self._mobility:
             m.start()
-        self.system.run(until=duration)
+
+    def end(self) -> None:
+        """Stop the mobility generators (last phase of :meth:`run`)."""
         for m in self._mobility:
             m.stop()
+
+    def run(self, duration: float) -> None:
+        self.begin()
+        self.system.run(until=duration)
+        self.end()
 
 
 __all__ = ["Habitat", "HabitatConfig"]

@@ -228,12 +228,21 @@ class Hospital:
     def attach_detector(self, detector: Detector, *, host: int = 0) -> None:
         detector.attach(self.system.processes[host])
 
-    def run(self, duration: float) -> None:
+    def begin(self) -> None:
+        """Arm the mobility generators (first phase of :meth:`run`;
+        split for :mod:`repro.recover` stepping)."""
         for m in self._mobility:
             m.start()
-        self.system.run(until=duration)
+
+    def end(self) -> None:
+        """Stop the mobility generators (last phase of :meth:`run`)."""
         for m in self._mobility:
             m.stop()
+
+    def run(self, duration: float) -> None:
+        self.begin()
+        self.system.run(until=duration)
+        self.end()
 
 
 __all__ = ["Hospital", "HospitalConfig", "ZONES", "MONITORED"]

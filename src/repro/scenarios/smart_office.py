@@ -154,11 +154,25 @@ class SmartOffice:
         root.add_strobe_listener(on_record)
         return actuations
 
-    def run(self, duration: float) -> None:
+    def begin(self) -> None:
+        """Arm the world generators (first phase of :meth:`run`).
+
+        Split from :meth:`run` so the checkpoint layer
+        (:mod:`repro.recover`) can interleave bounded stepping between
+        setup and teardown; ``run`` remains ``begin → run-to-horizon →
+        end`` exactly.
+        """
         self._schedule_occupancy_flip()
         self._temp_timer.start()
-        self.system.run(until=duration)
+
+    def end(self) -> None:
+        """Stop the world generators (last phase of :meth:`run`)."""
         self._temp_timer.stop()
+
+    def run(self, duration: float) -> None:
+        self.begin()
+        self.system.run(until=duration)
+        self.end()
 
 
 __all__ = ["SmartOffice", "SmartOfficeConfig"]

@@ -17,7 +17,6 @@ is a pure function of its configuration.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Iterator
@@ -96,7 +95,10 @@ class Simulator:
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: list[ScheduledEvent] = []
-        self._seq = itertools.count()
+        # Plain int rather than itertools.count: the checkpoint layer
+        # (repro.recover) includes the counter in state snapshots, and
+        # a count object cannot be inspected without consuming it.
+        self._seq = 0
         self._running = False
         self._processed = 0
         self._live = 0            # non-cancelled entries in the heap
@@ -171,7 +173,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={t} (< now={self._now}): {label!r}"
             )
-        ev = ScheduledEvent(t, priority, next(self._seq), callback, label, _owner=self)
+        ev = ScheduledEvent(t, priority, self._seq, callback, label, _owner=self)
+        self._seq += 1
         heapq.heappush(self._heap, ev)
         self._live += 1
         return ev
@@ -307,6 +310,27 @@ class Simulator:
                     hook(ev)
         finally:
             self._running = False
+
+    def calendar_snapshot(self) -> list[list[object]]:
+        """Canonical summary of the live event calendar.
+
+        One ``[time, priority, seq, label]`` entry per non-cancelled
+        scheduled event, in firing order.  Callbacks themselves are
+        closures and deliberately *not* serialized — the entry list,
+        together with :attr:`processed_events` and the next sequence
+        number, is a *certificate* of kernel state: two runs of the
+        same manifest that have fired the same number of events hold
+        identical calendars (the determinism contract), which is what
+        :mod:`repro.recover` verifies on restore.
+        """
+        entries: list[tuple[float, int, int, str]] = [
+            (ev.time, ev.priority, ev.seq, ev.label)
+            for ev in self._heap
+            if not ev.cancelled
+        ]
+        entries.sort()
+        head: list[list[object]] = [[self._processed, self._seq]]
+        return head + [list(e) for e in entries]
 
     def drain(self) -> Iterator[ScheduledEvent]:
         """Remove and yield all remaining live events without firing them."""

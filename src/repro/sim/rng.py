@@ -79,5 +79,20 @@ class RngRegistry:
         """Name paths of all streams created so far (for diagnostics)."""
         return tuple(self._streams.keys())
 
+    def state_snapshot(self) -> dict[str, object]:
+        """JSON-safe snapshot of every stream's generator position.
+
+        Keys are the repr'd name paths (stable across processes, same
+        derivation :func:`substream_seed` hashes); values are the
+        ``bit_generator.state`` dicts NumPy exposes — plain ints and
+        strings, so the snapshot round-trips through canonical JSON.
+        Used by :mod:`repro.recover` to certify that a restored run's
+        RNG streams sit at exactly the positions of the original.
+        """
+        out: dict[str, object] = {}
+        for key in sorted(self._streams, key=repr):
+            out[repr(key)] = self._streams[key].bit_generator.state
+        return out
+
 
 __all__ = ["RngRegistry", "substream_seed"]

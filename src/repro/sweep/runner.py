@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from repro.obs.registry import restore_snapshot
 from repro.sweep.tasks import SweepTask, execute_task
+from repro.util.atomicio import atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.registry import MetricsRegistry
@@ -147,7 +148,9 @@ def write_sweep_jsonl(
 ) -> Path:
     path = Path(path)
     lines = sweep_jsonl_lines(rows, matrix=matrix, master_seed=master_seed, reps=reps)
-    path.write_text("\n".join(lines) + "\n")
+    # Atomic: a kill mid-write must never leave a half-sweep under the
+    # final name (resume reads this file and trusts complete lines).
+    atomic_write_text(path, "\n".join(lines) + "\n")
     return path
 
 

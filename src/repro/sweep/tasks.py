@@ -83,6 +83,25 @@ def _accepts_registry(fn: Callable[..., Any]) -> bool:
         return False
 
 
+def _traceback_tail(exc: BaseException, *, frames: int = 5) -> list[str]:
+    """The last ``frames`` formatted traceback frames of an exception.
+
+    Stored in the row's ``error_detail`` so a failed sweep point is
+    debuggable from the JSONL alone — before this, a worker-side crash
+    survived only as ``"TypeError: ..."`` with the stack swallowed.
+    The tail is deterministic for a given code tree (file, line,
+    function, source text), so it honors the byte-identity contract.
+    """
+    import traceback
+
+    tb = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    # format_exception yields header + frame blocks + final message;
+    # keep the last few frame blocks plus the message line.
+    frame_blocks = [b for b in tb[1:-1]]
+    tail = frame_blocks[-frames:] if frames else frame_blocks
+    return [line.rstrip("\n") for block in tail for line in block.splitlines()]
+
+
 def execute_task(task: SweepTask) -> dict[str, Any]:
     """Run one task (in the worker process, for ``workers > 1``).
 
@@ -121,6 +140,11 @@ def execute_task(task: SweepTask) -> dict[str, Any]:
                 out["metrics"] = snapshot
     except Exception as exc:  # noqa: BLE001 -- isolate task failures per row
         row["error"] = f"{type(exc).__name__}: {exc}"
+        row["error_detail"] = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": _traceback_tail(exc),
+        }
     out["wall_s"] = time.perf_counter() - t0
     return out
 

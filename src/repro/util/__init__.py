@@ -1,0 +1,15 @@
+"""Small cross-cutting utilities (durable IO)."""
+
+from repro.util.atomicio import (
+    atomic_write_json,
+    atomic_write_text,
+    durable_append_lines,
+    fsync_dir,
+)
+
+__all__ = [
+    "atomic_write_json",
+    "atomic_write_text",
+    "durable_append_lines",
+    "fsync_dir",
+]

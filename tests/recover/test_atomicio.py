@@ -1,0 +1,42 @@
+"""Atomic/durable write primitives (repro.util.atomicio)."""
+
+import json
+import os
+
+from repro.util.atomicio import (
+    atomic_write_text,
+    durable_append_lines,
+    fsync_dir,
+)
+
+
+def test_atomic_write_creates_and_replaces(tmp_path):
+    path = tmp_path / "state.json"
+    atomic_write_text(path, "one\n")
+    assert path.read_text() == "one\n"
+    atomic_write_text(path, "two\n")
+    assert path.read_text() == "two\n"
+
+
+def test_atomic_write_leaves_no_tmp_litter(tmp_path):
+    path = tmp_path / "state.json"
+    atomic_write_text(path, "payload\n")
+    assert os.listdir(tmp_path) == ["state.json"]
+
+
+def test_durable_append_accumulates_lines(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    durable_append_lines(path, [json.dumps({"i": 0})])
+    durable_append_lines(path, [json.dumps({"i": 1}), json.dumps({"i": 2})])
+    rows = [json.loads(ln) for ln in path.read_text().splitlines()]
+    assert rows == [{"i": 0}, {"i": 1}, {"i": 2}]
+
+
+def test_durable_append_creates_parent_file(tmp_path):
+    path = tmp_path / "fresh.jsonl"
+    durable_append_lines(path, ["a"])
+    assert path.read_text() == "a\n"
+
+
+def test_fsync_dir_tolerates_missing_directory(tmp_path):
+    fsync_dir(tmp_path / "not-there")  # must not raise

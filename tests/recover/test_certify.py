@@ -1,0 +1,55 @@
+"""Kill-anywhere certification across all five clock families."""
+
+import pytest
+
+from repro.recover import certify_all_families, certify_kill_anywhere
+from repro.replay import RunManifest, code_digest
+from repro.replay.manifest import CLOCK_FAMILIES
+
+
+def _manifest(**kw):
+    base = dict(
+        scenario="hall", seed=1, duration=4.0, delta=0.2,
+        clock_family="vector_strobe", code_digest=code_digest(),
+    )
+    base.update(kw)
+    return RunManifest(**base)
+
+
+@pytest.mark.parametrize("family", CLOCK_FAMILIES)
+def test_kill_anywhere_certifies_each_family(family):
+    report = certify_kill_anywhere(
+        _manifest(clock_family=family), every_n=30, max_boundaries=2,
+    )
+    assert report["clock_family"] == family
+    assert report["checked"] >= 1
+    assert report["failures"] == []
+    assert report["certified"] is True
+
+
+def test_certify_all_families_aggregates():
+    report = certify_all_families(
+        _manifest(), every_n=50, max_boundaries=1,
+    )
+    assert set(report["families"]) == set(CLOCK_FAMILIES)
+    assert report["certified"] is True
+
+
+def test_certify_with_fault_plan():
+    """Checkpoint state must include the injector's windows."""
+    from repro.faults import default_plan
+
+    report = certify_kill_anywhere(
+        RunManifest(
+            scenario="smart_office", seed=0, duration=30.0, delta=0.2,
+            clock_family="vector_strobe", plan=default_plan(),
+            code_digest=code_digest(),
+        ),
+        every_n=100, max_boundaries=2,
+    )
+    assert report["certified"] is True
+
+
+def test_bad_every_n_rejected():
+    with pytest.raises(ValueError, match="every_n"):
+        certify_kill_anywhere(_manifest(), every_n=0)

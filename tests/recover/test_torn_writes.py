@@ -1,0 +1,74 @@
+"""Torn-write behavior: every resumable reader either repairs or
+refuses a half-written file — never silently mis-parses it."""
+
+import json
+
+import pytest
+
+from repro.replay import ReplayEngine, RunManifest, code_digest
+from repro.sweep import read_completed_rows
+from repro.trace import TraceFormatError, write_trace
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    manifest = RunManifest(
+        scenario="hall", seed=1, duration=8.0, delta=0.2,
+        clock_family="vector_strobe", code_digest=code_digest(),
+    )
+    result = ReplayEngine().execute(manifest)
+    path = tmp_path_factory.mktemp("trace") / "hall.trace"
+    return write_trace(path, result.recorder)
+
+
+def test_intact_trace_verifies(trace_path):
+    report = ReplayEngine().verify(trace_path)
+    assert report["identical"] is True
+
+
+def test_truncated_trace_mid_line_is_refused(trace_path, tmp_path):
+    data = trace_path.read_bytes()
+    torn = tmp_path / "torn.trace"
+    last_nl = data.rstrip(b"\n").rfind(b"\n")
+    torn.write_bytes(data[:last_nl + 30])      # cut the final line short
+    with pytest.raises(TraceFormatError) as err:
+        ReplayEngine().verify(torn)
+    assert err.value.path == str(torn)
+    assert err.value.lineno is not None
+    assert f"{torn}:{err.value.lineno}" in str(err.value)
+
+
+def test_truncated_trace_mid_header_is_refused(trace_path, tmp_path):
+    data = trace_path.read_bytes()
+    torn = tmp_path / "header.trace"
+    torn.write_bytes(data[: len(data.split(b"\n", 1)[0]) // 2])
+    with pytest.raises(TraceFormatError) as err:
+        ReplayEngine().verify(torn)
+    assert err.value.lineno == 1
+
+
+def test_torn_sweep_tail_is_skipped(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    good = {
+        "kind": "row", "index": 0, "ref": "m.mod:f",
+        "params": {"x": 1}, "seed": 7, "result": {"y": 2},
+    }
+    path.write_text(
+        json.dumps({"kind": "meta", "format_version": 1}) + "\n"
+        + json.dumps(good, sort_keys=True) + "\n"
+        + '{"kind": "row", "index": 1, "re'      # killed mid-append
+    )
+    rows = list(read_completed_rows(path).values())
+    assert rows == [good]
+
+
+def test_errored_sweep_rows_are_not_resumable(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    row = {
+        "kind": "row", "index": 0, "ref": "m.mod:f",
+        "params": {"x": 1}, "seed": 7, "error": "ValueError: nope",
+        "error_detail": {"type": "ValueError", "message": "nope",
+                         "traceback": []},
+    }
+    path.write_text(json.dumps(row, sort_keys=True) + "\n")
+    assert read_completed_rows(path) == {}

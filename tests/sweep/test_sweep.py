@@ -64,6 +64,24 @@ def test_execute_task_isolates_errors():
     assert out["wall_s"] >= 0.0
 
 
+def test_execute_task_error_detail_carries_traceback():
+    bad = SweepTask(
+        index=0, ref="repro.sweep.points:detector_throughput",
+        params={"detector": "nope", "m": 10}, seed=1,
+    )
+    row = execute_task(bad)["row"]
+    detail = row["error_detail"]
+    assert detail["type"] == row["error"].split(":")[0]
+    assert detail["message"] and detail["message"] in row["error"]
+    assert isinstance(detail["traceback"], list) and detail["traceback"]
+    # The tail names a real frame (file + line), not just the message.
+    assert any("File " in line for line in detail["traceback"])
+    # And it is JSON-serializable (rows go straight into the JSONL).
+    import json as _json
+
+    _json.dumps(detail)
+
+
 # ---------------------------------------------------------------------------
 # Matrix expansion
 # ---------------------------------------------------------------------------
